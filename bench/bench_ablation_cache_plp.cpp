@@ -1,0 +1,59 @@
+// Ablation A2: internal cache policy — enabled / disabled / supercap PLP.
+//
+// The paper observes failures both with the internal DRAM cache enabled and
+// disabled (§IV-A, §IV-E), and notes that high-end drives carry batteries or
+// supercapacitors while "such schemes only provide the condition to move the
+// write pending data ... to the flash". This bench quantifies all three
+// configurations under one workload.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pofi;
+  stats::print_banner("Ablation A2: DRAM cache enabled / disabled / supercap PLP");
+  std::printf("write-only 4KiB..1MiB random workload; 100 faults per configuration\n\n");
+
+  struct Variant {
+    const char* label;
+    ssd::PresetOptions opts;
+  };
+  Variant variants[3];
+  variants[0].label = "cache enabled";
+  variants[1].label = "cache disabled";
+  variants[1].opts.cache_enabled = false;
+  variants[2].label = "supercap PLP";
+  variants[2].opts.plp = true;
+
+  for (const auto& v : variants) {
+    const auto drive = bench::study_drive(v.opts);
+    workload::WorkloadConfig wl;
+    wl.name = "ablation-cache";
+    wl.wss_pages = bench::wss_pages_for_gib(drive, 16.0);
+    bench::paper_size_range(wl, drive);
+    wl.write_fraction = 1.0;
+
+    platform::ExperimentSpec spec;
+    spec.name = std::string("cache-") + v.label;
+    spec.workload = wl;
+    spec.total_requests = 8000;
+    spec.faults = 100;
+    spec.pace_iops = 4.0;
+    spec.seed = 1200;
+
+    const auto r = bench::run_campaign(drive, spec);
+    std::printf("  %-16s dataFail=%-5llu FWA=%-5llu ioErr=%-4llu perFault=%-6.2f "
+                "dirtyLost=%-6llu mapReverted=%llu\n",
+                v.label, static_cast<unsigned long long>(r.data_failures),
+                static_cast<unsigned long long>(r.fwa_failures),
+                static_cast<unsigned long long>(r.io_errors), r.data_failures_per_fault(),
+                static_cast<unsigned long long>(r.cache_dirty_lost),
+                static_cast<unsigned long long>(r.map_updates_reverted));
+  }
+
+  std::printf("\nreading: disabling the cache removes the biggest FWA channel but failures\n");
+  std::printf("persist (mapping journal + interrupted/paired-page programs), matching the\n");
+  std::printf("paper; PLP drains the cache and journal in the brownout window and should\n");
+  std::printf("eliminate nearly all loss.\n");
+  return 0;
+}

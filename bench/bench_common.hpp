@@ -1,0 +1,74 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Scale note: the paper's campaigns (hundreds of faults, tens of thousands
+// of requests per experiment) run for days on physical hardware. The
+// simulated campaigns reproduce the same *per-fault* statistics at reduced
+// fault counts so the whole bench suite completes in minutes; every bench
+// prints its scale next to the paper's.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <cstdlib>
+
+#include "platform/test_platform.hpp"
+#include "stats/csv.hpp"
+#include "ssd/presets.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace pofi::bench {
+
+/// The drive used by the workload-parameter studies (SSD-A, the paper's
+/// oldest commodity MLC drive, exhibits every failure class).
+inline ssd::SsdConfig study_drive(const ssd::PresetOptions& opts = {}) {
+  return ssd::make_preset(ssd::VendorModel::kA, opts);
+}
+
+/// Run one campaign on a fresh platform.
+inline platform::ExperimentResult run_campaign(const ssd::SsdConfig& drive,
+                                               const platform::ExperimentSpec& spec,
+                                               const platform::PlatformConfig& pc = {}) {
+  platform::TestPlatform tp(drive, pc, spec.seed);
+  return tp.run(spec);
+}
+
+/// Pages for a working set of `gib` GiB on `drive`.
+inline std::uint64_t wss_pages_for_gib(const ssd::SsdConfig& drive, double gib) {
+  return static_cast<std::uint64_t>(gib * (1ULL << 30) /
+                                    drive.chip.geometry.page_size_bytes);
+}
+
+/// The paper's standard request-size range: 4 KiB .. 1 MiB.
+inline void paper_size_range(workload::WorkloadConfig& wl, const ssd::SsdConfig& drive) {
+  const std::uint32_t page = drive.chip.geometry.page_size_bytes;
+  wl.min_pages = (4u * 1024) / page;
+  wl.max_pages = (1024u * 1024) / page;
+  if (wl.min_pages == 0) wl.min_pages = 1;
+}
+
+/// When POFI_CSV_DIR is set, export the bench's series for plotting.
+inline void maybe_export_csv(const char* name, const stats::CsvWriter& csv) {
+  const char* dir = std::getenv("POFI_CSV_DIR");
+  if (dir == nullptr) return;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  if (csv.write_file(path)) {
+    std::printf("csv written: %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "csv write FAILED: %s\n", path.c_str());
+  }
+}
+
+inline void print_result_row(const platform::ExperimentResult& r, const char* label) {
+  std::printf(
+      "  %-14s faults=%-4u reqs=%-6llu dataFail=%-5llu FWA=%-5llu ioErr=%-4llu "
+      "perFault=%.2f\n",
+      label, r.faults_injected, static_cast<unsigned long long>(r.requests_submitted),
+      static_cast<unsigned long long>(r.data_failures),
+      static_cast<unsigned long long>(r.fwa_failures),
+      static_cast<unsigned long long>(r.io_errors), r.data_failures_per_fault());
+}
+
+}  // namespace pofi::bench

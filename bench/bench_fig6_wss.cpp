@@ -1,0 +1,57 @@
+// Fig. 6: impact of workload working-set size on data failures.
+//
+// Paper setup: WSS swept 1..90 GB, request sizes 4 KiB..1 MiB, uniform
+// random writes, >200 faults over 16 000 requests. Expected shape: flat —
+// WSS has no significant impact on the failure ratio (vulnerability lives
+// in the volatile cache/journal, whose occupancy depends on rate, not WSS).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pofi;
+  stats::print_banner("Fig. 6: impact of workload working set size on data failure");
+  std::printf("paper scale: >200 faults / 16000 requests; bench scale: 60 faults / 4800 per point\n\n");
+
+  const auto drive = bench::study_drive();
+  const std::vector<double> wss_gb{1, 10, 20, 30, 40, 50, 60, 70, 80, 90};
+
+  std::vector<double> xs, data_failures, per_fault;
+  stats::RunningStat across_wss;
+  for (const double gb : wss_gb) {
+    workload::WorkloadConfig wl;
+    wl.name = "fig6";
+    wl.wss_pages = bench::wss_pages_for_gib(drive, gb);
+    bench::paper_size_range(wl, drive);
+    wl.write_fraction = 1.0;
+
+    platform::ExperimentSpec spec;
+    spec.name = "fig6-wss" + std::to_string(static_cast<int>(gb));
+    spec.workload = wl;
+    spec.total_requests = 4800;
+    spec.faults = 60;
+    spec.pace_iops = 4.0;
+    spec.seed = 600 + static_cast<std::uint64_t>(gb);
+
+    const auto r = bench::run_campaign(drive, spec);
+    bench::print_result_row(r, spec.name.c_str());
+    xs.push_back(gb);
+    data_failures.push_back(static_cast<double>(r.total_data_loss()));
+    per_fault.push_back(r.data_failures_per_fault());
+    across_wss.add(r.data_failures_per_fault());
+  }
+
+  std::printf("\n");
+  stats::FigureData fig("Fig. 6 series", "WSS (GB)", xs);
+  fig.add_series("Number of Data Failures", data_failures);
+  fig.add_series("Data Failure per Power Fault", per_fault);
+  fig.print();
+
+  std::printf(
+      "shape check (flat curve): per-fault failures mean %.2f, stddev %.2f "
+      "(coefficient of variation %.2f — paper finds no WSS effect)\n",
+      across_wss.mean(), across_wss.stddev(),
+      across_wss.mean() > 0 ? across_wss.stddev() / across_wss.mean() : 0.0);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Fig. 8: impact of requested IOPS on responded IOPS and data failures.
+//
+// Paper setup: uniform-random writes, requested rate swept 1200..30000 IOPS,
+// >600 faults. Finding: responded IOPS tracks requested until the device
+// saturates (~6900 on their hardware), and the number of data failures grows
+// with requested IOPS only until that saturation point, then flattens — the
+// fault can only hurt requests the device actually absorbed.
+//
+// Our simulated drive saturates at its own (configuration-determined) level;
+// the bench reports both curves so the crossover shape can be compared.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pofi;
+  stats::print_banner("Fig. 8: impact of requested IOPS on responded IOPS / data failures");
+  std::printf("paper scale: >600 faults; bench: 12 faults per rate point\n");
+  std::printf("request sizes 4..64 KiB (paper: 4 KiB..1 MiB; reduced to bound memory)\n\n");
+
+  const auto drive = bench::study_drive();
+  const std::vector<double> rates{1200, 2400, 6000, 12000, 20000, 25000, 30000};
+
+  std::vector<double> xs, responded, failures;
+  for (const double rate : rates) {
+    workload::WorkloadConfig wl;
+    wl.name = "fig8";
+    wl.wss_pages = bench::wss_pages_for_gib(drive, 16.0);
+    wl.min_pages = 1;
+    wl.max_pages = 16;  // 4..64 KiB
+    wl.write_fraction = 1.0;
+    wl.target_iops = rate;
+
+    platform::ExperimentSpec spec;
+    spec.name = "fig8-" + std::to_string(static_cast<int>(rate));
+    spec.workload = wl;
+    spec.faults = 12;
+    // Each cycle ingests ~0.3 s at the requested rate.
+    spec.total_requests = static_cast<std::uint64_t>(rate * 0.3 * spec.faults);
+    spec.seed = 800 + static_cast<std::uint64_t>(rate);
+
+    const auto r = bench::run_campaign(drive, spec);
+    std::printf("  %-12s requested=%-6.0f responded=%-8.0f dataLoss=%-5llu ioErr=%llu\n",
+                spec.name.c_str(), rate, r.responded_iops,
+                static_cast<unsigned long long>(r.total_data_loss()),
+                static_cast<unsigned long long>(r.io_errors));
+    xs.push_back(rate);
+    responded.push_back(r.responded_iops);
+    failures.push_back(static_cast<double>(r.total_data_loss()));
+  }
+
+  stats::CsvWriter csv({"requested_iops", "responded_iops", "data_loss"});
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    csv.add_row({stats::Table::fmt(xs[i], 0), stats::Table::fmt(responded[i], 1),
+                 stats::Table::fmt(failures[i], 0)});
+  }
+  bench::maybe_export_csv("fig8_iops", csv);
+
+  std::printf("\n");
+  stats::FigureData fig("Fig. 8 series", "requested IOPS", xs);
+  fig.add_series("Responded IOPS", responded);
+  fig.add_series("Data Failure", failures);
+  fig.print();
+
+  std::printf("shape checks: responded IOPS saturates (paper: ~6900 on their SSD); data "
+              "failures rise with requested IOPS then flatten past saturation.\n");
+  return 0;
+}

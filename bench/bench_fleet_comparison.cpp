@@ -1,0 +1,56 @@
+// Fleet comparison: the same write-heavy campaign against every Table I
+// model (two units each, different seeds — six drives, as in the paper's
+// "we have examined more than five SSDs from different vendors").
+//
+// The paper reports that all of its drives lost data; the interesting
+// comparison is *how* they differ: cache size and flush cadence move the
+// FWA channel, cell technology and ECC move the physical-corruption channel.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pofi;
+  stats::print_banner("fleet comparison: identical campaign on all six Table I drives");
+  std::printf("write-only 4KiB..1MiB random workload; 60 faults per unit\n\n");
+
+  stats::Table table({"unit", "cell", "ECC", "cache DRAM", "data failures", "FWA", "IO err",
+                      "loss/fault", "mean Q2C (us)"});
+  int unit_index = 0;
+  for (const auto model :
+       {ssd::VendorModel::kA, ssd::VendorModel::kB, ssd::VendorModel::kC}) {
+    for (int unit = 0; unit < 2; ++unit) {
+      auto drive = ssd::make_preset(model);
+      drive.model += "#" + std::to_string(unit + 1);
+
+      workload::WorkloadConfig wl;
+      wl.name = "fleet";
+      wl.wss_pages = bench::wss_pages_for_gib(drive, 16.0);
+      bench::paper_size_range(wl, drive);
+      wl.write_fraction = 1.0;
+
+      platform::ExperimentSpec spec;
+      spec.name = "fleet-" + drive.model;
+      spec.workload = wl;
+      spec.total_requests = 4800;
+      spec.faults = 60;
+      spec.pace_iops = 4.0;
+      spec.seed = 1500 + unit_index;
+
+      const auto r = bench::run_campaign(drive, spec);
+      table.add_row({drive.model, nand::to_string(drive.chip.tech),
+                     nand::to_string(drive.chip.ecc),
+                     std::to_string(drive.cache.capacity_pages * 4 / 1024) + " MiB",
+                     stats::Table::fmt(r.data_failures), stats::Table::fmt(r.fwa_failures),
+                     stats::Table::fmt(r.io_errors),
+                     stats::Table::fmt(r.data_failures_per_fault(), 2),
+                     stats::Table::fmt(r.mean_latency_us, 0)});
+      ++unit_index;
+    }
+  }
+  table.print();
+  std::printf("\nreading: every unit loses acknowledged data (the paper's prior-work\n");
+  std::printf("baseline found 13 of 15 drives failing); units of the same model agree\n");
+  std::printf("closely while models differ through cache size and flush cadence.\n");
+  return 0;
+}

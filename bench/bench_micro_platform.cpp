@@ -1,0 +1,128 @@
+// P1: platform microbenchmarks (google-benchmark).
+//
+// Hot-path costs of the substrate: checksums, ECC decode decisions, the
+// Hamming codec, the event kernel, mapping-table updates and the NAND
+// chip's synchronous read path. These bound how large a campaign the
+// platform can simulate per wall-second.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "ftl/mapping.hpp"
+#include "nand/chip.hpp"
+#include "nand/ecc.hpp"
+#include "sim/simulator.hpp"
+#include "workload/checksum.hpp"
+
+namespace {
+
+using namespace pofi;
+
+void BM_Crc32c(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i * 31);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::crc32c(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(4096)->Arg(65536);
+
+void BM_Fnv1a(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 0xa5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::fnv1a64(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Fnv1a)->Arg(4096);
+
+void BM_CombineTags(benchmark::State& state) {
+  std::vector<std::uint64_t> tags(static_cast<std::size_t>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::combine_tags(tags));
+  }
+}
+BENCHMARK(BM_CombineTags)->Arg(1)->Arg(256);
+
+void BM_BchDecode(benchmark::State& state) {
+  const nand::BchEcc ecc(40, 1024);
+  sim::Rng rng(1);
+  const auto errors = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecc.decode(4096 * 8, errors, rng));
+  }
+}
+BENCHMARK(BM_BchDecode)->Arg(0)->Arg(8)->Arg(100)->Arg(5000);
+
+void BM_LdpcDecode(benchmark::State& state) {
+  const nand::LdpcEcc ecc;
+  sim::Rng rng(1);
+  const auto errors = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecc.decode(4096 * 8, errors, rng));
+  }
+}
+BENCHMARK(BM_LdpcDecode)->Arg(8)->Arg(300);
+
+void BM_HammingRoundTrip(benchmark::State& state) {
+  std::uint64_t x = 0x0123456789abcdefULL;
+  for (auto _ : state) {
+    auto cw = nand::HammingSecDed::encode(x);
+    cw.data ^= 1ULL << 17;  // single-bit flip
+    benchmark::DoNotOptimize(nand::HammingSecDed::decode(cw));
+    x = x * 6364136223846793005ULL + 1;
+  }
+}
+BENCHMARK(BM_HammingRoundTrip);
+
+void BM_EventKernel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int counter = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.after(sim::Duration::us(i), [&counter] { ++counter; });
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventKernel);
+
+void BM_MappingUpdate(benchmark::State& state) {
+  ftl::MappingTable map(ftl::MappingPolicy::kPageLevel);
+  std::uint64_t lpn = 0;
+  for (auto _ : state) {
+    map.update(lpn % 100000, lpn);
+    ++lpn;
+    if (lpn % 4096 == 0) {
+      const auto batch = map.begin_persist_batch();
+      map.commit_batch(batch);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MappingUpdate);
+
+void BM_ChipSyncRead(benchmark::State& state) {
+  sim::Simulator sim;
+  nand::NandChip::Config cfg;
+  cfg.geometry.page_size_bytes = 4096;
+  cfg.geometry.pages_per_block = 64;
+  cfg.geometry.blocks_per_plane = 64;
+  cfg.geometry.planes = 2;
+  nand::NandChip chip(sim, cfg);
+  chip.on_power_good();
+  chip.program(0, 0x42, [](nand::OpResult) {});
+  sim.run_all();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chip.read_now(0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChipSyncRead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// §IV-A: impact of the time interval between request completion (ACK) and
+// the power outage.
+//
+// Paper setup: random-address writes of 4 KiB..1 MiB; the fault is injected
+// a controlled interval after the ACK reaches the application layer.
+// Finding: data can still be corrupted up to ~700 ms after the ACK — the
+// write-pending data lives in the drive's volatile DRAM — and the same
+// phenomenon persists (with a shorter horizon) when the internal cache is
+// disabled, implicating the mapping journal and paired-page physics too.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+std::vector<double> sweep(const pofi::ssd::SsdConfig& drive, const char* label,
+                          const std::vector<int>& delays_ms) {
+  using namespace pofi;
+  std::vector<double> loss_probability;
+  std::printf("%s:\n", label);
+  for (const int ms : delays_ms) {
+    workload::WorkloadConfig wl;
+    wl.name = "secIVA";
+    wl.wss_pages = bench::wss_pages_for_gib(drive, 8.0);
+    bench::paper_size_range(wl, drive);
+    wl.write_fraction = 1.0;
+
+    platform::ExperimentSpec spec;
+    spec.name = "ivA-" + std::to_string(ms) + "ms";
+    spec.workload = wl;
+    spec.mode = platform::FaultMode::kFixedDelayAfterAck;
+    spec.post_ack_delay = sim::Duration::ms(ms);
+    spec.faults = 40;
+    spec.seed = 400 + ms;
+
+    const auto r = bench::run_campaign(drive, spec);
+    const double p = r.faults_injected > 0
+                         ? static_cast<double>(r.total_data_loss()) / r.faults_injected
+                         : 0.0;
+    loss_probability.push_back(p);
+    std::printf("  dt=%-5dms faults=%-3u dataFail=%-3llu FWA=%-3llu lossProb=%.2f\n", ms,
+                r.faults_injected, static_cast<unsigned long long>(r.data_failures),
+                static_cast<unsigned long long>(r.fwa_failures), p);
+  }
+  return loss_probability;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pofi;
+  stats::print_banner("SecIV-A: corruption vs interval between ACK and power outage");
+  std::printf("paper: corruption observed up to ~700 ms after the ACK; persists with\n");
+  std::printf("the internal cache disabled. bench: 40 faults per interval point.\n\n");
+
+  const std::vector<int> delays{0, 100, 200, 300, 400, 500, 600, 700, 800, 1000};
+
+  const auto cached = bench::study_drive();
+  const auto with_cache = sweep(cached, "internal DRAM cache enabled", delays);
+
+  ssd::PresetOptions no_cache_opts;
+  no_cache_opts.cache_enabled = false;
+  const auto uncached = bench::study_drive(no_cache_opts);
+  const auto without_cache = sweep(uncached, "internal DRAM cache disabled", delays);
+
+  std::vector<double> xs(delays.begin(), delays.end());
+  std::printf("\n");
+  stats::FigureData fig("SecIV-A: loss probability vs post-ACK interval", "dt (ms)", xs);
+  fig.add_series("cache enabled", with_cache);
+  fig.add_series("cache disabled", without_cache);
+  fig.print();
+
+  // The widest interval at which a loss was still observed.
+  double horizon_cached = 0.0, horizon_uncached = 0.0;
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    if (with_cache[i] > 0.0) horizon_cached = xs[i];
+    if (without_cache[i] > 0.0) horizon_uncached = xs[i];
+  }
+  std::printf("corruption horizon: cached %.0f ms (paper ~700 ms), cache-disabled %.0f ms "
+              "(paper: failures persist)\n",
+              horizon_cached, horizon_uncached);
+  return 0;
+}

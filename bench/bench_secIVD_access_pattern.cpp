@@ -1,0 +1,52 @@
+// §IV-D: impact of request access pattern (random vs sequential).
+//
+// Paper setup: two write-only workloads, 4 KiB..1 MiB requests, 64 GB WSS,
+// >300 faults over 24 000 requests each. Finding: the sequential workload
+// fails ~14% more than the random one, because the FTL coalesces sequential
+// runs into single mapping entries ("only keeps the first address"), and a
+// lost volatile extent takes the whole run with it.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pofi;
+  stats::print_banner("SecIV-D: impact of access pattern (random vs sequential)");
+  std::printf("paper scale: >300 faults / 24000 requests; bench: 120 faults / 9600 each\n\n");
+
+  const auto drive = bench::study_drive();
+
+  auto run_pattern = [&](workload::AccessPattern pattern, std::uint64_t seed) {
+    workload::WorkloadConfig wl;
+    wl.name = std::string("secIVD-") + to_string(pattern);
+    wl.wss_pages = bench::wss_pages_for_gib(drive, 64.0);
+    bench::paper_size_range(wl, drive);
+    wl.write_fraction = 1.0;
+    wl.pattern = pattern;
+
+    platform::ExperimentSpec spec;
+    spec.name = wl.name;
+    spec.workload = wl;
+    spec.total_requests = 9600;
+    spec.faults = 120;
+    spec.pace_iops = 4.0;
+    spec.seed = seed;
+    return bench::run_campaign(drive, spec);
+  };
+
+  const auto random = run_pattern(workload::AccessPattern::kUniformRandom, 1040);
+  const auto sequential = run_pattern(workload::AccessPattern::kSequential, 1041);
+  bench::print_result_row(random, "random");
+  bench::print_result_row(sequential, "sequential");
+
+  const double rnd = random.data_failures_per_fault();
+  const double seq = sequential.data_failures_per_fault();
+  const double delta_pct = rnd > 0 ? (seq - rnd) / rnd * 100.0 : 0.0;
+  std::printf("\nper-fault data loss: random %.2f, sequential %.2f -> sequential %+.1f%%\n",
+              rnd, seq, delta_pct);
+  std::printf("paper: sequential ~ +14%% over random (mapping-extent loss channel)\n");
+  std::printf("mechanism counters: map updates reverted  random=%llu sequential=%llu\n",
+              static_cast<unsigned long long>(random.map_updates_reverted),
+              static_cast<unsigned long long>(sequential.map_updates_reverted));
+  return 0;
+}

@@ -1,0 +1,180 @@
+// pofi_run: command-line fault-injection campaigns.
+//
+// The downstream-user entry point: pick a drive, describe a workload, choose
+// a fault count, get the paper-style failure report — no code required.
+//
+//   pofi_run --model A --faults 50 --requests 4000 --read-pct 20
+//            --pattern random --wss-gb 8 --seed 42
+//   pofi_run --model B --cache off --faults 30
+//   pofi_run --model A --plp --cutoff instant --faults 30
+//   pofi_run --help
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "platform/report.hpp"
+#include "platform/test_platform.hpp"
+#include "ssd/presets.hpp"
+#include "stats/table.hpp"
+
+using namespace pofi;
+
+namespace {
+
+struct Options {
+  ssd::VendorModel model = ssd::VendorModel::kA;
+  std::uint32_t faults = 30;
+  std::uint64_t requests = 2400;
+  int read_pct = 0;
+  double wss_gb = 8.0;
+  int size_min_kb = 4;
+  int size_max_kb = 1024;
+  bool sequential = false;
+  workload::SequenceMode sequence = workload::SequenceMode::kNone;
+  double pace_iops = 5.0;
+  double target_iops = 0.0;
+  bool cache = true;
+  bool plp = false;
+  bool por = false;
+  std::uint32_t preage = 0;
+  std::uint32_t capacity_gb = 16;
+  psu::DischargeKind cutoff = psu::DischargeKind::kPowerLaw;
+  std::uint64_t seed = 42;
+};
+
+[[noreturn]] void usage(int code) {
+  std::printf(
+      "pofi_run - power-outage fault injection campaigns (DATE'18 reproduction)\n\n"
+      "usage: pofi_run [options]\n"
+      "  --model A|B|C        Table I drive preset (default A)\n"
+      "  --faults N           power faults to inject (default 30)\n"
+      "  --requests N         total request budget (default 2400)\n"
+      "  --read-pct P         read percentage 0..100 (default 0)\n"
+      "  --wss-gb G           working set size in GiB (default 8)\n"
+      "  --size-min-kb K      min request size (default 4)\n"
+      "  --size-max-kb K      max request size (default 1024)\n"
+      "  --pattern random|sequential   access pattern (default random)\n"
+      "  --sequence none|rar|raw|war|waw  dependent-pair mode (default none)\n"
+      "  --pace IOPS          request pacing (default 5)\n"
+      "  --iops IOPS          open-loop target rate (overrides --pace)\n"
+      "  --cache on|off       internal DRAM write cache (default on)\n"
+      "  --plp                supercap power-loss protection\n"
+      "  --por                power-on-recovery OOB scan\n"
+      "  --preage N           initial P/E cycles on every block\n"
+      "  --capacity-gb G      scale the drive (default 16)\n"
+      "  --cutoff power-law|exponential|instant   rail model (default power-law)\n"
+      "  --seed N             campaign seed (default 42)\n"
+      "  --help               this text\n");
+  std::exit(code);
+}
+
+const char* next_arg(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "missing value for %s\n", argv[i]);
+    usage(2);
+  }
+  return argv[++i];
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--help" || a == "-h") usage(0);
+    else if (a == "--model") {
+      const std::string v = next_arg(argc, argv, i);
+      if (v == "A") o.model = ssd::VendorModel::kA;
+      else if (v == "B") o.model = ssd::VendorModel::kB;
+      else if (v == "C") o.model = ssd::VendorModel::kC;
+      else usage(2);
+    } else if (a == "--faults") o.faults = static_cast<std::uint32_t>(std::atoi(next_arg(argc, argv, i)));
+    else if (a == "--requests") o.requests = static_cast<std::uint64_t>(std::atoll(next_arg(argc, argv, i)));
+    else if (a == "--read-pct") o.read_pct = std::atoi(next_arg(argc, argv, i));
+    else if (a == "--wss-gb") o.wss_gb = std::atof(next_arg(argc, argv, i));
+    else if (a == "--size-min-kb") o.size_min_kb = std::atoi(next_arg(argc, argv, i));
+    else if (a == "--size-max-kb") o.size_max_kb = std::atoi(next_arg(argc, argv, i));
+    else if (a == "--pattern") o.sequential = std::string(next_arg(argc, argv, i)) == "sequential";
+    else if (a == "--sequence") {
+      const std::string v = next_arg(argc, argv, i);
+      if (v == "none") o.sequence = workload::SequenceMode::kNone;
+      else if (v == "rar") o.sequence = workload::SequenceMode::kRAR;
+      else if (v == "raw") o.sequence = workload::SequenceMode::kRAW;
+      else if (v == "war") o.sequence = workload::SequenceMode::kWAR;
+      else if (v == "waw") o.sequence = workload::SequenceMode::kWAW;
+      else usage(2);
+    } else if (a == "--pace") o.pace_iops = std::atof(next_arg(argc, argv, i));
+    else if (a == "--iops") o.target_iops = std::atof(next_arg(argc, argv, i));
+    else if (a == "--cache") o.cache = std::string(next_arg(argc, argv, i)) != "off";
+    else if (a == "--plp") o.plp = true;
+    else if (a == "--por") o.por = true;
+    else if (a == "--preage") o.preage = static_cast<std::uint32_t>(std::atoi(next_arg(argc, argv, i)));
+    else if (a == "--capacity-gb") o.capacity_gb = static_cast<std::uint32_t>(std::atoi(next_arg(argc, argv, i)));
+    else if (a == "--cutoff") {
+      const std::string v = next_arg(argc, argv, i);
+      if (v == "power-law") o.cutoff = psu::DischargeKind::kPowerLaw;
+      else if (v == "exponential") o.cutoff = psu::DischargeKind::kExponential;
+      else if (v == "instant") o.cutoff = psu::DischargeKind::kInstant;
+      else usage(2);
+    } else if (a == "--seed") o.seed = static_cast<std::uint64_t>(std::atoll(next_arg(argc, argv, i)));
+    else {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      usage(2);
+    }
+  }
+  if (o.read_pct < 0 || o.read_pct > 100 || o.size_min_kb < 4 ||
+      o.size_max_kb < o.size_min_kb || o.faults == 0) {
+    usage(2);
+  }
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+
+  ssd::PresetOptions preset;
+  preset.cache_enabled = o.cache;
+  preset.plp = o.plp;
+  preset.por_scan = o.por;
+  preset.preage_pe_cycles = o.preage;
+  preset.capacity_override_gb = o.capacity_gb;
+  const ssd::SsdConfig drive = ssd::make_preset(o.model, preset);
+  const std::uint32_t page = drive.chip.geometry.page_size_bytes;
+
+  workload::WorkloadConfig wl;
+  wl.name = "pofi_run";
+  wl.wss_pages = static_cast<std::uint64_t>(o.wss_gb * (1ULL << 30)) / page;
+  wl.min_pages = std::max(1u, static_cast<std::uint32_t>(o.size_min_kb) * 1024 / page);
+  wl.max_pages = std::max(wl.min_pages,
+                          static_cast<std::uint32_t>(o.size_max_kb) * 1024 / page);
+  wl.write_fraction = 1.0 - o.read_pct / 100.0;
+  wl.pattern = o.sequential ? workload::AccessPattern::kSequential
+                            : workload::AccessPattern::kUniformRandom;
+  wl.sequence = o.sequence;
+  wl.target_iops = o.target_iops;
+
+  platform::ExperimentSpec spec;
+  spec.name = std::string("pofi_run-") + to_string(o.model);
+  spec.workload = wl;
+  spec.total_requests = o.requests;
+  spec.faults = o.faults;
+  spec.pace_iops = o.pace_iops;
+  spec.seed = o.seed;
+
+  platform::PlatformConfig pc;
+  pc.discharge = o.cutoff;
+
+  stats::print_banner("pofi_run: " + drive.model + " | " + to_string(o.cutoff) +
+                      " discharge | " + std::to_string(o.faults) + " faults");
+  std::printf("cache=%s plp=%s por=%s preage=%u read%%=%d pattern=%s sequence=%s\n\n",
+              o.cache ? "on" : "off", o.plp ? "yes" : "no", o.por ? "yes" : "no", o.preage,
+              o.read_pct, o.sequential ? "sequential" : "random",
+              to_string(o.sequence));
+
+  platform::TestPlatform tp(drive, pc, spec.seed);
+  const auto result = tp.run(spec);
+  std::fputs(platform::format_report(result).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "blk/trace.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace pofi::blk {
+
+std::vector<PerIo> Btt::per_io_dump(const BlkTrace& trace) {
+  std::unordered_map<std::uint64_t, PerIo> by_id;
+  std::vector<std::uint64_t> order;
+  for (const TraceEvent& ev : trace.events()) {
+    auto it = by_id.find(ev.request_id);
+    if (it == by_id.end()) {
+      it = by_id.emplace(ev.request_id, PerIo{}).first;
+      it->second.request_id = ev.request_id;
+      order.push_back(ev.request_id);
+    }
+    PerIo& io = it->second;
+    switch (ev.action) {
+      case Action::kQueued:
+        io.q_time = ev.time;
+        io.lpn = ev.lpn;
+        io.pages = ev.pages;
+        io.is_write = ev.is_write;
+        break;
+      case Action::kSplit:
+        io.subs = std::max(io.subs, ev.sub_index + 1);
+        break;
+      case Action::kDispatch:
+        io.subs = std::max(io.subs, ev.sub_index + 1);
+        if (!io.first_dispatch.has_value() || ev.time < *io.first_dispatch) {
+          io.first_dispatch = ev.time;
+        }
+        break;
+      case Action::kComplete:
+        io.subs = std::max(io.subs, ev.sub_index + 1);
+        io.subs_completed += 1;
+        if (!io.last_complete.has_value() || ev.time > *io.last_complete) {
+          io.last_complete = ev.time;
+        }
+        break;
+      case Action::kError:
+        io.subs = std::max(io.subs, ev.sub_index + 1);
+        io.subs_error += 1;
+        break;
+      case Action::kTimeout:
+        io.timed_out = true;
+        break;
+    }
+  }
+  std::vector<PerIo> out;
+  out.reserve(order.size());
+  for (const std::uint64_t id : order) out.push_back(by_id[id]);
+  return out;
+}
+
+Btt::Summary Btt::summarize(const std::vector<PerIo>& ios) {
+  Summary s;
+  double total_us = 0.0;
+  std::uint64_t with_latency = 0;
+  for (const PerIo& io : ios) {
+    ++s.requests;
+    if (io.completed()) ++s.completed;
+    if (io.io_error()) ++s.io_errors;
+    if (const auto q2c = io.q2c(); q2c.has_value()) {
+      const double us = q2c->to_us();
+      total_us += us;
+      s.max_q2c_us = std::max(s.max_q2c_us, us);
+      ++with_latency;
+    }
+  }
+  if (with_latency > 0) s.mean_q2c_us = total_us / static_cast<double>(with_latency);
+  return s;
+}
+
+}  // namespace pofi::blk

@@ -1,0 +1,91 @@
+// blktrace/btt analogue.
+//
+// The paper detects completion by tracing the block layer with blktrace and
+// post-processing with a modified btt whose --per-io-dump stitches the
+// sub-requests a large IO was split into. We reproduce that pipeline: the
+// block queue records Q/X/D/C/E events, and Btt::per_io_dump() folds them
+// back into per-request records with the `completed` flag the analyzer needs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ftl/types.hpp"
+#include "sim/time.hpp"
+
+namespace pofi::blk {
+
+/// blktrace-style action codes (subset the platform needs).
+enum class Action : char {
+  kQueued = 'Q',     ///< request entered the block layer
+  kSplit = 'X',      ///< split into sub-requests
+  kDispatch = 'D',   ///< sub-request issued to the device
+  kComplete = 'C',   ///< sub-request completed by the device
+  kError = 'E',      ///< sub-request failed (device unavailable, media, ...)
+  kTimeout = 'T',    ///< request abandoned by the 30 s watchdog
+};
+
+struct TraceEvent {
+  sim::TimePoint time;
+  Action action = Action::kQueued;
+  std::uint64_t request_id = 0;
+  std::uint32_t sub_index = 0;  ///< 0-based sub-request ordinal
+  ftl::Lpn lpn = 0;
+  std::uint32_t pages = 0;
+  bool is_write = false;
+};
+
+class BlkTrace {
+ public:
+  void record(TraceEvent ev) {
+    if (enabled_) events_.push_back(ev);
+  }
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+ private:
+  bool enabled_ = true;
+  std::vector<TraceEvent> events_;
+};
+
+/// One request's stitched view (modified btt --per-io-dump record).
+struct PerIo {
+  std::uint64_t request_id = 0;
+  ftl::Lpn lpn = 0;
+  std::uint32_t pages = 0;
+  bool is_write = false;
+  sim::TimePoint q_time;
+  std::optional<sim::TimePoint> first_dispatch;
+  std::optional<sim::TimePoint> last_complete;
+  std::uint32_t subs = 0;
+  std::uint32_t subs_completed = 0;
+  std::uint32_t subs_error = 0;
+  bool timed_out = false;
+
+  /// The analyzer's `completed` flag: every sub-request reached C.
+  [[nodiscard]] bool completed() const { return subs > 0 && subs_completed == subs; }
+  [[nodiscard]] bool io_error() const { return subs_error > 0 || timed_out; }
+  [[nodiscard]] std::optional<sim::Duration> q2c() const {
+    if (!completed() || !last_complete.has_value()) return std::nullopt;
+    return *last_complete - q_time;
+  }
+};
+
+/// Post-processor over a raw trace.
+class Btt {
+ public:
+  [[nodiscard]] static std::vector<PerIo> per_io_dump(const BlkTrace& trace);
+
+  struct Summary {
+    std::uint64_t requests = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t io_errors = 0;
+    double mean_q2c_us = 0.0;
+    double max_q2c_us = 0.0;
+  };
+  [[nodiscard]] static Summary summarize(const std::vector<PerIo>& ios);
+};
+
+}  // namespace pofi::blk

@@ -1,0 +1,77 @@
+#include "blk/trace_text.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace pofi::blk {
+
+namespace {
+
+bool valid_action(char c) {
+  switch (static_cast<Action>(c)) {
+    case Action::kQueued:
+    case Action::kSplit:
+    case Action::kDispatch:
+    case Action::kComplete:
+    case Action::kError:
+    case Action::kTimeout:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string to_text(const BlkTrace& trace) {
+  std::string out;
+  out.reserve(trace.events().size() * 48);
+  char line[128];
+  for (const TraceEvent& ev : trace.events()) {
+    const std::int64_t ns = ev.time.count_ns();
+    std::snprintf(line, sizeof line,
+                  "%" PRId64 ".%09" PRId64 " %c %c %" PRIu64 "+%u id=%" PRIu64 " sub=%u\n",
+                  ns / 1'000'000'000, ns % 1'000'000'000, static_cast<char>(ev.action),
+                  ev.is_write ? 'W' : 'R', ev.lpn, ev.pages, ev.request_id, ev.sub_index);
+    out += line;
+  }
+  return out;
+}
+
+void write_text(std::ostream& os, const BlkTrace& trace) { os << to_text(trace); }
+
+BlkTrace parse_text(const std::string& text) {
+  BlkTrace trace;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::int64_t sec = 0, nanos = 0;
+    char action = 0, rw = 0;
+    std::uint64_t lpn = 0, id = 0;
+    unsigned pages = 0, sub = 0;
+    const int matched = std::sscanf(
+        line.c_str(),
+        "%" SCNd64 ".%" SCNd64 " %c %c %" SCNu64 "+%u id=%" SCNu64 " sub=%u",
+        &sec, &nanos, &action, &rw, &lpn, &pages, &id, &sub);
+    if (matched != 8 || !valid_action(action) || (rw != 'R' && rw != 'W')) {
+      throw std::invalid_argument("trace_text: malformed line " + std::to_string(line_no) +
+                                  ": " + line);
+    }
+    TraceEvent ev;
+    ev.time = sim::TimePoint::from_ns(sec * 1'000'000'000 + nanos);
+    ev.action = static_cast<Action>(action);
+    ev.is_write = rw == 'W';
+    ev.lpn = lpn;
+    ev.pages = pages;
+    ev.request_id = id;
+    ev.sub_index = sub;
+    trace.record(ev);
+  }
+  return trace;
+}
+
+}  // namespace pofi::blk

@@ -1,0 +1,29 @@
+// blkparse-style text serialisation of a BlkTrace.
+//
+// The paper's pipeline records binary blktrace data and post-processes it
+// with blkparse/btt. We provide the equivalent interchange format: one line
+// per event, stable across runs, parseable back into a BlkTrace — so traces
+// can be archived next to experiment results and diffed between runs.
+//
+// Line format (one event):
+//   <seconds>.<nanos> <action> <R|W> <lpn>+<pages> id=<request> sub=<index>
+// e.g.
+//   0.000012345 Q W 2048+256 id=17 sub=0
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "blk/trace.hpp"
+
+namespace pofi::blk {
+
+/// Serialise every event, one per line.
+[[nodiscard]] std::string to_text(const BlkTrace& trace);
+void write_text(std::ostream& os, const BlkTrace& trace);
+
+/// Parse text produced by to_text(). Throws std::invalid_argument on
+/// malformed input (with the offending line number in the message).
+[[nodiscard]] BlkTrace parse_text(const std::string& text);
+
+}  // namespace pofi::blk

@@ -1,0 +1,80 @@
+// Wear-aware, plane-striped block allocation.
+//
+// Each stream (host / GC / journal) owns one active block *per plane* and
+// round-robins page allocation across planes, so concurrent programs spread
+// over the die's full parallelism (this is what gives the device its write
+// throughput). Within a block, pages are handed out strictly in order,
+// matching the chip's programming constraint. Free blocks sit in per-plane
+// min-heaps keyed by erase count, so allocation implicitly levels wear.
+//
+// After a power loss the cursors can no longer be trusted (queued programs
+// vanished, interrupted ones burned pages), so recovery abandons all active
+// blocks to the sealed set and opens fresh ones.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "ftl/types.hpp"
+#include "nand/geometry.hpp"
+
+namespace pofi::ftl {
+
+class BlockAllocator {
+ public:
+  explicit BlockAllocator(const nand::Geometry& geometry);
+
+  /// Next physical page for a stream; std::nullopt when no free block exists
+  /// on any plane.
+  [[nodiscard]] std::optional<Ppn> alloc_page(Stream stream);
+
+  /// Return an erased block to the free pool (GC completion).
+  void on_block_erased(BlockId block);
+
+  /// Blocks that filled or were abandoned; sealed blocks are GC candidates.
+  [[nodiscard]] const std::vector<BlockId>& sealed_blocks() const { return sealed_; }
+  /// Remove a block from the sealed set (it became a GC victim).
+  void unseal(BlockId block);
+
+  /// Power-loss recovery: drop all active cursors; their blocks are sealed.
+  void abandon_active_blocks();
+
+  [[nodiscard]] std::size_t free_blocks() const;
+  [[nodiscard]] std::uint64_t pages_allocated() const { return pages_allocated_; }
+  /// Currently open block of `stream` on `plane` (mostly for tests).
+  [[nodiscard]] std::optional<BlockId> active_block(Stream stream, std::uint32_t plane) const;
+
+ private:
+  struct Active {
+    BlockId block = 0;
+    std::uint32_t next_page = 0;
+    bool open = false;
+  };
+  struct FreeEntry {
+    std::uint32_t erase_count;
+    BlockId block;
+    bool operator>(const FreeEntry& o) const {
+      if (erase_count != o.erase_count) return erase_count > o.erase_count;
+      return o.block < block;
+    }
+  };
+  using FreeHeap = std::priority_queue<FreeEntry, std::vector<FreeEntry>, std::greater<>>;
+
+  bool open_new_block(Active& a, std::uint32_t plane);
+  [[nodiscard]] Active& active_slot(Stream stream, std::uint32_t plane);
+  [[nodiscard]] const Active& active_slot(Stream stream, std::uint32_t plane) const;
+
+  nand::Geometry geometry_;
+  std::vector<Active> active_;            ///< [stream * planes + plane]
+  std::array<std::uint32_t, kStreamCount> rr_{};  ///< round-robin cursor per stream
+  std::vector<FreeHeap> free_heaps_;      ///< per plane
+  std::unordered_map<BlockId, std::uint32_t> erase_counts_;
+  std::vector<BlockId> sealed_;
+  std::uint64_t pages_allocated_ = 0;
+};
+
+}  // namespace pofi::ftl

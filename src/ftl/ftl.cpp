@@ -1,0 +1,372 @@
+#include "ftl/ftl.hpp"
+
+#include <cassert>
+
+#include "sim/log.hpp"
+
+namespace pofi::ftl {
+
+namespace {
+/// Content tags for journal pages live in a reserved namespace far away from
+/// anything the host-side shadow store allocates.
+constexpr std::uint64_t kJournalTagBase = 0x4A4F55524E414C00ULL;  // "JOURNAL\0"
+}  // namespace
+
+Ftl::Ftl(sim::Simulator& simulator, nand::ChipArray& chips, Config config)
+    : sim_(simulator),
+      chip_(chips),
+      config_(config),
+      map_(config.mapping_policy, config.extent_frame_pages, config.extent_min_fill),
+      alloc_(chips.geometry()) {}
+
+// ------------------------------------------------------------- host writes
+
+void Ftl::write(Lpn lpn, std::uint64_t content, WriteCallback cb) {
+  if (!powered_) {
+    ++stats_.failed_writes;
+    cb(false);
+    return;
+  }
+  const auto ppn = alloc_.alloc_page(Stream::kHost);
+  if (!ppn.has_value()) {
+    ++stats_.failed_writes;
+    cb(false);
+    return;
+  }
+  const nand::Oob oob{lpn, write_seq_++};
+  if (config_.por_scan) por_candidates_.insert(chip_.geometry().block_of(*ppn));
+  if (config_.map_update_on_issue) {
+    // Commodity behaviour: the L2P entry goes live (volatile) immediately;
+    // the flash program races the next power fault.
+    finish_host_write(lpn, *ppn, content);
+    chip_.program(*ppn, content, oob, [this, cb = std::move(cb)](nand::OpResult r) {
+      if (!r.ok()) ++stats_.failed_writes;
+      cb(r.ok());
+    });
+    return;
+  }
+  chip_.program(*ppn, content, oob,
+                [this, lpn, ppn = *ppn, content, cb = std::move(cb)](nand::OpResult r) {
+                  if (!r.ok()) {
+                    ++stats_.failed_writes;
+                    cb(false);
+                    return;
+                  }
+                  finish_host_write(lpn, ppn, content);
+                  cb(true);
+                });
+}
+
+void Ftl::finish_host_write(Lpn lpn, Ppn ppn, std::uint64_t /*content*/) {
+  ++stats_.host_writes;
+  if (const auto old = map_.lookup(lpn); old.has_value()) invalidate(*old);
+  map_.update(lpn, ppn);
+  stats_.extents_coalesced = map_.extents_closed_full();
+  make_valid(lpn, ppn);
+  if (map_.committable_count() >= config_.journal_batch_threshold && !journal_in_flight_) {
+    journal_tick();
+  }
+  maybe_start_gc();
+}
+
+void Ftl::invalidate(Ppn ppn) {
+  reverse_map_.erase(ppn);
+  const BlockId b = chip_.geometry().block_of(ppn);
+  auto it = valid_count_.find(b);
+  if (it != valid_count_.end() && it->second > 0) --it->second;
+}
+
+void Ftl::make_valid(Lpn lpn, Ppn ppn) {
+  reverse_map_[ppn] = lpn;
+  ++valid_count_[chip_.geometry().block_of(ppn)];
+}
+
+// -------------------------------------------------------------- host reads
+
+void Ftl::read(Lpn lpn, ReadCallback cb) {
+  ++stats_.host_reads;
+  const auto ppn = map_.lookup(lpn);
+  if (!ppn.has_value()) {
+    nand::ReadResult r;
+    r.status = powered_ ? nand::ReadResult::Status::kOk : nand::ReadResult::Status::kPowerLost;
+    r.content = nand::kErasedContent;
+    cb(r, false);
+    return;
+  }
+  chip_.read(*ppn, [cb = std::move(cb)](nand::ReadResult r) { cb(r, true); });
+}
+
+void Ftl::trim(Lpn lpn) {
+  const auto ppn = map_.lookup(lpn);
+  if (!ppn.has_value()) return;
+  invalidate(*ppn);
+  map_.remove(lpn);
+}
+
+// ----------------------------------------------------------------- journal
+
+void Ftl::schedule_journal_tick() {
+  journal_event_ = sim_.after(config_.journal_interval, [this] {
+    if (!powered_) return;
+    journal_tick();
+    schedule_journal_tick();
+  });
+}
+
+void Ftl::journal_tick() {
+  if (journal_in_flight_ || !powered_) return;
+  const std::uint64_t batch = map_.begin_persist_batch(emergency_ || draining_);
+  if (batch == 0) return;
+  persist_batch(batch);
+}
+
+void Ftl::set_emergency(bool on) {
+  emergency_ = on;
+  if (on) journal_tick();
+}
+
+void Ftl::flush_all(std::function<void()> done) {
+  if (map_.volatile_count() == 0) {
+    if (done) done();
+    return;
+  }
+  drain_waiters_.push_back(std::move(done));
+  draining_ = true;
+  journal_tick();
+}
+
+void Ftl::persist_batch(std::uint64_t batch) {
+  const auto ppn = alloc_.alloc_page(Stream::kJournal);
+  if (!ppn.has_value()) {
+    // No journal space: the batch simply stays volatile (commit never runs).
+    return;
+  }
+  journal_in_flight_ = true;
+  const std::size_t entries = map_.batch_size(batch);
+  const std::uint64_t cut_seq = write_seq_ - 1;
+  chip_.program(*ppn, kJournalTagBase | batch, [this, batch, entries,
+                                                cut_seq](nand::OpResult r) {
+    journal_in_flight_ = false;
+    if (!r.ok()) return;  // batch stays volatile; next tick recuts it
+    map_.commit_batch(batch);
+    ++stats_.journal_flushes;
+    stats_.journal_entries_persisted += entries;
+    if (map_.volatile_count() == 0) {
+      // Full checkpoint: everything stamped up to cut_seq is durable.
+      checkpoint_seq_ = cut_seq;
+      por_candidates_.clear();
+    }
+    // PLP/FLUSH drain: chase the map to fully-persisted.
+    if ((emergency_ || draining_) && powered_) journal_tick();
+    if (draining_ && map_.volatile_count() == 0) {
+      draining_ = false;
+      auto waiters = std::move(drain_waiters_);
+      drain_waiters_.clear();
+      for (auto& w : waiters) w();
+    }
+  });
+}
+
+void Ftl::flush_journal_now() { journal_tick(); }
+
+// --------------------------------------------------------------------- GC
+
+void Ftl::maybe_start_gc() {
+  if (gc_running_ || !powered_) return;
+  if (alloc_.free_blocks() >= config_.gc_low_watermark) return;
+  // Greedy victim: sealed block with the fewest valid pages.
+  const auto& sealed = alloc_.sealed_blocks();
+  if (sealed.empty()) return;
+  BlockId victim = sealed.front();
+  std::uint32_t best_valid = ~0U;
+  for (const BlockId b : sealed) {
+    const auto it = valid_count_.find(b);
+    const std::uint32_t v = it == valid_count_.end() ? 0 : it->second;
+    if (v < best_valid) {
+      best_valid = v;
+      victim = b;
+    }
+  }
+  gc_running_ = true;
+  alloc_.unseal(victim);
+  gc_relocate_next(victim, 0);
+}
+
+void Ftl::gc_relocate_next(BlockId victim, std::uint32_t page_index) {
+  if (!powered_) {
+    gc_running_ = false;
+    return;
+  }
+  const auto& geom = chip_.geometry();
+  if (page_index >= geom.pages_per_block) {
+    gc_erase_victim(victim);
+    return;
+  }
+  const Ppn ppn = geom.first_page(victim) + page_index;
+  const auto rit = reverse_map_.find(ppn);
+  if (rit == reverse_map_.end() || map_.lookup(rit->second) != std::optional<Ppn>(ppn)) {
+    gc_relocate_next(victim, page_index + 1);  // page is stale
+    return;
+  }
+  const Lpn lpn = rit->second;
+  chip_.read(ppn, [this, victim, page_index, lpn, ppn](nand::ReadResult r) {
+    if (!powered_) {
+      gc_running_ = false;
+      return;
+    }
+    if (r.status == nand::ReadResult::Status::kPowerLost) {
+      gc_running_ = false;
+      return;
+    }
+    // Relocate whatever the array returned — if ECC failed, the corruption
+    // propagates, exactly as on a real drive.
+    const auto dst = alloc_.alloc_page(Stream::kGc);
+    if (!dst.has_value()) {
+      gc_running_ = false;
+      return;
+    }
+    const nand::Oob oob{lpn, write_seq_++};
+    if (config_.por_scan) por_candidates_.insert(chip_.geometry().block_of(*dst));
+    chip_.program(*dst, r.content, oob, [this, victim, page_index, lpn, ppn,
+                                         dst = *dst](nand::OpResult pr) {
+      if (!powered_ || !pr.ok()) {
+        gc_running_ = false;
+        return;
+      }
+      if (map_.lookup(lpn) == std::optional<Ppn>(ppn)) {
+        invalidate(ppn);
+        map_.update(lpn, dst);
+        make_valid(lpn, dst);
+        ++stats_.gc_relocations;
+      }
+      gc_relocate_next(victim, page_index + 1);
+    });
+  });
+}
+
+void Ftl::gc_erase_victim(BlockId victim) {
+  chip_.erase(victim, [this, victim](nand::OpResult r) {
+    gc_running_ = false;
+    if (!powered_) return;
+    if (r.ok()) {
+      valid_count_.erase(victim);
+      alloc_.on_block_erased(victim);
+      ++stats_.gc_erases;
+    }
+    maybe_start_gc();
+  });
+}
+
+// ------------------------------------------------------------------- power
+
+void Ftl::on_power_lost() {
+  powered_ = false;
+  sim_.cancel(journal_event_);
+  journal_in_flight_ = false;
+  gc_running_ = false;
+  emergency_ = false;
+  draining_ = false;
+  drain_waiters_.clear();
+
+  const auto reverted = map_.on_power_lost();
+  stats_.map_updates_reverted += reverted.size();
+  for (const auto& r : reverted) {
+    if (r.dropped_ppn.has_value()) invalidate(*r.dropped_ppn);
+    if (r.restored_ppn.has_value()) make_valid(r.lpn, *r.restored_ppn);
+  }
+}
+
+void Ftl::on_power_good() {
+  powered_ = true;
+  alloc_.abandon_active_blocks();
+  schedule_journal_tick();
+}
+
+// --------------------------------------------------------- power-on recovery
+
+void Ftl::recover_por(std::function<void()> done) {
+  if (!config_.por_scan || por_candidates_.empty()) {
+    if (done) done();
+    return;
+  }
+  // Gather every page of every candidate block; the scan reads their spare
+  // areas through the normal chip path, so mount time grows realistically
+  // with the amount of unjournaled data.
+  auto pages = std::make_shared<std::vector<Ppn>>();
+  for (const BlockId b : por_candidates_) {
+    for (std::uint32_t p = 0; p < chip_.geometry().pages_per_block; ++p) {
+      pages->push_back(chip_.geometry().first_page(b) + p);
+    }
+  }
+  auto hits = std::make_shared<std::unordered_map<Lpn, PorHit>>();
+  por_scan_next(std::move(pages), 0, std::move(hits), std::move(done));
+}
+
+void Ftl::por_scan_next(std::shared_ptr<std::vector<Ppn>> pages, std::size_t index,
+                        std::shared_ptr<std::unordered_map<Lpn, PorHit>> hits,
+                        std::function<void()> done) {
+  if (!powered_) return;  // a second fault killed the scan; next mount retries
+  if (index >= pages->size()) {
+    por_apply(*hits, std::move(done));
+    return;
+  }
+  const Ppn ppn = (*pages)[index];
+  chip_.read_oob(ppn, [this, pages = std::move(pages), index, hits = std::move(hits),
+                       done = std::move(done), ppn](nand::NandChip::OobResult r) mutable {
+    ++stats_.por_pages_scanned;
+    if (r.ok && r.oob.valid() && r.oob.seq > checkpoint_seq_) {
+      auto& hit = (*hits)[r.oob.lpn];
+      if (r.oob.seq > hit.seq) hit = PorHit{ppn, r.oob.seq};
+    }
+    por_scan_next(std::move(pages), index + 1, std::move(hits), std::move(done));
+  });
+}
+
+void Ftl::por_apply(const std::unordered_map<Lpn, PorHit>& hits, std::function<void()> done) {
+  // Apply hits one at a time; each may need an extra OOB read to compare
+  // sequence numbers with the currently-mapped copy.
+  auto remaining = std::make_shared<std::vector<std::pair<Lpn, PorHit>>>(hits.begin(),
+                                                                         hits.end());
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, remaining, step, done = std::move(done)]() mutable {
+    if (!powered_) return;
+    if (remaining->empty()) {
+      // Checkpoint the recovered map so the next crash starts clean.
+      flush_all([done = std::move(done)] {
+        if (done) done();
+      });
+      return;
+    }
+    const auto [lpn, hit] = remaining->back();
+    remaining->pop_back();
+    const auto current = map_.lookup(lpn);
+    auto install = [this, lpn = lpn, hit = hit, current, step] {
+      if (current.has_value()) invalidate(*current);
+      map_.update(lpn, hit.ppn);
+      make_valid(lpn, hit.ppn);
+      ++stats_.por_entries_recovered;
+      (*step)();
+    };
+    if (!current.has_value()) {
+      install();
+      return;
+    }
+    if (*current == hit.ppn) {
+      (*step)();  // already mapped to the recovered copy
+      return;
+    }
+    // Compare against the mapped copy's stamp; only newer data wins.
+    chip_.read_oob(*current, [this, install = std::move(install), hit = hit,
+                              step](nand::NandChip::OobResult r) mutable {
+      if (!powered_) return;
+      if (!r.ok || !r.oob.valid() || r.oob.seq < hit.seq) {
+        install();
+      } else {
+        (*step)();
+      }
+    });
+  };
+  (*step)();
+}
+
+}  // namespace pofi::ftl

@@ -1,0 +1,158 @@
+// The flash translation layer.
+//
+// Composes the mapping table, wear-aware allocator, map journal and greedy
+// garbage collector over one NandChip. All host-visible operations are
+// asynchronous. The FTL is power-aware: on power loss the volatile half of
+// the mapping reverts (journal batches in flight included) and physical-page
+// accounting is repaired; recovery opens fresh active blocks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ftl/allocator.hpp"
+#include "ftl/mapping.hpp"
+#include "ftl/types.hpp"
+#include "nand/chip_array.hpp"
+#include "sim/simulator.hpp"
+
+namespace pofi::ftl {
+
+struct FtlStats {
+  std::uint64_t host_writes = 0;
+  std::uint64_t host_reads = 0;
+  std::uint64_t por_pages_scanned = 0;
+  std::uint64_t por_entries_recovered = 0;
+  std::uint64_t failed_writes = 0;    ///< no space / bad block / power
+  std::uint64_t gc_relocations = 0;
+  std::uint64_t gc_erases = 0;
+  std::uint64_t journal_flushes = 0;
+  std::uint64_t journal_entries_persisted = 0;
+  std::uint64_t map_updates_reverted = 0;  ///< across all power losses
+  std::uint64_t extents_coalesced = 0;
+};
+
+class Ftl {
+ public:
+  struct Config {
+    MappingPolicy mapping_policy = MappingPolicy::kHybridExtent;
+    /// Journal cadence: a batch is cut on whichever comes first.
+    sim::Duration journal_interval = sim::Duration::ms(50);
+    std::size_t journal_batch_threshold = 4096;
+    /// GC starts when the free pool dips below this many blocks.
+    std::size_t gc_low_watermark = 6;
+    /// Hybrid-extent policy: frame size for sequential-stream detection.
+    /// Must exceed the largest single request (256 pages = 1 MiB) so only
+    /// genuine multi-request sequential streams are coalesced.
+    std::uint32_t extent_frame_pages = 512;
+    /// Dirty pages within a frame before it is treated as a growing extent
+    /// (just above the largest single request, so only streams qualify).
+    std::uint32_t extent_min_fill = 260;
+    /// Commodity controllers install the L2P entry when the program is
+    /// issued, not when it verifies; a power fault can then leave the map
+    /// pointing at a partially-programmed page (the paper's garbage-read
+    /// data failures). false = conservative map-on-completion (enterprise).
+    bool map_update_on_issue = true;
+    /// Power-on recovery: after a crash, scan recently-programmed blocks'
+    /// spare areas (lpn + write-sequence stamps) and rebuild mapping entries
+    /// newer than the last journal checkpoint. Recovers flushed-but-
+    /// unjournaled data at the cost of a longer mount. Off by default: the
+    /// paper's commodity drives demonstrably do not manage this.
+    bool por_scan = false;
+  };
+
+  /// Write completion: ok=false on power loss, bad block or full device.
+  using WriteCallback = std::function<void(bool ok)>;
+  /// Read completion: `mapped` is false for never-written LPNs (the result
+  /// then carries kErasedContent).
+  using ReadCallback = std::function<void(nand::ReadResult result, bool mapped)>;
+
+  Ftl(sim::Simulator& simulator, nand::ChipArray& chips, Config config);
+
+  Ftl(const Ftl&) = delete;
+  Ftl& operator=(const Ftl&) = delete;
+
+  void write(Lpn lpn, std::uint64_t content, WriteCallback cb);
+  void read(Lpn lpn, ReadCallback cb);
+  void trim(Lpn lpn);
+
+  /// Rail crossed cutoff: revert volatile mapping, repair accounting, halt
+  /// background machinery.
+  void on_power_lost();
+  /// Rail restored: reopen active blocks and restart the journal.
+  void on_power_good();
+
+  /// Power-on recovery scan (no-op unless config.por_scan): read the spare
+  /// areas of candidate blocks, re-install mapping entries newer than the
+  /// journal checkpoint, then checkpoint. `done` fires when the scan (and
+  /// its checkpoint) completes. Call after on_power_good().
+  void recover_por(std::function<void()> done);
+
+  [[nodiscard]] const MappingTable& mapping() const { return map_; }
+  [[nodiscard]] const FtlStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t free_blocks() const { return alloc_.free_blocks(); }
+  [[nodiscard]] bool gc_running() const { return gc_running_; }
+
+  /// Force a journal flush now (used by PLP emergency shutdown and tests).
+  void flush_journal_now();
+
+  /// Emergency (PLP) mode: journal batches include withheld extents and are
+  /// re-cut immediately after each commit until the map is fully persisted.
+  void set_emergency(bool on);
+
+  /// Host FLUSH semantics: persist every volatile mapping (withheld extents
+  /// included), then fire `done`. Fires immediately if nothing is volatile;
+  /// dropped (never fired) if power is lost first.
+  void flush_all(std::function<void()> done);
+
+ private:
+  void finish_host_write(Lpn lpn, Ppn ppn, std::uint64_t content);
+  void invalidate(Ppn ppn);
+  void make_valid(Lpn lpn, Ppn ppn);
+
+  void schedule_journal_tick();
+  void journal_tick();
+  void persist_batch(std::uint64_t batch);
+
+  void maybe_start_gc();
+  void gc_relocate_next(BlockId victim, std::uint32_t page_index);
+  void gc_erase_victim(BlockId victim);
+
+  sim::Simulator& sim_;
+  nand::ChipArray& chip_;
+  Config config_;
+  MappingTable map_;
+  BlockAllocator alloc_;
+  FtlStats stats_;
+
+  std::unordered_map<Ppn, Lpn> reverse_map_;
+  std::unordered_map<BlockId, std::uint32_t> valid_count_;
+
+  bool powered_ = false;
+  bool gc_running_ = false;
+  bool journal_in_flight_ = false;
+  bool emergency_ = false;
+  bool draining_ = false;
+  std::vector<std::function<void()>> drain_waiters_;
+  sim::EventId journal_event_{};
+
+  // Power-on recovery state.
+  std::uint64_t write_seq_ = 1;            ///< global OOB sequence stamp
+  std::uint64_t checkpoint_seq_ = 0;  ///< highest seq covered by the journal
+  std::unordered_set<BlockId> por_candidates_;  ///< blocks with post-checkpoint data
+  struct PorHit {
+    Ppn ppn;
+    std::uint64_t seq;
+  };
+  void por_scan_next(std::shared_ptr<std::vector<Ppn>> pages, std::size_t index,
+                     std::shared_ptr<std::unordered_map<Lpn, PorHit>> hits,
+                     std::function<void()> done);
+  void por_apply(const std::unordered_map<Lpn, PorHit>& hits, std::function<void()> done);
+};
+
+}  // namespace pofi::ftl

@@ -1,0 +1,161 @@
+#include "ftl/mapping.hpp"
+
+#include <algorithm>
+
+namespace pofi::ftl {
+
+std::optional<Ppn> MappingTable::lookup(Lpn lpn) const {
+  const auto it = map_.find(lpn);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+void MappingTable::mark_dirty(Lpn lpn, std::optional<Ppn> old_value) {
+  auto it = volatile_.find(lpn);
+  if (it == volatile_.end()) {
+    volatile_.emplace(lpn, DirtyState{old_value, 0});
+    if (policy_ == MappingPolicy::kHybridExtent) {
+      // Frames close on stagnation only: an active sequential stream keeps
+      // its whole recent region volatile (the extent is still growing),
+      // while a random request's frames stop growing as soon as it drains.
+      Frame& f = frames_[frame_of(lpn)];
+      f.touched += 1;
+      f.dirty += 1;
+      if (f.closed) f.closed = false;  // the stream revisited: reopen
+    }
+    return;
+  }
+  if (it->second.batch != 0) {
+    // Re-dirtied while a batch holding the previous value is in flight: once
+    // that batch commits, the batched value (== current map_ value before
+    // this update) is the durable one.
+    it->second.persisted = old_value;
+    it->second.batch = 0;
+  }
+  // batch == 0: first-touch persisted value stands.
+}
+
+void MappingTable::update(Lpn lpn, Ppn ppn) {
+  mark_dirty(lpn, lookup(lpn));
+  map_[lpn] = ppn;
+}
+
+void MappingTable::remove(Lpn lpn) {
+  const auto old = lookup(lpn);
+  if (!old.has_value()) return;
+  mark_dirty(lpn, old);
+  map_.erase(lpn);
+}
+
+bool MappingTable::withheld(Lpn lpn) const {
+  if (policy_ != MappingPolicy::kHybridExtent) return false;
+  const auto it = frames_.find(frame_of(lpn));
+  if (it == frames_.end()) return false;
+  const Frame& f = it->second;
+  return !f.closed && f.touched >= min_extent_fill_;
+}
+
+std::size_t MappingTable::committable_count() const {
+  std::size_t n = 0;
+  for (const auto& [lpn, st] : volatile_) {
+    if (st.batch != 0) continue;
+    if (withheld(lpn)) continue;
+    ++n;
+  }
+  return n;
+}
+
+std::size_t MappingTable::volatile_count() const { return volatile_.size(); }
+
+std::size_t MappingTable::open_extents() const {
+  std::size_t n = 0;
+  for (const auto& [id, f] : frames_) {
+    if (!f.closed && f.touched >= min_extent_fill_) ++n;
+  }
+  return n;
+}
+
+std::uint64_t MappingTable::begin_persist_batch(bool include_withheld) {
+  // Stagnation pass: a detected extent that stopped growing since the last
+  // cut is an idle tail, not an active stream — close it.
+  if (policy_ == MappingPolicy::kHybridExtent) {
+    for (auto& [id, f] : frames_) {
+      if (f.closed) continue;
+      if (f.touched >= min_extent_fill_ && f.touched == f.at_last_cut) {
+        f.closed = true;
+        if (f.touched >= extent_pages_) ++extents_closed_full_;
+      } else {
+        f.at_last_cut = f.touched;
+      }
+    }
+  }
+
+  std::vector<Lpn> members;
+  members.reserve(volatile_.size());
+  for (auto& [lpn, st] : volatile_) {
+    if (st.batch != 0) continue;
+    if (!include_withheld && withheld(lpn)) continue;
+    members.push_back(lpn);
+  }
+  if (members.empty()) return 0;
+  const std::uint64_t id = next_batch_++;
+  for (const Lpn lpn : members) volatile_[lpn].batch = id;
+  batches_.emplace(id, std::move(members));
+  return id;
+}
+
+std::size_t MappingTable::batch_size(std::uint64_t batch) const {
+  const auto it = batches_.find(batch);
+  return it == batches_.end() ? 0 : it->second.size();
+}
+
+void MappingTable::frame_entry_resolved(Lpn lpn) {
+  if (policy_ != MappingPolicy::kHybridExtent) return;
+  const auto it = frames_.find(frame_of(lpn));
+  if (it == frames_.end()) return;
+  Frame& f = it->second;
+  if (f.dirty > 0) --f.dirty;
+  // A fully drained frame is forgotten: `touched` must reflect the current
+  // burst, not the whole campaign, or random traffic would slowly be
+  // misclassified as sequential.
+  if (f.dirty == 0) frames_.erase(it);
+}
+
+void MappingTable::commit_batch(std::uint64_t batch) {
+  const auto it = batches_.find(batch);
+  if (it == batches_.end()) return;
+  for (const Lpn lpn : it->second) {
+    const auto vit = volatile_.find(lpn);
+    // Skip entries re-dirtied after the batch was cut; they stay volatile
+    // with their persisted value already advanced to the batched one.
+    if (vit != volatile_.end() && vit->second.batch == batch) {
+      volatile_.erase(vit);
+      frame_entry_resolved(lpn);
+    }
+  }
+  batches_.erase(it);
+}
+
+std::vector<RevertedUpdate> MappingTable::on_power_lost() {
+  std::vector<RevertedUpdate> reverted;
+  reverted.reserve(volatile_.size());
+  for (const auto& [lpn, st] : volatile_) {
+    RevertedUpdate r;
+    r.lpn = lpn;
+    const auto cur = map_.find(lpn);
+    if (cur != map_.end()) r.dropped_ppn = cur->second;
+    r.restored_ppn = st.persisted;
+    if (st.persisted.has_value()) {
+      map_[lpn] = *st.persisted;
+    } else {
+      map_.erase(lpn);
+    }
+    reverted.push_back(r);
+  }
+  volatile_.clear();
+  batches_.clear();
+  frames_.clear();
+  return reverted;
+}
+
+}  // namespace pofi::ftl

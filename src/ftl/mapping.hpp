@@ -1,0 +1,124 @@
+// Logical-to-physical mapping with explicit volatility.
+//
+// The map lives in controller DRAM. Updates are *volatile* until a journal
+// batch containing them is durably programmed to flash; a power loss reverts
+// every not-yet-committed update to its last persisted value. This is the
+// FTL-level mechanism behind FWA failures, and the reason sequential
+// workloads fail harder (§IV-D): with the hybrid-extent policy the FTL
+// coalesces a dense sequential region into one extent entry ("only keeps the
+// first address"), which is journaled only once the region stops growing —
+// so one power fault reverts the whole run.
+//
+// Extent detection is address-based (64-page frames), not arrival-order
+// based: the DRAM cache scrambles flush order, but a sequential host stream
+// still lands dense in LPN space, which is what real stream detectors key on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ftl/types.hpp"
+
+namespace pofi::ftl {
+
+enum class MappingPolicy : std::uint8_t {
+  kPageLevel,     ///< every LPN individually journaled
+  kHybridExtent,  ///< dense sequential regions coalesce into extent entries
+};
+
+[[nodiscard]] constexpr const char* to_string(MappingPolicy p) {
+  switch (p) {
+    case MappingPolicy::kPageLevel: return "page-level";
+    case MappingPolicy::kHybridExtent: return "hybrid-extent";
+  }
+  return "?";
+}
+
+/// One reverted update, reported to the FTL so physical-page accounting
+/// (valid counts, reverse map) can be repaired after a power loss.
+struct RevertedUpdate {
+  Lpn lpn = 0;
+  std::optional<Ppn> dropped_ppn;   ///< the new mapping that was lost (if any)
+  std::optional<Ppn> restored_ppn;  ///< persisted mapping, if any
+};
+
+class MappingTable {
+ public:
+  /// `extent_pages`: frame size for sequential-region detection; a frame is
+  /// treated as an extent (withheld from the journal while it still grows)
+  /// once `min_extent_fill` of its pages are dirty. A full or stagnant frame
+  /// closes and becomes journalable.
+  explicit MappingTable(MappingPolicy policy, std::uint32_t extent_pages = 64,
+                        std::uint32_t min_extent_fill = 16)
+      : policy_(policy), extent_pages_(extent_pages), min_extent_fill_(min_extent_fill) {}
+
+  [[nodiscard]] MappingPolicy policy() const { return policy_; }
+
+  [[nodiscard]] std::optional<Ppn> lookup(Lpn lpn) const;
+
+  /// Install lpn -> ppn. The update is volatile until committed.
+  void update(Lpn lpn, Ppn ppn);
+
+  /// Drop the mapping (TRIM). Also volatile until committed.
+  void remove(Lpn lpn);
+
+  // --- Journal interface ----------------------------------------------------
+  /// Move committable dirty entries into a persist batch. With the hybrid
+  /// policy, entries inside an open (still-growing) extent frame are NOT
+  /// committable until the frame fills or stagnates — unless
+  /// `include_withheld` is set (PLP emergency shutdown persists everything).
+  /// Returns the batch id (0 if nothing to do).
+  [[nodiscard]] std::uint64_t begin_persist_batch(bool include_withheld = false);
+  /// The journal page holding `batch` was durably programmed.
+  void commit_batch(std::uint64_t batch);
+  [[nodiscard]] std::size_t batch_size(std::uint64_t batch) const;
+
+  /// Number of updates that a power loss right now would revert.
+  [[nodiscard]] std::size_t volatile_count() const;
+  /// Dirty entries eligible for the next batch (open extents excluded).
+  [[nodiscard]] std::size_t committable_count() const;
+
+  /// Power loss: revert every volatile update (dirty + in-flight batches).
+  /// Returns the reverted updates for accounting repair.
+  std::vector<RevertedUpdate> on_power_lost();
+
+  [[nodiscard]] std::size_t entry_count() const { return map_.size(); }
+
+  /// Frames currently detected as open (growing) extents.
+  [[nodiscard]] std::size_t open_extents() const;
+  /// Extents that filled completely and were journaled as one unit.
+  [[nodiscard]] std::uint64_t extents_closed_full() const { return extents_closed_full_; }
+
+ private:
+  struct DirtyState {
+    std::optional<Ppn> persisted;  ///< value to restore on revert
+    std::uint64_t batch = 0;       ///< 0 = dirty, else in-flight batch id
+  };
+  struct Frame {
+    std::uint32_t touched = 0;      ///< monotone count of dirtied pages
+    std::uint32_t dirty = 0;        ///< currently volatile entries inside
+    std::uint32_t at_last_cut = 0;  ///< `touched` at the previous batch cut
+    bool closed = false;            ///< journalable
+  };
+
+  void mark_dirty(Lpn lpn, std::optional<Ppn> old_value);
+  [[nodiscard]] std::uint64_t frame_of(Lpn lpn) const { return lpn / extent_pages_; }
+  [[nodiscard]] bool withheld(Lpn lpn) const;
+  void frame_entry_resolved(Lpn lpn);
+
+  MappingPolicy policy_;
+  std::uint32_t extent_pages_;
+  std::uint32_t min_extent_fill_;
+
+  std::unordered_map<Lpn, Ppn> map_;
+  std::unordered_map<Lpn, DirtyState> volatile_;  ///< first-touch persisted values
+  std::unordered_map<std::uint64_t, std::vector<Lpn>> batches_;
+  std::uint64_t next_batch_ = 1;
+
+  std::unordered_map<std::uint64_t, Frame> frames_;
+  std::uint64_t extents_closed_full_ = 0;
+};
+
+}  // namespace pofi::ftl

@@ -1,0 +1,19 @@
+// Shared FTL-level types.
+#pragma once
+
+#include <cstdint>
+
+#include "nand/geometry.hpp"
+
+namespace pofi::ftl {
+
+using Lpn = std::uint64_t;  ///< logical page number (host address space)
+using nand::BlockId;
+using nand::Ppn;
+
+/// Streams keep host data, GC relocations and map-journal pages in separate
+/// active blocks (standard multi-stream allocation).
+enum class Stream : std::uint8_t { kHost = 0, kGc = 1, kJournal = 2 };
+inline constexpr std::size_t kStreamCount = 3;
+
+}  // namespace pofi::ftl

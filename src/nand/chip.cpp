@@ -1,0 +1,387 @@
+#include "nand/chip.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "sim/log.hpp"
+
+namespace pofi::nand {
+
+NandChip::NandChip(sim::Simulator& simulator, Config config, std::string_view rng_label)
+    : sim_(simulator),
+      config_(config),
+      timing_(timing_for(config.tech)),
+      errors_(error_model_for(config.tech)),
+      ecc_(make_ecc(config.ecc)),
+      rng_(simulator.fork_rng(rng_label)),
+      planes_(config.geometry.planes) {}
+
+Block& NandChip::touch_block(BlockId b) {
+  auto it = blocks_.find(b);
+  if (it == blocks_.end()) {
+    it = blocks_.emplace(b, Block(config_.geometry.pages_per_block)).first;
+    it->second.erase_count = config_.initial_pe_cycles;
+  }
+  return it->second;
+}
+
+double NandChip::wear_severity(const Block& block) const {
+  // Worn cells have wider threshold-voltage distributions: the same
+  // interruption or paired-page upset lands more raw errors near end of
+  // life. Superlinear in wear (distribution tails fatten late in life),
+  // quadrupling the damage at the endurance limit.
+  const double ratio = static_cast<double>(block.erase_count) /
+                       std::max(1u, config_.endurance_pe_cycles);
+  return 1.0 + 3.0 * ratio * ratio;
+}
+
+const Block* NandChip::find_block(BlockId b) const {
+  const auto it = blocks_.find(b);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+const Page* NandChip::peek(Ppn ppn) const {
+  const Block* b = find_block(config_.geometry.block_of(ppn));
+  if (b == nullptr) return nullptr;
+  return &b->pages[config_.geometry.page_in_block(ppn)];
+}
+
+std::uint32_t NandChip::erase_count(BlockId b) const {
+  const Block* blk = find_block(b);
+  return blk == nullptr ? 0 : blk->erase_count;
+}
+
+bool NandChip::is_bad(BlockId b) const {
+  const Block* blk = find_block(b);
+  return blk != nullptr && blk->bad;
+}
+
+// ------------------------------------------------------------- submission
+
+void NandChip::read(Ppn ppn, ReadCallback cb) {
+  if (!powered_) {
+    cb(ReadResult{ReadResult::Status::kPowerLost, kErasedContent, 0, 0});
+    return;
+  }
+  InFlight op;
+  op.kind = InFlight::Kind::kRead;
+  op.ppn = ppn;
+  op.block = config_.geometry.block_of(ppn);
+  op.duration = timing_.read_page;
+  op.read_cb = std::move(cb);
+  enqueue(config_.geometry.plane_of(ppn), std::move(op));
+}
+
+void NandChip::program(Ppn ppn, std::uint64_t content, Oob oob, OpCallback cb) {
+  if (!powered_) {
+    cb(OpResult{OpResult::Status::kPowerLost});
+    return;
+  }
+  InFlight op;
+  op.kind = InFlight::Kind::kProgram;
+  op.ppn = ppn;
+  op.block = config_.geometry.block_of(ppn);
+  op.content = content;
+  op.oob = oob;
+  const PageRole role = page_role(config_.tech, config_.geometry.page_in_block(ppn));
+  op.duration = timing_.program_time(role);
+  op.op_cb = std::move(cb);
+  enqueue(config_.geometry.plane_of(ppn), std::move(op));
+}
+
+void NandChip::read_oob(Ppn ppn, OobCallback cb) {
+  if (!powered_) {
+    cb(OobResult{});
+    return;
+  }
+  InFlight op;
+  op.kind = InFlight::Kind::kReadOob;
+  op.ppn = ppn;
+  op.block = config_.geometry.block_of(ppn);
+  op.duration = timing_.read_page;
+  op.oob_cb = std::move(cb);
+  enqueue(config_.geometry.plane_of(ppn), std::move(op));
+}
+
+void NandChip::erase(BlockId block, OpCallback cb) {
+  if (!powered_) {
+    cb(OpResult{OpResult::Status::kPowerLost});
+    return;
+  }
+  InFlight op;
+  op.kind = InFlight::Kind::kErase;
+  op.block = block;
+  op.ppn = config_.geometry.first_page(block);
+  op.duration = timing_.erase_block;
+  op.op_cb = std::move(cb);
+  enqueue(static_cast<std::uint32_t>(block % config_.geometry.planes), std::move(op));
+}
+
+void NandChip::enqueue(std::uint32_t plane_idx, InFlight op) {
+  Plane& plane = planes_[plane_idx];
+  plane.queue.push_back(std::move(op));
+  if (!plane.busy.has_value()) start_next(plane_idx);
+}
+
+void NandChip::start_next(std::uint32_t plane_idx) {
+  Plane& plane = planes_[plane_idx];
+  if (plane.busy.has_value() || plane.queue.empty() || !powered_) return;
+  plane.busy = std::move(plane.queue.front());
+  plane.queue.pop_front();
+  InFlight& op = *plane.busy;
+  op.start = sim_.now();
+  op.completion = sim_.after(op.duration, [this, plane_idx] { complete(plane_idx); });
+}
+
+void NandChip::complete(std::uint32_t plane_idx) {
+  Plane& plane = planes_[plane_idx];
+  assert(plane.busy.has_value());
+  InFlight op = std::move(*plane.busy);
+  plane.busy.reset();
+  switch (op.kind) {
+    case InFlight::Kind::kRead: finish_read(op); break;
+    case InFlight::Kind::kReadOob: finish_read_oob(op); break;
+    case InFlight::Kind::kProgram: finish_program(op); break;
+    case InFlight::Kind::kErase: finish_erase(op); break;
+  }
+  start_next(plane_idx);
+}
+
+// -------------------------------------------------------------- completion
+
+std::uint64_t NandChip::raw_errors_for(const Page& page, const Block& block) {
+  const double bits = static_cast<double>(config_.geometry.page_bits());
+  double ber = 0.0;
+  switch (page.status) {
+    case PageStatus::kErased:
+      // A clean erased page has no errors to read; but inside a partially-
+      // erased block even "erased" cells sit at unstable thresholds.
+      if (!block.partially_erased) return page.upset_errors;
+      break;  // fall through to the partially_erased bump below
+    case PageStatus::kValid:
+      ber = errors_.base_ber + errors_.ber_per_pe_cycle * block.erase_count +
+            errors_.read_disturb_ber * block.reads_since_erase +
+            errors_.program_disturb_ber * block.programs_since_erase;
+      break;
+    case PageStatus::kPartial: {
+      const double incomplete = 1.0 - static_cast<double>(page.progress);
+      ber = 0.5 * std::pow(incomplete, errors_.interrupt_shape) * wear_severity(block) +
+            errors_.base_ber;
+      break;
+    }
+    case PageStatus::kCorrupt:
+      // Undefined cell states: a quarter of the bits read wrong.
+      return static_cast<std::uint64_t>(bits / 4.0) + page.upset_errors;
+  }
+  if (block.partially_erased) ber += 0.05;  // unstable threshold voltages
+  const double lambda = ber * bits;
+  return rng_.poisson(lambda) + page.upset_errors;
+}
+
+ReadResult NandChip::read_through_ecc(Ppn ppn) {
+  Block& block = touch_block(config_.geometry.block_of(ppn));
+  Page& page = block.pages[config_.geometry.page_in_block(ppn)];
+  block.reads_since_erase += 1;
+
+  ReadResult result;
+  result.raw_errors = raw_errors_for(page, block);
+  const DecodeOutcome out = ecc_->decode(config_.geometry.page_bits(), result.raw_errors, rng_);
+  result.soft_retries = out.soft_retries;
+  if (out.correctable) {
+    result.status = ReadResult::Status::kOk;
+    result.content = page.content;
+  } else {
+    result.status = ReadResult::Status::kUncorrectable;
+    // Deterministic garbage distinct from any allocated tag.
+    result.content = page.content ^ (0x9e3779b97f4a7c15ULL * (result.raw_errors | 1ULL));
+    ++stats_.uncorrectable_reads;
+  }
+  return result;
+}
+
+void NandChip::finish_read(InFlight& op) {
+  ++stats_.reads;
+  ReadResult result = read_through_ecc(op.ppn);
+  if (op.read_cb) op.read_cb(result);
+}
+
+void NandChip::finish_read_oob(InFlight& op) {
+  ++stats_.reads;
+  // The spare area is covered by the same codewords as the data: its
+  // readability shares the page's ECC fate.
+  const ReadResult page = read_through_ecc(op.ppn);
+  OobResult result;
+  if (page.ok()) {
+    const Page* p = peek(op.ppn);
+    if (p != nullptr && p->status != PageStatus::kErased) {
+      result.ok = true;
+      result.oob = p->oob;
+    }
+  }
+  if (op.oob_cb) op.oob_cb(result);
+}
+
+ReadResult NandChip::read_now(Ppn ppn) {
+  ++stats_.reads;
+  return read_through_ecc(ppn);
+}
+
+void NandChip::finish_program(InFlight& op) {
+  Block& block = touch_block(op.block);
+  const std::uint32_t pib = config_.geometry.page_in_block(op.ppn);
+  if (block.bad) {
+    if (op.op_cb) op.op_cb(OpResult{OpResult::Status::kBadBlock});
+    return;
+  }
+  if (config_.enforce_program_order && pib != block.next_program_page) {
+    ++stats_.order_violations;
+    if (op.op_cb) op.op_cb(OpResult{OpResult::Status::kOrderViolation});
+    return;
+  }
+  Page& page = block.pages[pib];
+  page.status = PageStatus::kValid;
+  page.progress = 1.0f;
+  page.content = op.content;
+  page.oob = op.oob;
+  page.upset_errors = 0;
+  block.programs_since_erase += 1;
+  block.next_program_page = pib + 1;
+  ++stats_.programs;
+  if (op.op_cb) op.op_cb(OpResult{OpResult::Status::kOk});
+}
+
+void NandChip::finish_erase(InFlight& op) {
+  Block& block = touch_block(op.block);
+  if (block.erase_count >= config_.endurance_pe_cycles) {
+    block.bad = true;
+    if (op.op_cb) op.op_cb(OpResult{OpResult::Status::kBadBlock});
+    return;
+  }
+  for (Page& p : block.pages) p = Page{};
+  block.erase_count += 1;
+  block.reads_since_erase = 0;
+  block.programs_since_erase = 0;
+  block.next_program_page = 0;
+  block.partially_erased = false;
+  ++stats_.erases;
+  if (op.op_cb) op.op_cb(OpResult{OpResult::Status::kOk});
+}
+
+// -------------------------------------------------------------- power loss
+
+void NandChip::on_power_lost() {
+  if (!powered_) return;
+  powered_ = false;
+  for (auto& plane : planes_) {
+    stats_.dropped_queued_ops += plane.queue.size();
+    plane.queue.clear();
+    if (!plane.busy.has_value()) continue;
+    InFlight& op = *plane.busy;
+    sim_.cancel(op.completion);
+    switch (op.kind) {
+      case InFlight::Kind::kRead:
+      case InFlight::Kind::kReadOob:
+        break;  // reads leave no trace on the array
+      case InFlight::Kind::kProgram:
+        interrupt_program(op);
+        break;
+      case InFlight::Kind::kErase:
+        interrupt_erase(op);
+        break;
+    }
+    // No callbacks: the controller that issued these just lost power too.
+    plane.busy.reset();
+  }
+}
+
+void NandChip::on_power_good() { powered_ = true; }
+
+void NandChip::interrupt_program(InFlight& op) {
+  ++stats_.interrupted_programs;
+  Block& block = touch_block(op.block);
+  const std::uint32_t pib = config_.geometry.page_in_block(op.ppn);
+  Page& page = block.pages[pib];
+  const PageRole role = page_role(config_.tech, pib);
+  const std::uint32_t steps = timing_.ispp_steps(role);
+
+  const double frac = std::clamp(
+      (sim_.now() - op.start).to_sec() / std::max(1e-12, op.duration.to_sec()), 0.0, 1.0);
+  // Interruption lands on an ISPP step boundary: completed pulses stick.
+  const double progress =
+      std::floor(frac * static_cast<double>(steps)) / static_cast<double>(steps);
+
+  if (progress >= 1.0) {
+    // All pulses and the final verify finished; effectively a completed
+    // program whose ACK never made it out of the die.
+    page.status = PageStatus::kValid;
+    page.progress = 1.0f;
+    page.content = op.content;
+    page.oob = op.oob;
+    block.programs_since_erase += 1;
+    block.next_program_page = pib + 1;
+    return;
+  }
+  page.status = PageStatus::kPartial;
+  page.progress = static_cast<float>(progress);
+  page.content = op.content;
+  page.oob = op.oob;
+  block.programs_since_erase += 1;
+  block.next_program_page = pib + 1;  // the cursor burned this page either way
+
+  // Interrupting a later pass on a shared wordline shifts charge under the
+  // partners that were already programmed and ACKed (the paper's corruption
+  // of previously-written data, present even with the DRAM cache off).
+  if (role != PageRole::kLower) {
+    apply_paired_page_damage(op.block, pib, 1.0 - progress);
+  }
+}
+
+void NandChip::apply_paired_page_damage(BlockId block_id, std::uint32_t page_in_block,
+                                        double severity) {
+  if (errors_.paired_page_upset_ber <= 0.0) return;
+  Block& block = touch_block(block_id);
+  const std::uint32_t base = wordline_base(config_.tech, page_in_block);
+  const double bits = static_cast<double>(config_.geometry.page_bits());
+  for (std::uint32_t p = base; p < page_in_block && p < block.pages.size(); ++p) {
+    Page& partner = block.pages[p];
+    if (partner.status != PageStatus::kValid) continue;
+    const double lambda =
+        errors_.paired_page_upset_ber * severity * wear_severity(block) * bits;
+    const std::uint64_t upset = rng_.poisson(lambda);
+    if (upset == 0) continue;
+    partner.upset_errors += static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(upset, std::numeric_limits<std::uint32_t>::max() -
+                                           partner.upset_errors));
+    ++stats_.paired_page_upsets;
+  }
+}
+
+void NandChip::interrupt_erase(InFlight& op) {
+  ++stats_.interrupted_erases;
+  Block& block = touch_block(op.block);
+  const double frac = std::clamp(
+      (sim_.now() - op.start).to_sec() / std::max(1e-12, op.duration.to_sec()), 0.0, 1.0);
+  if (frac >= 1.0) {
+    // Completed under dying power; treat as a normal erase.
+    for (Page& p : block.pages) p = Page{};
+    block.erase_count += 1;
+    block.reads_since_erase = 0;
+    block.programs_since_erase = 0;
+    block.next_program_page = 0;
+    block.partially_erased = false;
+    return;
+  }
+  // Cells are somewhere between their old states and erased: every page that
+  // held data is now undefined, and the whole block reads unstably until a
+  // clean erase completes.
+  for (Page& p : block.pages) {
+    if (p.status == PageStatus::kValid || p.status == PageStatus::kPartial) {
+      p.status = PageStatus::kCorrupt;
+    }
+  }
+  block.partially_erased = true;
+}
+
+}  // namespace pofi::nand

@@ -1,0 +1,175 @@
+// NandChip: an asynchronous, power-aware NAND flash die model.
+//
+// Operations are queued per plane (one in-flight op per plane, as on real
+// dies) and complete after technology-accurate latencies. A power loss
+// freezes the die: queued ops vanish, the in-flight op on each plane is
+// interrupted at an ISPP-step boundary and the page (and, for upper-page
+// passes, its already-programmed wordline partners) takes damage accordingly.
+// This is the physical substrate for every failure the paper observes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string_view>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "nand/ecc.hpp"
+#include "nand/geometry.hpp"
+#include "nand/page.hpp"
+#include "nand/timing.hpp"
+#include "sim/simulator.hpp"
+
+namespace pofi::nand {
+
+struct ReadResult {
+  enum class Status : std::uint8_t { kOk, kUncorrectable, kPowerLost };
+  Status status = Status::kOk;
+  std::uint64_t content = kErasedContent;  ///< tag as seen through ECC
+  std::uint64_t raw_errors = 0;
+  std::uint32_t soft_retries = 0;
+
+  [[nodiscard]] bool ok() const { return status == Status::kOk; }
+};
+
+struct OpResult {
+  enum class Status : std::uint8_t { kOk, kPowerLost, kBadBlock, kOrderViolation };
+  Status status = Status::kOk;
+  [[nodiscard]] bool ok() const { return status == Status::kOk; }
+};
+
+struct ChipStats {
+  std::uint64_t reads = 0;
+  std::uint64_t programs = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t uncorrectable_reads = 0;
+  std::uint64_t interrupted_programs = 0;
+  std::uint64_t interrupted_erases = 0;
+  std::uint64_t paired_page_upsets = 0;
+  std::uint64_t dropped_queued_ops = 0;
+  std::uint64_t order_violations = 0;
+};
+
+class NandChip {
+ public:
+  struct Config {
+    Geometry geometry;
+    CellTech tech = CellTech::kMlc;
+    EccKind ecc = EccKind::kBch;
+    std::uint32_t endurance_pe_cycles = 3000;  ///< erases before a block wears out
+    /// Pre-age the die: every block starts with this many P/E cycles (wear
+    /// studies; worn cells also have wider Vt distributions, making
+    /// interrupted programs and paired-page upsets more damaging).
+    std::uint32_t initial_pe_cycles = 0;
+    bool enforce_program_order = true;
+  };
+
+  using ReadCallback = std::function<void(ReadResult)>;
+  using OpCallback = std::function<void(OpResult)>;
+
+  /// `rng_label` keeps per-die random streams independent when several
+  /// dies share one simulator (see ChipArray).
+  NandChip(sim::Simulator& simulator, Config config,
+           std::string_view rng_label = "nand-chip");
+
+  NandChip(const NandChip&) = delete;
+  NandChip& operator=(const NandChip&) = delete;
+
+  // --- Asynchronous command interface (used by the SSD controller) --------
+  void read(Ppn ppn, ReadCallback cb);
+  void program(Ppn ppn, std::uint64_t content, OpCallback cb) {
+    program(ppn, content, Oob{}, std::move(cb));
+  }
+  /// Program with spare-area metadata (lpn + write sequence), which a
+  /// power-on recovery scan can later use to rebuild the mapping.
+  void program(Ppn ppn, std::uint64_t content, Oob oob, OpCallback cb);
+  void erase(BlockId block, OpCallback cb);
+
+  /// Read only the spare area: same timing and ECC fate as a page read.
+  struct OobResult {
+    bool ok = false;  ///< false when the page is uncorrectable/unpowered
+    Oob oob;
+  };
+  using OobCallback = std::function<void(OobResult)>;
+  void read_oob(Ppn ppn, OobCallback cb);
+
+  // --- Power interface -----------------------------------------------------
+  /// Rail crossed the die's cutoff: interrupt in-flight work, drop queues.
+  void on_power_lost();
+  /// Rail restored; the die is usable again (persistent state kept).
+  void on_power_good();
+  [[nodiscard]] bool powered() const { return powered_; }
+
+  // --- Inspection (tests, analyzer ground-truthing) ------------------------
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const Geometry& geometry() const { return config_.geometry; }
+  [[nodiscard]] const ChipStats& stats() const { return stats_; }
+  [[nodiscard]] const EccScheme& ecc() const { return *ecc_; }
+
+  /// Direct page peek without timing or ECC (ground truth for tests).
+  [[nodiscard]] const Page* peek(Ppn ppn) const;
+  /// Synchronous read through the full error/ECC path, bypassing timing.
+  /// Used by tests; the production path is the async read().
+  [[nodiscard]] ReadResult read_now(Ppn ppn);
+
+  [[nodiscard]] std::uint32_t erase_count(BlockId b) const;
+  [[nodiscard]] bool is_bad(BlockId b) const;
+  /// Number of materialised (touched) blocks.
+  [[nodiscard]] std::size_t touched_blocks() const { return blocks_.size(); }
+
+ private:
+  struct InFlight {
+    enum class Kind : std::uint8_t { kRead, kProgram, kErase, kReadOob } kind = Kind::kRead;
+    Ppn ppn = 0;
+    BlockId block = 0;
+    std::uint64_t content = 0;
+    Oob oob;
+    sim::TimePoint start;
+    sim::Duration duration;
+    ReadCallback read_cb;
+    OpCallback op_cb;
+    OobCallback oob_cb;
+    sim::EventId completion;
+  };
+  struct Plane {
+    std::optional<InFlight> busy;
+    std::deque<InFlight> queue;
+  };
+
+  Block& touch_block(BlockId b);
+  [[nodiscard]] const Block* find_block(BlockId b) const;
+  [[nodiscard]] double wear_severity(const Block& block) const;
+
+  void enqueue(std::uint32_t plane_idx, InFlight op);
+  void start_next(std::uint32_t plane_idx);
+  void complete(std::uint32_t plane_idx);
+
+  void finish_read(InFlight& op);
+  void finish_read_oob(InFlight& op);
+  void finish_program(InFlight& op);
+  void finish_erase(InFlight& op);
+
+  /// Raw bit-error count for reading `page` in `block` right now.
+  [[nodiscard]] std::uint64_t raw_errors_for(const Page& page, const Block& block);
+  [[nodiscard]] ReadResult read_through_ecc(Ppn ppn);
+
+  void interrupt_program(InFlight& op);
+  void interrupt_erase(InFlight& op);
+  void apply_paired_page_damage(BlockId block_id, std::uint32_t page_in_block, double severity);
+
+  sim::Simulator& sim_;
+  Config config_;
+  Timing timing_;
+  ErrorModel errors_;
+  std::unique_ptr<EccScheme> ecc_;
+  sim::Rng rng_;
+  bool powered_ = false;
+  std::vector<Plane> planes_;
+  std::unordered_map<BlockId, Block> blocks_;
+  ChipStats stats_;
+};
+
+}  // namespace pofi::nand

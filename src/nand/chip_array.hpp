@@ -1,0 +1,79 @@
+// ChipArray: the SSD's full NAND complement — `channels` independent dies
+// behind independent channel buses.
+//
+// Global physical addressing interleaves blocks across channels (global
+// block b lives on chip b % channels), so consecutively-allocated blocks
+// spread over every die and channel-level parallelism falls out of the
+// allocator's striping. The array mirrors the single-chip command interface
+// with global PPNs/BlockIds and fans power events out to every die.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nand/chip.hpp"
+
+namespace pofi::nand {
+
+class ChipArray {
+ public:
+  struct Config {
+    std::uint32_t channels = 1;
+    /// Per-die configuration (geometry describes ONE die).
+    NandChip::Config chip;
+  };
+
+  ChipArray(sim::Simulator& simulator, Config config);
+
+  ChipArray(const ChipArray&) = delete;
+  ChipArray& operator=(const ChipArray&) = delete;
+
+  /// Address space the FTL sees: one flat geometry whose plane count is
+  /// channels x per-die planes (each "lane" is a real (die, plane) pair).
+  [[nodiscard]] const Geometry& geometry() const { return effective_geometry_; }
+  [[nodiscard]] std::uint32_t channels() const { return config_.channels; }
+  [[nodiscard]] const NandChip::Config& chip_config() const { return config_.chip; }
+
+  // --- Command interface (global addresses), mirrors NandChip -------------
+  void read(Ppn ppn, NandChip::ReadCallback cb);
+  void program(Ppn ppn, std::uint64_t content, NandChip::OpCallback cb) {
+    program(ppn, content, Oob{}, std::move(cb));
+  }
+  void program(Ppn ppn, std::uint64_t content, Oob oob, NandChip::OpCallback cb);
+  void erase(BlockId block, NandChip::OpCallback cb);
+  void read_oob(Ppn ppn, NandChip::OobCallback cb);
+
+  // --- Power ----------------------------------------------------------------
+  void on_power_lost();
+  void on_power_good();
+  [[nodiscard]] bool powered() const;
+
+  // --- Inspection (global addressing) ----------------------------------------
+  [[nodiscard]] const Page* peek(Ppn ppn) const;
+  [[nodiscard]] ReadResult read_now(Ppn ppn);
+  [[nodiscard]] std::uint32_t erase_count(BlockId b) const;
+  [[nodiscard]] bool is_bad(BlockId b) const;
+  [[nodiscard]] std::size_t touched_blocks() const;
+  /// Aggregate statistics across every die.
+  [[nodiscard]] ChipStats stats() const;
+  [[nodiscard]] NandChip& die(std::uint32_t channel) { return *chips_[channel]; }
+  [[nodiscard]] const EccScheme& ecc() const { return chips_.front()->ecc(); }
+
+  // --- Address translation (exposed for tests) -------------------------------
+  [[nodiscard]] std::uint32_t channel_of_block(BlockId b) const {
+    return static_cast<std::uint32_t>(b % config_.channels);
+  }
+  [[nodiscard]] BlockId local_block(BlockId b) const { return b / config_.channels; }
+  [[nodiscard]] Ppn local_ppn(Ppn ppn) const;
+  [[nodiscard]] std::uint32_t channel_of_ppn(Ppn ppn) const {
+    return channel_of_block(effective_geometry_.block_of(ppn));
+  }
+
+ private:
+  Config config_;
+  Geometry effective_geometry_;
+  std::vector<std::unique_ptr<NandChip>> chips_;
+};
+
+}  // namespace pofi::nand

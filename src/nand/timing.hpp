@@ -1,0 +1,92 @@
+// Per-technology NAND operation timing and error-rate parameters.
+//
+// Values follow public datasheet/characterisation ranges (Grupp MICRO'09,
+// Cai HPCA'15). Program operations execute as ISPP (incremental step pulse
+// programming) loops of program-read-verify steps; the step count is what a
+// power fault can land between.
+#pragma once
+
+#include "nand/geometry.hpp"
+#include "sim/time.hpp"
+
+namespace pofi::nand {
+
+struct Timing {
+  sim::Duration read_page;
+  sim::Duration program_lower;   ///< lower-page (fast pass) program time
+  sim::Duration program_upper;   ///< upper-page (fine pass) program time
+  sim::Duration program_extra;   ///< TLC third pass
+  sim::Duration erase_block;
+  std::uint32_t ispp_steps_lower;
+  std::uint32_t ispp_steps_upper;
+  std::uint32_t ispp_steps_extra;
+
+  [[nodiscard]] sim::Duration program_time(PageRole role) const {
+    switch (role) {
+      case PageRole::kLower: return program_lower;
+      case PageRole::kUpper: return program_upper;
+      case PageRole::kExtra: return program_extra;
+    }
+    return program_lower;
+  }
+  [[nodiscard]] std::uint32_t ispp_steps(PageRole role) const {
+    switch (role) {
+      case PageRole::kLower: return ispp_steps_lower;
+      case PageRole::kUpper: return ispp_steps_upper;
+      case PageRole::kExtra: return ispp_steps_extra;
+    }
+    return ispp_steps_lower;
+  }
+};
+
+struct ErrorModel {
+  double base_ber = 1e-7;          ///< raw bit error rate of a settled page
+  /// Wear: added BER per P/E cycle (raw BER reaches ~1e-4 at a 3k-cycle
+  /// MLC endurance limit, per public characterisation data).
+  double ber_per_pe_cycle = 3.3e-8;
+  double read_disturb_ber = 5e-12; ///< added BER per read of a sibling page
+  double program_disturb_ber = 2e-10;  ///< added BER per program in block
+  /// Interrupted-program residual BER: 0.5 * (1 - progress)^shape + base.
+  double interrupt_shape = 3.0;
+  /// Fraction of paired-page cells upset when a later wordline pass is
+  /// interrupted mid-ISPP (scaled by how incomplete the pass was).
+  double paired_page_upset_ber = 2e-3;
+};
+
+[[nodiscard]] inline Timing timing_for(CellTech tech) {
+  using sim::Duration;
+  switch (tech) {
+    case CellTech::kSlc:
+      return Timing{Duration::us(25), Duration::us(200), Duration::us(200), Duration::us(200),
+                    Duration::ms_f(1.5), 4, 4, 4};
+    case CellTech::kMlc:
+      return Timing{Duration::us(50), Duration::us(400), Duration::us(900), Duration::us(900),
+                    Duration::ms(3), 6, 10, 10};
+    case CellTech::kTlc:
+      return Timing{Duration::us(75), Duration::us(500), Duration::us(900), Duration::ms_f(1.4),
+                    Duration::ms(4), 8, 12, 16};
+  }
+  return Timing{};
+}
+
+[[nodiscard]] inline ErrorModel error_model_for(CellTech tech) {
+  ErrorModel m;
+  switch (tech) {
+    case CellTech::kSlc:
+      m.base_ber = 1e-9;
+      m.paired_page_upset_ber = 0.0;  // no shared-wordline partner
+      break;
+    case CellTech::kMlc:
+      m.base_ber = 1e-7;
+      m.paired_page_upset_ber = 1.5e-2;  // beyond BCH t=40/1KB at full severity
+      break;
+    case CellTech::kTlc:
+      m.base_ber = 8e-7;
+      m.paired_page_upset_ber = 2.5e-2;
+      m.interrupt_shape = 2.5;  // wider vulnerable window
+      break;
+  }
+  return m;
+}
+
+}  // namespace pofi::nand

@@ -1,0 +1,54 @@
+#include "platform/campaign_suite.hpp"
+
+#include "stats/table.hpp"
+
+namespace pofi::platform {
+
+CampaignSuite& CampaignSuite::add(std::string label, ssd::SsdConfig drive,
+                                  ExperimentSpec spec) {
+  entries_.push_back(Entry{std::move(label), std::move(drive), std::move(spec)});
+  return *this;
+}
+
+std::vector<CampaignSuite::Row> CampaignSuite::run_all() {
+  std::vector<Row> rows;
+  rows.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    TestPlatform platform(e.drive, platform_config_, e.spec.seed);
+    rows.push_back(Row{e.label, platform.run(e.spec)});
+  }
+  return rows;
+}
+
+std::string CampaignSuite::summary_table(const std::vector<Row>& rows) {
+  stats::Table table({"campaign", "faults", "requests", "data failures", "FWA", "IO errors",
+                      "loss/fault", "mean Q2C us"});
+  for (const Row& row : rows) {
+    const ExperimentResult& r = row.result;
+    table.add_row({row.label, stats::Table::fmt(std::uint64_t{r.faults_injected}),
+                   stats::Table::fmt(r.requests_submitted), stats::Table::fmt(r.data_failures),
+                   stats::Table::fmt(r.fwa_failures), stats::Table::fmt(r.io_errors),
+                   stats::Table::fmt(r.data_failures_per_fault(), 2),
+                   stats::Table::fmt(r.mean_latency_us, 0)});
+  }
+  return table.render();
+}
+
+stats::CsvWriter CampaignSuite::to_csv(const std::vector<Row>& rows) {
+  stats::CsvWriter csv({"campaign", "faults", "requests", "write_acks", "data_failures",
+                        "fwa", "io_errors", "verified_ok", "loss_per_fault",
+                        "mean_latency_us", "sim_seconds"});
+  for (const Row& row : rows) {
+    const ExperimentResult& r = row.result;
+    csv.add_row({row.label, stats::Table::fmt(std::uint64_t{r.faults_injected}),
+                 stats::Table::fmt(r.requests_submitted), stats::Table::fmt(r.write_acks),
+                 stats::Table::fmt(r.data_failures), stats::Table::fmt(r.fwa_failures),
+                 stats::Table::fmt(r.io_errors), stats::Table::fmt(r.verified_ok),
+                 stats::Table::fmt(r.data_failures_per_fault(), 4),
+                 stats::Table::fmt(r.mean_latency_us, 1),
+                 stats::Table::fmt(r.sim_seconds, 2)});
+  }
+  return csv;
+}
+
+}  // namespace pofi::platform

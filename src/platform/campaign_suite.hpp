@@ -1,0 +1,53 @@
+// CampaignSuite: run a batch of fault-injection campaigns and aggregate the
+// results — the workhorse behind parameter sweeps (one entry per figure
+// point) and fleet studies (one entry per drive).
+//
+// Each entry gets a fresh TestPlatform (campaigns must not share device
+// history), and the suite renders a comparison table / CSV at the end.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "platform/experiment.hpp"
+#include "platform/test_platform.hpp"
+#include "stats/csv.hpp"
+
+namespace pofi::platform {
+
+class CampaignSuite {
+ public:
+  explicit CampaignSuite(PlatformConfig platform_config = {})
+      : platform_config_(platform_config) {}
+
+  /// Queue one campaign. `label` names the row in the summary.
+  CampaignSuite& add(std::string label, ssd::SsdConfig drive, ExperimentSpec spec);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  struct Row {
+    std::string label;
+    ExperimentResult result;
+  };
+
+  /// Execute every queued campaign (sequentially, fresh platform each).
+  [[nodiscard]] std::vector<Row> run_all();
+
+  /// Render rows as an aligned comparison table.
+  [[nodiscard]] static std::string summary_table(const std::vector<Row>& rows);
+
+  /// Export rows as CSV (one row per campaign).
+  [[nodiscard]] static stats::CsvWriter to_csv(const std::vector<Row>& rows);
+
+ private:
+  struct Entry {
+    std::string label;
+    ssd::SsdConfig drive;
+    ExperimentSpec spec;
+  };
+  PlatformConfig platform_config_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace pofi::platform

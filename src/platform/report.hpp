@@ -1,0 +1,25 @@
+// Human-readable experiment reporting.
+//
+// Formats an ExperimentResult the way the Analyzer's "Report Failures" box
+// in Fig. 1 would: headline counts, per-class breakdown, the ACK-to-fault
+// interval distribution (§IV-A's key evidence) and the device-side
+// mechanism counters that explain where each loss came from.
+#pragma once
+
+#include <string>
+
+#include "platform/experiment.hpp"
+
+namespace pofi::platform {
+
+struct ReportOptions {
+  bool include_interval_histogram = true;
+  double histogram_max_ms = 1000.0;
+  std::size_t histogram_bins = 10;
+  bool include_mechanisms = true;
+};
+
+[[nodiscard]] std::string format_report(const ExperimentResult& result,
+                                        const ReportOptions& options = {});
+
+}  // namespace pofi::platform

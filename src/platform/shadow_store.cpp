@@ -1,0 +1,48 @@
+#include "platform/shadow_store.hpp"
+
+namespace pofi::platform {
+
+std::vector<std::uint64_t> ShadowStore::allocate_tags(std::uint32_t n) {
+  std::vector<std::uint64_t> tags;
+  tags.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) tags.push_back(next_tag_++);
+  return tags;
+}
+
+std::uint64_t ShadowStore::expected(ftl::Lpn lpn) const {
+  const auto it = truth_.find(lpn);
+  return it == truth_.end() ? nand::kErasedContent : it->second.expected;
+}
+
+bool ShadowStore::acceptable(ftl::Lpn lpn, std::uint64_t tag) const {
+  const auto it = truth_.find(lpn);
+  if (it == truth_.end()) return tag == nand::kErasedContent;
+  if (tag == it->second.expected) return true;
+  return it->second.indeterminate && tag == it->second.alternate;
+}
+
+void ShadowStore::commit_write(ftl::Lpn lpn, std::span<const std::uint64_t> tags) {
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    PageTruth& t = truth_[lpn + i];
+    t.expected = tags[i];
+    t.indeterminate = false;
+    t.alternate = nand::kErasedContent;
+  }
+}
+
+void ShadowStore::mark_indeterminate(ftl::Lpn lpn, std::span<const std::uint64_t> tags) {
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    PageTruth& t = truth_[lpn + i];
+    t.indeterminate = true;
+    t.alternate = tags[i];
+  }
+}
+
+void ShadowStore::observe(ftl::Lpn lpn, std::uint64_t tag) {
+  PageTruth& t = truth_[lpn];
+  t.expected = tag;
+  t.indeterminate = false;
+  t.alternate = nand::kErasedContent;
+}
+
+}  // namespace pofi::platform

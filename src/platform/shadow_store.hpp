@@ -1,0 +1,59 @@
+// Host-side ground truth of what the SSD should contain.
+//
+// Content tags stand in for checksummed payloads: the store allocates a
+// fresh, never-reused 64-bit tag per written page, so tag equality *is*
+// checksum equality (collision-free by construction) and the analyzer can
+// distinguish new data / previous data / garbage exactly the way the paper's
+// checksum triple does.
+//
+// Pages touched by a write whose ACK never arrived are *indeterminate*: the
+// device legitimately may hold either the old or the new data. Verification
+// accepts both and collapses the state to whatever was observed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "ftl/types.hpp"
+#include "nand/page.hpp"
+
+namespace pofi::platform {
+
+class ShadowStore {
+ public:
+  /// Allocate `n` fresh content tags (one per page of a write payload).
+  [[nodiscard]] std::vector<std::uint64_t> allocate_tags(std::uint32_t n);
+
+  /// Expected on-disk tag (kErasedContent when never written).
+  [[nodiscard]] std::uint64_t expected(ftl::Lpn lpn) const;
+
+  /// True if `tag` is a legitimate value for this page (expected, or the
+  /// unacked-alternate when indeterminate).
+  [[nodiscard]] bool acceptable(ftl::Lpn lpn, std::uint64_t tag) const;
+
+  /// A write to [lpn, lpn+tags.size()) was ACKed: tags become expected.
+  void commit_write(ftl::Lpn lpn, std::span<const std::uint64_t> tags);
+
+  /// A write failed/never completed: each page may hold old or new data.
+  void mark_indeterminate(ftl::Lpn lpn, std::span<const std::uint64_t> tags);
+
+  /// Verification read observed `tag` on disk: collapse to that reality.
+  void observe(ftl::Lpn lpn, std::uint64_t tag);
+
+  [[nodiscard]] std::size_t tracked_pages() const { return truth_.size(); }
+  [[nodiscard]] std::uint64_t tags_allocated() const { return next_tag_ - 1; }
+
+ private:
+  struct PageTruth {
+    std::uint64_t expected = nand::kErasedContent;
+    std::uint64_t alternate = nand::kErasedContent;  ///< unacked write's tag
+    bool indeterminate = false;
+  };
+
+  std::unordered_map<ftl::Lpn, PageTruth> truth_;
+  std::uint64_t next_tag_ = 1;
+};
+
+}  // namespace pofi::platform

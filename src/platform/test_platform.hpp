@@ -1,0 +1,111 @@
+// TestPlatform: the complete hardware/software co-designed testbed of Fig. 1.
+//
+// Wires Host System (block queue + software parts) -> Arduino bridge -> ATX
+// controller -> PSU -> SSD, and exposes run(): a full fault-injection
+// campaign executing the paper's loop — generate IO, schedule a fault, ride
+// the discharge down, power back up, verify with the Analyzer.
+//
+// The runner drives the simulator from outside the event loop, which keeps
+// the campaign logic linear and the event graph free of control-flow knots.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "blk/queue.hpp"
+#include "platform/analyzer.hpp"
+#include "platform/experiment.hpp"
+#include "platform/fault_scheduler.hpp"
+#include "platform/shadow_store.hpp"
+#include "psu/atx_control.hpp"
+#include "psu/power_supply.hpp"
+#include "sim/simulator.hpp"
+#include "ssd/presets.hpp"
+#include "ssd/ssd.hpp"
+#include "workload/workload.hpp"
+
+namespace pofi::platform {
+
+struct PlatformConfig {
+  psu::DischargeKind discharge = psu::DischargeKind::kPowerLaw;
+  psu::PowerSupply::Params psu{};
+  psu::ArduinoBridge::Params arduino{};
+  blk::BlockQueue::Config block_queue{};
+  /// Dwell at 0 V before the On command (lets every capacitor drain).
+  sim::Duration post_fault_dwell = sim::Duration::ms(300);
+  /// Closed-loop IO generator: outstanding requests per chain set.
+  std::uint32_t closed_loop_depth = 16;
+  /// Host think time between a completion and the next submission.
+  sim::Duration think_time = sim::Duration::us(50);
+  /// Record blktrace events (tests); benches keep it off to bound memory.
+  bool trace_enabled = false;
+};
+
+class TestPlatform {
+ public:
+  TestPlatform(ssd::SsdConfig ssd_config, PlatformConfig platform_config, std::uint64_t seed);
+  ~TestPlatform();
+
+  TestPlatform(const TestPlatform&) = delete;
+  TestPlatform& operator=(const TestPlatform&) = delete;
+
+  /// Execute a campaign. One TestPlatform instance runs one campaign (the
+  /// device state carries history; build a fresh platform per experiment).
+  [[nodiscard]] ExperimentResult run(const ExperimentSpec& spec);
+
+  // --- Component access (examples, tests) -----------------------------------
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] ssd::Ssd& device() { return *ssd_; }
+  [[nodiscard]] psu::PowerSupply& power_supply() { return *psu_; }
+  [[nodiscard]] blk::BlockQueue& block_queue() { return *queue_; }
+  [[nodiscard]] Analyzer& analyzer() { return *analyzer_; }
+  [[nodiscard]] ShadowStore& shadow() { return shadow_; }
+  [[nodiscard]] psu::ArduinoBridge& arduino() { return *bridge_; }
+  [[nodiscard]] FaultScheduler& scheduler() { return *scheduler_; }
+
+ private:
+  // IO generator: one self-perpetuating closed-loop chain.
+  void io_chain_step();
+  void open_loop_step(double mean_gap_sec);
+  void submit_one(workload::RequestSpec spec);
+  void handle_outcome(workload::DataPacket packet, blk::RequestOutcome out);
+
+  void start_io();
+  void stop_io();
+
+  /// Step the simulator until `pred` is false or the queue drains.
+  void run_while(const std::function<bool()>& pred, std::uint64_t max_events = 0);
+
+  void power_cycle_and_verify(ExperimentResult& result, sim::TimePoint fault_command_time);
+  void run_random_fault_campaign(const ExperimentSpec& spec, ExperimentResult& result);
+  void run_fixed_delay_campaign(const ExperimentSpec& spec, ExperimentResult& result);
+
+  sim::Simulator sim_;
+  ssd::SsdConfig ssd_config_;
+  PlatformConfig config_;
+
+  std::unique_ptr<psu::PowerSupply> psu_;
+  std::unique_ptr<psu::AtxController> atx_;
+  std::unique_ptr<psu::ArduinoBridge> bridge_;
+  std::unique_ptr<ssd::Ssd> ssd_;
+  std::unique_ptr<blk::BlockQueue> queue_;
+  ShadowStore shadow_;
+  std::unique_ptr<Analyzer> analyzer_;
+  std::unique_ptr<FaultScheduler> scheduler_;
+  std::unique_ptr<workload::WorkloadGenerator> generator_;
+  sim::Rng rng_;
+
+  bool io_active_ = false;
+  bool ran_ = false;
+  bool open_loop_mode_ = true;
+  double pace_iops_ = 5.0;
+  std::uint64_t next_packet_id_ = 1;
+  std::uint64_t requests_submitted_ = 0;
+  std::uint64_t cycle_requests_ = 0;
+  std::uint64_t cycle_budget_ = 0;
+  std::uint64_t write_acks_ = 0;
+  std::uint64_t reads_completed_ = 0;
+  std::uint32_t fault_index_ = 0;
+};
+
+}  // namespace pofi::platform

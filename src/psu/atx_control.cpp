@@ -1,0 +1,8 @@
+#include "psu/atx_control.hpp"
+
+namespace pofi::psu {
+
+ArduinoBridge::ArduinoBridge(sim::Simulator& simulator, AtxController& atx)
+    : ArduinoBridge(simulator, atx, Params{}) {}
+
+}  // namespace pofi::psu

@@ -1,0 +1,58 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace pofi::sim {
+
+EventId EventQueue::schedule_at(TimePoint at, Callback cb) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{at, seq, std::move(cb)});
+  pending_seqs_.insert(seq);
+  return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!id.valid()) return false;
+  // Only a still-pending event can be cancelled; cancelling one that already
+  // fired (or a stale/duplicate cancel) is a no-op.
+  if (pending_seqs_.erase(id.raw()) == 0) return false;
+  cancelled_.insert(id.raw());  // lazy removal when it surfaces in the heap
+  return true;
+}
+
+void EventQueue::skip_cancelled() {
+  while (!heap_.empty()) {
+    const auto found = cancelled_.find(heap_.top().seq);
+    if (found == cancelled_.end()) return;
+    cancelled_.erase(found);
+    heap_.pop();
+  }
+}
+
+TimePoint EventQueue::next_time() const {
+  // const access: walk a copy-free path by peeking through cancellations.
+  // We keep this cheap by mutating in the non-const pop path only; here we
+  // conservatively scan the heap top (cancelled entries at the top are rare).
+  auto* self = const_cast<EventQueue*>(this);
+  self->skip_cancelled();
+  if (heap_.empty()) return TimePoint::max();
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skip_cancelled();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  Entry top = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  pending_seqs_.erase(top.seq);
+  return Fired{top.time, std::move(top.cb)};
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  pending_seqs_.clear();
+  cancelled_.clear();
+}
+
+}  // namespace pofi::sim

@@ -1,0 +1,80 @@
+// Deterministic discrete-event queue.
+//
+// Events are (time, sequence, callback). Ties on time break by insertion
+// order, which makes simulations reproducible: two events scheduled for the
+// same instant always fire in the order they were scheduled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pofi::sim {
+
+/// Handle for cancelling a scheduled event.
+class EventId {
+ public:
+  constexpr EventId() = default;
+  [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
+  [[nodiscard]] constexpr std::uint64_t raw() const { return seq_; }
+  constexpr bool operator==(const EventId&) const = default;
+
+ private:
+  friend class EventQueue;
+  constexpr explicit EventId(std::uint64_t s) : seq_(s) {}
+  std::uint64_t seq_ = 0;
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` to run at absolute time `at`. Returns a cancellable id.
+  EventId schedule_at(TimePoint at, Callback cb);
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown id is a
+  /// harmless no-op (returns false).
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return pending_seqs_.empty(); }
+  [[nodiscard]] std::size_t size() const { return pending_seqs_.size(); }
+
+  /// Time of the earliest pending event; TimePoint::max() when empty.
+  [[nodiscard]] TimePoint next_time() const;
+
+  /// Pop and return the earliest event. Precondition: !empty().
+  struct Fired {
+    TimePoint time;
+    Callback cb;
+  };
+  Fired pop();
+
+  /// Drop everything (used when tearing an experiment down).
+  void clear();
+
+ private:
+  struct Entry {
+    TimePoint time;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void skip_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> pending_seqs_;  ///< scheduled, not yet fired
+  std::unordered_set<std::uint64_t> cancelled_;     ///< awaiting lazy removal
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace pofi::sim

@@ -1,0 +1,33 @@
+#include "sim/log.hpp"
+
+namespace pofi::sim {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+const char* level_tag(LogLevel lv) {
+  switch (lv) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::log(LogLevel lv, TimePoint now, const char* component, const char* fmt, ...) {
+  std::fprintf(sink_, "[%12.6fms] %s %-10s ", now.to_ms(), level_tag(lv), component);
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(sink_, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', sink_);
+}
+
+}  // namespace pofi::sim

@@ -1,0 +1,48 @@
+// Minimal leveled logger tied to the virtual clock.
+//
+// Logging is off by default (benches run millions of events); tests and
+// examples raise the level. printf-style to keep call sites terse.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "sim/time.hpp"
+
+namespace pofi::sim {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel lv) { level_ = lv; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  void set_sink(std::FILE* f) { sink_ = f; }
+
+  [[nodiscard]] bool enabled(LogLevel lv) const { return lv <= level_ && level_ != LogLevel::kOff; }
+
+  void log(LogLevel lv, TimePoint now, const char* component, const char* fmt, ...)
+      __attribute__((format(printf, 5, 6)));
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kOff;
+  std::FILE* sink_ = stderr;
+};
+
+#define POFI_LOG(lv, now, component, ...)                                  \
+  do {                                                                     \
+    auto& lg = ::pofi::sim::Logger::instance();                            \
+    if (lg.enabled(lv)) lg.log(lv, now, component, __VA_ARGS__);           \
+  } while (0)
+
+#define POFI_INFO(now, component, ...) \
+  POFI_LOG(::pofi::sim::LogLevel::kInfo, now, component, __VA_ARGS__)
+#define POFI_DEBUG(now, component, ...) \
+  POFI_LOG(::pofi::sim::LogLevel::kDebug, now, component, __VA_ARGS__)
+#define POFI_WARN(now, component, ...) \
+  POFI_LOG(::pofi::sim::LogLevel::kWarn, now, component, __VA_ARGS__)
+
+}  // namespace pofi::sim

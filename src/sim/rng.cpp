@@ -1,0 +1,52 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+
+namespace pofi::sim {
+
+double Rng::exponential(double mean) {
+  // Inverse CDF; clamp the uniform away from 0 to avoid log(0).
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+std::uint64_t Rng::poisson(double lambda) {
+  if (lambda <= 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth's product-of-uniforms method.
+    const double limit = std::exp(-lambda);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // bit-error counts this platform draws (lambda up to a few thousand).
+  const double sd = std::sqrt(lambda);
+  // Box-Muller.
+  double u1 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  const double v = lambda + sd * z + 0.5;
+  if (v < 0.0) return 0;
+  return static_cast<std::uint64_t>(v);
+}
+
+Rng Rng::fork(std::string_view label) const {
+  // FNV-1a over the label, mixed with the current state through SplitMix64.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : label) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  std::uint64_t sm = h ^ s_[0] ^ (s_[2] << 1);
+  Rng child(splitmix64(sm));
+  return child;
+}
+
+}  // namespace pofi::sim

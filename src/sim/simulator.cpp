@@ -1,0 +1,33 @@
+#include "sim/simulator.hpp"
+
+namespace pofi::sim {
+
+std::uint64_t Simulator::run_until(TimePoint deadline) {
+  std::uint64_t fired = 0;
+  while (!queue_.empty()) {
+    const TimePoint t = queue_.next_time();
+    if (t > deadline) break;
+    auto ev = queue_.pop();
+    now_ = ev.time;
+    ev.cb();
+    ++fired;
+  }
+  if (now_ < deadline) now_ = deadline;
+  events_fired_ += fired;
+  return fired;
+}
+
+std::uint64_t Simulator::run_all(std::uint64_t max_events) {
+  std::uint64_t fired = 0;
+  while (!queue_.empty()) {
+    if (max_events != 0 && fired >= max_events) break;
+    auto ev = queue_.pop();
+    now_ = ev.time;
+    ev.cb();
+    ++fired;
+  }
+  events_fired_ += fired;
+  return fired;
+}
+
+}  // namespace pofi::sim

@@ -1,0 +1,92 @@
+// SimTime: strong nanosecond timestamp/duration types for the event kernel.
+//
+// The whole platform runs on a single deterministic virtual clock. We keep
+// time as a 64-bit signed nanosecond count (enough for ~292 years of
+// simulated time), wrapped in strong types so that timestamps, durations and
+// raw integers cannot be mixed accidentally.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace pofi::sim {
+
+/// A span of virtual time, in nanoseconds. Value type, totally ordered.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr static Duration ns(std::int64_t v) { return Duration{v}; }
+  constexpr static Duration us(std::int64_t v) { return Duration{v * 1'000}; }
+  constexpr static Duration ms(std::int64_t v) { return Duration{v * 1'000'000}; }
+  constexpr static Duration sec(std::int64_t v) { return Duration{v * 1'000'000'000}; }
+  /// Fractional helpers (rounds toward zero).
+  constexpr static Duration us_f(double v) { return Duration{static_cast<std::int64_t>(v * 1e3)}; }
+  constexpr static Duration ms_f(double v) { return Duration{static_cast<std::int64_t>(v * 1e6)}; }
+  constexpr static Duration sec_f(double v) { return Duration{static_cast<std::int64_t>(v * 1e9)}; }
+  constexpr static Duration zero() { return Duration{0}; }
+  constexpr static Duration max() { return Duration{std::numeric_limits<std::int64_t>::max()}; }
+
+  [[nodiscard]] constexpr std::int64_t count_ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_us() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double to_ms() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double to_sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{ns_ * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{ns_ / k}; }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+  [[nodiscard]] constexpr bool is_zero() const { return ns_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const { return ns_ < 0; }
+
+  /// Scale by a double; used by timing jitter. Rounds toward zero.
+  [[nodiscard]] constexpr Duration scaled(double f) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(ns_) * f)};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t v) : ns_(v) {}
+  std::int64_t ns_ = 0;
+};
+
+/// An instant on the virtual clock. Only duration arithmetic is allowed.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr static TimePoint from_ns(std::int64_t v) { return TimePoint{v}; }
+  constexpr static TimePoint zero() { return TimePoint{0}; }
+  constexpr static TimePoint max() { return TimePoint{std::numeric_limits<std::int64_t>::max()}; }
+
+  [[nodiscard]] constexpr std::int64_t count_ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_ms() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double to_sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{ns_ + d.count_ns()}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{ns_ - d.count_ns()}; }
+  constexpr Duration operator-(TimePoint o) const { return Duration::ns(ns_ - o.ns_); }
+  constexpr TimePoint& operator+=(Duration d) { ns_ += d.count_ns(); return *this; }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t v) : ns_(v) {}
+  std::int64_t ns_ = 0;
+};
+
+namespace literals {
+constexpr Duration operator""_ns(unsigned long long v) { return Duration::ns(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_us(unsigned long long v) { return Duration::us(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_ms(unsigned long long v) { return Duration::ms(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_s(unsigned long long v) { return Duration::sec(static_cast<std::int64_t>(v)); }
+}  // namespace literals
+
+}  // namespace pofi::sim

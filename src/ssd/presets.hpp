@@ -1,0 +1,49 @@
+// Vendor presets reproducing Table I of the paper.
+//
+// Three SSD models (two units of each were tested): A — 256 GB SATA MLC with
+// internal cache and ECC, released 2013; B — 120 GB SATA TLC with LDPC,
+// 2015; C — 120 GB SATA MLC with cache and ECC, release year N/A. Absolute
+// electrical parameters are obviously not in the paper; these presets pick
+// plausible values per technology class and expose every knob the benches
+// sweep (cache on/off, PLP, mapping policy).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ssd/ssd.hpp"
+
+namespace pofi::ssd {
+
+enum class VendorModel : std::uint8_t { kA, kB, kC };
+
+[[nodiscard]] constexpr const char* to_string(VendorModel m) {
+  switch (m) {
+    case VendorModel::kA: return "A";
+    case VendorModel::kB: return "B";
+    case VendorModel::kC: return "C";
+  }
+  return "?";
+}
+
+struct PresetOptions {
+  bool cache_enabled = true;
+  bool plp = false;
+  /// Power-on-recovery scan (enterprise firmware feature; see ablation A3).
+  bool por_scan = false;
+  /// Pre-age the NAND: initial P/E cycles on every block (wear ablation A4).
+  std::uint32_t preage_pe_cycles = 0;
+  ftl::MappingPolicy mapping_policy = ftl::MappingPolicy::kHybridExtent;
+  /// Scale the drive down for memory-bounded sweeps (1 = Table I capacity).
+  std::uint32_t capacity_override_gb = 0;
+};
+
+[[nodiscard]] SsdConfig make_preset(VendorModel model, const PresetOptions& opts = {});
+
+/// The six drives of Table I (two units per model).
+[[nodiscard]] std::vector<SsdConfig> table1_fleet();
+
+/// Human-readable Table I row for a config.
+[[nodiscard]] std::string table1_row(const SsdConfig& cfg, int units_in_experiments);
+
+}  // namespace pofi::ssd

@@ -1,0 +1,209 @@
+#include "ssd/write_cache.hpp"
+
+#include <algorithm>
+
+namespace pofi::ssd {
+
+WriteCache::WriteCache(sim::Simulator& simulator, ftl::Ftl& ftl, Config config)
+    : sim_(simulator), ftl_(ftl), config_(config), rng_(simulator.fork_rng("write-cache")) {}
+
+bool WriteCache::insert(ftl::Lpn lpn, std::uint64_t content) {
+  if (!powered_) return false;
+  auto it = entries_.find(lpn);
+  if (it == entries_.end()) {
+    if (entries_.size() >= config_.capacity_pages) {
+      evict_clean_if_needed();
+      if (entries_.size() >= config_.capacity_pages) {
+        ++stats_.backpressure_stalls;
+        return false;  // full of dirty data
+      }
+    }
+    it = entries_.emplace(lpn, Entry{}).first;
+  } else if (it->second.dirty) {
+    --dirty_count_;  // will re-count below; overwrite coalesces
+  }
+  Entry& e = it->second;
+  e.content = content;
+  e.seq = next_seq_++;
+  e.dirtied_at = sim_.now();
+  e.dirty = true;
+  ++dirty_count_;
+  dirty_fifo_.push_back(Ticket{lpn, e.seq});
+  ++stats_.inserts;
+  pump();
+  return true;
+}
+
+std::optional<std::uint64_t> WriteCache::lookup(ftl::Lpn lpn) const {
+  const auto it = entries_.find(lpn);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.content;
+}
+
+void WriteCache::invalidate(ftl::Lpn lpn) {
+  const auto it = entries_.find(lpn);
+  if (it == entries_.end()) return;
+  if (it->second.dirty && dirty_count_ > 0) --dirty_count_;
+  entries_.erase(it);  // FIFO tickets for it become stale and are skipped
+  notify_space();
+}
+
+std::optional<sim::Duration> WriteCache::oldest_dirty_age() const {
+  for (const auto& t : dirty_fifo_) {
+    const auto it = entries_.find(t.lpn);
+    if (it == entries_.end() || !it->second.dirty || it->second.seq != t.seq) continue;
+    return sim_.now() - it->second.dirtied_at;
+  }
+  return std::nullopt;
+}
+
+std::size_t WriteCache::pick_flush_candidate(bool pressured) {
+  constexpr std::size_t kNone = ~std::size_t{0};
+  // Drop stale tickets off the head first.
+  while (!dirty_fifo_.empty()) {
+    const Ticket& t = dirty_fifo_.front();
+    const auto it = entries_.find(t.lpn);
+    if (it != entries_.end() && it->second.dirty && it->second.seq == t.seq) break;
+    dirty_fifo_.pop_front();
+  }
+  if (dirty_fifo_.empty()) return kNone;
+
+  // Head must be ripe (or the cache pressured) for anything to flush.
+  const auto head_it = entries_.find(dirty_fifo_.front().lpn);
+  const sim::Duration head_age = sim_.now() - head_it->second.dirtied_at;
+  if (!pressured && head_age < config_.hold_time) {
+    sim_.cancel(wake_event_);
+    wake_event_ = sim_.after(config_.hold_time - head_age, [this] { pump(); });
+    return kNone;
+  }
+
+  // Pick uniformly among the ripe candidates in the scramble window.
+  const std::size_t window =
+      std::min<std::size_t>(std::max<std::uint32_t>(1, config_.flush_scramble_window),
+                            dirty_fifo_.size());
+  std::size_t ripe = 0;
+  for (std::size_t i = 0; i < window; ++i) {
+    const Ticket& t = dirty_fifo_[i];
+    const auto it = entries_.find(t.lpn);
+    if (it == entries_.end() || !it->second.dirty || it->second.seq != t.seq) continue;
+    if (!pressured && (sim_.now() - it->second.dirtied_at) < config_.hold_time) break;
+    ++ripe;
+  }
+  if (ripe == 0) return 0;  // head itself (ripe by the check above)
+  std::size_t target = rng_.below(ripe);
+  for (std::size_t i = 0; i < window; ++i) {
+    const Ticket& t = dirty_fifo_[i];
+    const auto it = entries_.find(t.lpn);
+    if (it == entries_.end() || !it->second.dirty || it->second.seq != t.seq) continue;
+    if (!pressured && (sim_.now() - it->second.dirtied_at) < config_.hold_time) break;
+    if (target-- == 0) return i;
+  }
+  return 0;
+}
+
+void WriteCache::pump() {
+  if (!powered_) return;
+  const bool pressured =
+      emergency_ ||
+      static_cast<double>(dirty_count_) >=
+          config_.high_watermark * static_cast<double>(config_.capacity_pages);
+  while (in_flight_ < config_.flush_ways) {
+    const std::size_t idx = pick_flush_candidate(pressured);
+    if (idx == ~std::size_t{0}) return;
+    const Ticket t = dirty_fifo_[idx];
+    dirty_fifo_.erase(dirty_fifo_.begin() + static_cast<std::ptrdiff_t>(idx));
+    const auto it = entries_.find(t.lpn);
+    if (it == entries_.end() || !it->second.dirty || it->second.seq != t.seq) continue;
+    issue_flush(t.lpn, t.seq, it->second.content);
+  }
+}
+
+void WriteCache::issue_flush(ftl::Lpn lpn, std::uint64_t seq, std::uint64_t content) {
+  ++in_flight_;
+  ftl_.write(lpn, content, [this, lpn, seq](bool ok) {
+    if (in_flight_ > 0) --in_flight_;
+    if (!powered_) return;
+    if (ok) {
+      const auto it = entries_.find(lpn);
+      if (it != entries_.end() && it->second.dirty && it->second.seq == seq) {
+        it->second.dirty = false;
+        if (dirty_count_ > 0) --dirty_count_;
+        clean_fifo_.push_back(Ticket{lpn, seq});
+        ++stats_.flushes_completed;
+        became_clean(lpn);
+      }
+    } else {
+      // Failed program: page stays dirty, retry via a fresh ticket.
+      const auto it = entries_.find(lpn);
+      if (it != entries_.end() && it->second.dirty && it->second.seq == seq) {
+        dirty_fifo_.push_back(Ticket{lpn, seq});
+      }
+    }
+    pump();
+    check_emergency_done();
+  });
+}
+
+void WriteCache::became_clean(ftl::Lpn /*lpn*/) {
+  evict_clean_if_needed();
+  notify_space();
+}
+
+void WriteCache::evict_clean_if_needed() {
+  while (entries_.size() >= config_.capacity_pages && !clean_fifo_.empty()) {
+    const Ticket t = clean_fifo_.front();
+    clean_fifo_.pop_front();
+    const auto it = entries_.find(t.lpn);
+    if (it == entries_.end() || it->second.dirty || it->second.seq != t.seq) continue;
+    entries_.erase(it);
+    ++stats_.clean_evictions;
+  }
+}
+
+void WriteCache::notify_space() {
+  if (space_waiters_.empty()) return;
+  if (entries_.size() >= config_.capacity_pages) return;
+  auto waiters = std::move(space_waiters_);
+  space_waiters_.clear();
+  for (auto& w : waiters) w();
+}
+
+void WriteCache::flush_all(std::function<void()> done) {
+  emergency_ = true;
+  emergency_done_ = std::move(done);
+  pump();
+  check_emergency_done();
+}
+
+void WriteCache::check_emergency_done() {
+  if (!emergency_ || emergency_done_ == nullptr) return;
+  if (dirty_count_ == 0 && in_flight_ == 0) {
+    auto cb = std::move(emergency_done_);
+    emergency_done_ = nullptr;
+    emergency_ = false;  // back to normal hold-time batching
+    cb();
+  }
+}
+
+std::size_t WriteCache::on_power_lost() {
+  powered_ = false;
+  const std::size_t lost = dirty_count_;
+  stats_.dirty_lost_on_power_failure += lost;
+  entries_.clear();
+  dirty_fifo_.clear();
+  clean_fifo_.clear();
+  dirty_count_ = 0;
+  in_flight_ = 0;
+  emergency_ = false;
+  emergency_done_ = nullptr;
+  space_waiters_.clear();
+  sim_.cancel(wake_event_);
+  return lost;
+}
+
+void WriteCache::on_power_good() {
+  powered_ = true;
+  emergency_ = false;
+}
+
+}  // namespace pofi::ssd

@@ -1,0 +1,127 @@
+// Volatile DRAM write-back cache inside the SSD.
+//
+// Commodity drives ACK a write as soon as it lands in DRAM; dirty pages are
+// flushed to flash later (we model a hold time — controllers batch and
+// coalesce overwrites — plus a bounded-concurrency background flusher). The
+// gap between ACK and durability is the paper's headline vulnerability: a
+// power fault up to ~700 ms after completion still kills the data (§IV-A),
+// and small requests that fit entirely in DRAM produce the FWA failures that
+// dominate Fig. 7.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ftl/ftl.hpp"
+#include "ftl/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace pofi::ssd {
+
+struct CacheStats {
+  std::uint64_t inserts = 0;
+  std::uint64_t read_hits = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t flushes_completed = 0;
+  std::uint64_t clean_evictions = 0;
+  std::uint64_t backpressure_stalls = 0;
+  std::uint64_t dirty_lost_on_power_failure = 0;  ///< cumulative
+};
+
+class WriteCache {
+ public:
+  struct Config {
+    std::size_t capacity_pages = 65536;          ///< 256 MiB of 4 KiB pages
+    sim::Duration hold_time = sim::Duration::ms(500);  ///< batching delay before flush
+    std::uint32_t flush_ways = 8;                ///< concurrent background flushes
+    double high_watermark = 0.75;                ///< dirty fraction forcing eager flush
+    /// Controllers reorder flushes for striping/coalescing, so a request's
+    /// pages do not reach flash atomically: the flusher picks uniformly from
+    /// this many ripe head-of-queue candidates (1 = strict FIFO). This is
+    /// what turns a fault into *partially applied* requests (data failures)
+    /// rather than clean all-or-nothing FWAs.
+    std::uint32_t flush_scramble_window = 32;
+  };
+
+  WriteCache(sim::Simulator& simulator, ftl::Ftl& ftl, Config config);
+
+  WriteCache(const WriteCache&) = delete;
+  WriteCache& operator=(const WriteCache&) = delete;
+
+  /// Insert (or overwrite) a dirty page. Returns false when the cache is
+  /// full of dirty data — the caller must wait for on_space().
+  [[nodiscard]] bool insert(ftl::Lpn lpn, std::uint64_t content);
+
+  /// Register a one-shot callback fired when space frees up.
+  void on_space(std::function<void()> cb) { space_waiters_.push_back(std::move(cb)); }
+
+  /// Cache lookup for reads (dirty or clean entries both hit).
+  [[nodiscard]] std::optional<std::uint64_t> lookup(ftl::Lpn lpn) const;
+
+  /// Drop a page outright (TRIM): discarded data must not be served from
+  /// DRAM, dirty or not.
+  void invalidate(ftl::Lpn lpn);
+
+  [[nodiscard]] std::size_t dirty_pages() const { return dirty_count_; }
+  [[nodiscard]] std::size_t resident_pages() const { return entries_.size(); }
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+
+  /// Age of the oldest still-dirty page (vulnerability window probe).
+  [[nodiscard]] std::optional<sim::Duration> oldest_dirty_age() const;
+
+  /// Drain every dirty page as fast as possible, ignoring hold time. Used
+  /// by the PLP emergency path and by host FLUSH commands. `done` fires when
+  /// no dirty page remains (or everything was dropped on power loss); the
+  /// cache then returns to normal hold-time batching.
+  void flush_all(std::function<void()> done);
+
+  /// Power loss: every entry vanishes. Returns how many dirty pages died.
+  std::size_t on_power_lost();
+  void on_power_good();
+
+ private:
+  struct Entry {
+    std::uint64_t content = 0;
+    std::uint64_t seq = 0;  ///< bumped on each dirtying; stales FIFO tickets
+    sim::TimePoint dirtied_at;
+    bool dirty = false;
+  };
+  struct Ticket {
+    ftl::Lpn lpn;
+    std::uint64_t seq;
+  };
+
+  void pump();
+  /// Index into dirty_fifo_ of the ticket to flush next, or npos when the
+  /// ripe window is empty.
+  [[nodiscard]] std::size_t pick_flush_candidate(bool pressured);
+  void issue_flush(ftl::Lpn lpn, std::uint64_t seq, std::uint64_t content);
+  void became_clean(ftl::Lpn lpn);
+  void evict_clean_if_needed();
+  void notify_space();
+  void check_emergency_done();
+
+  sim::Simulator& sim_;
+  ftl::Ftl& ftl_;
+  Config config_;
+  sim::Rng rng_;
+  bool powered_ = false;
+  bool emergency_ = false;
+  std::function<void()> emergency_done_;
+
+  std::unordered_map<ftl::Lpn, Entry> entries_;
+  std::deque<Ticket> dirty_fifo_;
+  std::deque<Ticket> clean_fifo_;
+  std::size_t dirty_count_ = 0;
+  std::uint32_t in_flight_ = 0;
+  std::uint64_t next_seq_ = 1;
+  sim::EventId wake_event_{};
+  std::vector<std::function<void()>> space_waiters_;
+  CacheStats stats_;
+};
+
+}  // namespace pofi::ssd

@@ -1,0 +1,54 @@
+#include "stats/csv.hpp"
+
+#include <cstdio>
+
+namespace pofi::stats {
+
+CsvWriter::CsvWriter(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+CsvWriter& CsvWriter::add_row(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quoting =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::render() const {
+  std::string out;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    out += escape(columns_[c]);
+    out += (c + 1 < columns_.size()) ? "," : "";
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += escape(row[c]);
+      out += (c + 1 < row.size()) ? "," : "";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string data = render();
+  const bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace pofi::stats

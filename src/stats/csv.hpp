@@ -1,0 +1,31 @@
+// Minimal RFC-4180 CSV writing, for exporting experiment series to plotting
+// tools. Cells containing commas, quotes or newlines are quoted and escaped.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pofi::stats {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> columns);
+
+  CsvWriter& add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::string render() const;
+
+  /// Write render() to `path`; returns false on IO error.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Escape one cell per RFC 4180 (exposed for tests).
+  [[nodiscard]] static std::string escape(const std::string& cell);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pofi::stats

@@ -1,0 +1,87 @@
+// Streaming statistics for experiment reporting.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace pofi::stats {
+
+/// Welford streaming mean/variance with min/max.
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+
+  /// Half-width of the ~95% normal confidence interval of the mean.
+  [[nodiscard]] double ci95_halfwidth() const {
+    if (n_ < 2) return 0.0;
+    return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width linear histogram over [lo, hi); outliers clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), bins_(bins, 0) {}
+
+  void add(double x) {
+    const double f = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::int64_t>(f * static_cast<double>(bins_.size()));
+    idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(bins_.size()) - 1);
+    ++bins_[static_cast<std::size_t>(idx)];
+    ++total_;
+  }
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& bins() const { return bins_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(bins_.size());
+  }
+  [[nodiscard]] double bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+  /// Value below which `q` of the mass lies (bin midpoint resolution).
+  [[nodiscard]] double quantile(double q) const {
+    if (total_ == 0) return lo_;
+    const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+      acc += bins_[i];
+      if (acc >= target) return 0.5 * (bin_lo(i) + bin_hi(i));
+    }
+    return hi_;
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace pofi::stats

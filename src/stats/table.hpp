@@ -1,0 +1,59 @@
+// ASCII table/series rendering for bench output.
+//
+// Every bench prints the paper's tables and figure series through this so
+// the output is uniform and diffable run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pofi::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles/ints into cells.
+  [[nodiscard]] static std::string fmt(double v, int precision = 2);
+  [[nodiscard]] static std::string fmt(std::uint64_t v);
+  [[nodiscard]] static std::string fmt(std::int64_t v);
+
+  [[nodiscard]] std::string render() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// A labelled numeric series (one curve of a figure).
+struct Series {
+  std::string label;
+  std::vector<double> values;
+};
+
+/// Render figure-style data: one row per x value, one column per series,
+/// plus an optional ASCII sparkline per series underneath.
+class FigureData {
+ public:
+  FigureData(std::string title, std::string x_label, std::vector<double> xs);
+
+  FigureData& add_series(std::string label, std::vector<double> values);
+
+  [[nodiscard]] std::string render() const;
+  void print() const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::vector<double> xs_;
+  std::vector<Series> series_;
+};
+
+/// Section banner used between experiments in bench output.
+void print_banner(const std::string& text);
+
+}  // namespace pofi::stats

@@ -1,0 +1,56 @@
+// Fig. 2 of the paper: the data packet.
+//
+// Every generated request is a packet of header + randomly generated data.
+// The header carries size, destination address, queue/complete times and the
+// three checksums used for failure detection: the checksum of the payload,
+// the checksum of whatever lived at the address *before* the request (for
+// FWA detection), and the checksum read back after completion. The trailing
+// flags are filled by the Analyzer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ftl/types.hpp"
+#include "sim/time.hpp"
+
+namespace pofi::workload {
+
+enum class OpType : std::uint8_t { kRead, kWrite };
+
+[[nodiscard]] constexpr const char* to_string(OpType t) {
+  return t == OpType::kRead ? "read" : "write";
+}
+
+struct DataPacket {
+  // ----- header (Fig. 2) ----------------------------------------------------
+  std::uint64_t packet_id = 0;
+  OpType op = OpType::kWrite;
+  ftl::Lpn address = 0;        ///< destination address (logical page)
+  std::uint32_t size_pages = 1;
+  sim::TimePoint queue_time;     ///< when the request was queued to the device
+  sim::TimePoint complete_time;  ///< when the ACK arrived (if it did)
+
+  std::uint64_t initial_checksum = 0;  ///< contents at address before issuing
+  std::uint64_t data_checksum = 0;     ///< checksum of this packet's payload
+  std::uint64_t final_checksum = 0;    ///< read-back checksum after completion
+
+  // ----- flags (filled by the Analyzer) --------------------------------------
+  bool modified = false;      ///< ACK seen (request reported complete)
+  bool data_failure = false;  ///< read-back mismatched the payload
+  bool not_issued = false;    ///< never reached the device / IO error
+
+  // ----- payload --------------------------------------------------------------
+  /// One collision-free content tag per page (hot path). The request-level
+  /// data_checksum is combine_tags() over these.
+  std::vector<std::uint64_t> page_tags;
+  /// Per-page contents at the destination when the request was issued (the
+  /// expansion of initial_checksum; what an FWA leaves behind).
+  std::vector<std::uint64_t> initial_page_tags;
+
+  [[nodiscard]] std::uint64_t bytes(std::uint32_t page_size) const {
+    return static_cast<std::uint64_t>(size_pages) * page_size;
+  }
+};
+
+}  // namespace pofi::workload

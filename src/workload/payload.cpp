@@ -1,0 +1,47 @@
+#include "workload/payload.hpp"
+
+#include <cstring>
+
+#include "sim/rng.hpp"
+
+namespace pofi::workload {
+
+std::vector<std::uint8_t> PayloadCodec::expand(std::uint64_t tag) const {
+  std::vector<std::uint8_t> out(page_size_);
+  // Header: the tag and the page size, little-endian.
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(tag >> (i * 8));
+  for (int i = 0; i < 4; ++i) out[8 + i] = static_cast<std::uint8_t>(page_size_ >> (i * 8));
+  // Reserved 4 bytes stay zero; body is tag-seeded pseudo-random data.
+  sim::Rng rng(tag ^ 0x706f6669ULL /* "pofi" */);
+  std::size_t i = 16;
+  while (i + 8 <= out.size()) {
+    const std::uint64_t word = rng.next();
+    std::memcpy(&out[i], &word, 8);
+    i += 8;
+  }
+  for (std::uint64_t word = rng.next(); i < out.size(); ++i, word >>= 8) {
+    out[i] = static_cast<std::uint8_t>(word);
+  }
+  return out;
+}
+
+std::uint32_t PayloadCodec::page_crc(std::uint64_t tag) const {
+  const auto bytes = expand(tag);
+  return crc32c(bytes);
+}
+
+bool PayloadCodec::matches(std::uint64_t tag, std::span<const std::uint8_t> payload) const {
+  if (payload.size() != page_size_) return false;
+  return crc32c(payload) == page_crc(tag);
+}
+
+bool PayloadCodec::extract(std::span<const std::uint8_t> payload, std::uint64_t& tag_out) const {
+  if (payload.size() != page_size_ || payload.size() < 16) return false;
+  std::uint64_t tag = 0;
+  for (int i = 7; i >= 0; --i) tag = (tag << 8) | payload[static_cast<std::size_t>(i)];
+  if (!matches(tag, payload)) return false;
+  tag_out = tag;
+  return true;
+}
+
+}  // namespace pofi::workload

@@ -1,0 +1,58 @@
+#include "workload/trace_replay.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace pofi::workload {
+
+std::vector<RequestSpec> parse_trace(const std::string& text) {
+  std::vector<RequestSpec> specs;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and skip blanks.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    bool blank = true;
+    for (const char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) continue;
+
+    char op = 0;
+    std::uint64_t lpn = 0;
+    unsigned pages = 0;
+    if (std::sscanf(line.c_str(), " %c %" SCNu64 " %u", &op, &lpn, &pages) != 3 ||
+        (op != 'W' && op != 'R' && op != 'w' && op != 'r') || pages == 0) {
+      throw std::invalid_argument("trace_replay: malformed line " + std::to_string(line_no) +
+                                  ": " + line);
+    }
+    RequestSpec spec;
+    spec.op = (op == 'W' || op == 'w') ? OpType::kWrite : OpType::kRead;
+    spec.lpn = lpn;
+    spec.pages = pages;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+std::string format_trace(const std::vector<RequestSpec>& specs) {
+  std::string out;
+  out.reserve(specs.size() * 16);
+  char line[64];
+  for (const RequestSpec& s : specs) {
+    std::snprintf(line, sizeof line, "%c %" PRIu64 " %u\n",
+                  s.op == OpType::kWrite ? 'W' : 'R', s.lpn, s.pages);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace pofi::workload

@@ -1,0 +1,23 @@
+// Trace replay: run a recorded request stream through the platform.
+//
+// Format: one request per line, `W|R <lpn> <pages>`, '#' comments and blank
+// lines ignored. Parsed traces plug into WorkloadConfig::replay, making any
+// recorded workload (fio logs, production traces, regression cases) a
+// first-class campaign input next to the synthetic generators.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace pofi::workload {
+
+/// Parse a trace. Throws std::invalid_argument (with the line number) on
+/// malformed input.
+[[nodiscard]] std::vector<RequestSpec> parse_trace(const std::string& text);
+
+/// Serialise a request stream into the trace format.
+[[nodiscard]] std::string format_trace(const std::vector<RequestSpec>& specs);
+
+}  // namespace pofi::workload

@@ -1,0 +1,76 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pofi::workload {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config, sim::Rng rng)
+    : config_(std::move(config)), rng_(rng), seq_cursor_(config_.base_lpn) {
+  if (config_.replay.empty()) {
+    assert(config_.min_pages >= 1 && config_.min_pages <= config_.max_pages);
+    assert(config_.wss_pages >= config_.max_pages);
+  }
+}
+
+std::uint32_t WorkloadGenerator::pick_pages() {
+  if (config_.min_pages == config_.max_pages) return config_.min_pages;
+  return static_cast<std::uint32_t>(
+      rng_.range(config_.min_pages, config_.max_pages));
+}
+
+ftl::Lpn WorkloadGenerator::pick_lpn(std::uint32_t pages) {
+  switch (config_.pattern) {
+    case AccessPattern::kUniformRandom: {
+      const std::uint64_t span = config_.wss_pages - pages + 1;
+      return config_.base_lpn + rng_.below(span);
+    }
+    case AccessPattern::kSequential: {
+      if (seq_cursor_ + pages > config_.base_lpn + config_.wss_pages) {
+        seq_cursor_ = config_.base_lpn;  // wrap at the end of the working set
+      }
+      const ftl::Lpn lpn = seq_cursor_;
+      seq_cursor_ += pages;
+      return lpn;
+    }
+  }
+  return config_.base_lpn;
+}
+
+RequestSpec WorkloadGenerator::next() {
+  ++generated_;
+  if (!config_.replay.empty()) {
+    // Trace replay: cycle through the recorded stream verbatim.
+    return config_.replay[(generated_ - 1) % config_.replay.size()];
+  }
+  if (pair_pending_) {
+    pair_pending_ = false;
+    return pair_second_;
+  }
+
+  RequestSpec spec;
+  spec.pages = pick_pages();
+  spec.lpn = pick_lpn(spec.pages);
+
+  if (config_.sequence != SequenceMode::kNone) {
+    // First access of a dependent pair; the second hits the same address.
+    OpType first = OpType::kRead;
+    OpType second = OpType::kRead;
+    switch (config_.sequence) {
+      case SequenceMode::kRAR: first = OpType::kRead;  second = OpType::kRead;  break;
+      case SequenceMode::kRAW: first = OpType::kWrite; second = OpType::kRead;  break;
+      case SequenceMode::kWAR: first = OpType::kRead;  second = OpType::kWrite; break;
+      case SequenceMode::kWAW: first = OpType::kWrite; second = OpType::kWrite; break;
+      case SequenceMode::kNone: break;
+    }
+    spec.op = first;
+    pair_second_ = RequestSpec{second, spec.lpn, spec.pages};
+    pair_pending_ = true;
+    return spec;
+  }
+
+  spec.op = rng_.chance(config_.write_fraction) ? OpType::kWrite : OpType::kRead;
+  return spec;
+}
+
+}  // namespace pofi::workload

@@ -1,0 +1,99 @@
+// Workload generation: every knob the paper sweeps.
+//
+// WSS, request-size range, read/write mix, random vs sequential pattern,
+// dependent access sequences (RAR/RAW/WAR/WAW, "each request is submitted on
+// the address of the previously completed request"), and target request
+// rate. The generator emits descriptors; the platform turns them into data
+// packets with allocated content tags.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ftl/types.hpp"
+#include "sim/rng.hpp"
+#include "workload/data_packet.hpp"
+
+namespace pofi::workload {
+
+enum class AccessPattern : std::uint8_t { kUniformRandom, kSequential };
+
+[[nodiscard]] constexpr const char* to_string(AccessPattern p) {
+  return p == AccessPattern::kUniformRandom ? "random" : "sequential";
+}
+
+/// Dependent-pair sequences of §IV-G.
+enum class SequenceMode : std::uint8_t { kNone, kRAR, kRAW, kWAR, kWAW };
+
+[[nodiscard]] constexpr const char* to_string(SequenceMode m) {
+  switch (m) {
+    case SequenceMode::kNone: return "none";
+    case SequenceMode::kRAR: return "RAR";
+    case SequenceMode::kRAW: return "RAW";
+    case SequenceMode::kWAR: return "WAR";
+    case SequenceMode::kWAW: return "WAW";
+  }
+  return "?";
+}
+
+/// One request to be materialised into a DataPacket.
+struct RequestSpec {
+  OpType op = OpType::kWrite;
+  ftl::Lpn lpn = 0;
+  std::uint32_t pages = 1;
+};
+
+struct WorkloadConfig {
+  std::string name = "workload";
+  std::uint64_t wss_pages = 1ULL << 22;  ///< 16 GiB at 4 KiB pages
+  ftl::Lpn base_lpn = 0;
+  std::uint32_t min_pages = 1;     ///< 4 KiB
+  std::uint32_t max_pages = 256;   ///< 1 MiB
+  double write_fraction = 1.0;     ///< 1.0 = fully write
+  AccessPattern pattern = AccessPattern::kUniformRandom;
+  SequenceMode sequence = SequenceMode::kNone;
+  /// Open-loop request rate; 0 keeps the platform in closed-loop mode.
+  double target_iops = 0.0;
+  /// Trace replay: when non-empty the generator cycles through these specs
+  /// verbatim (see workload/trace_replay.hpp) and every synthetic knob
+  /// above except target_iops is ignored.
+  std::vector<RequestSpec> replay;
+
+  [[nodiscard]] std::uint64_t wss_bytes(std::uint32_t page_size) const {
+    return wss_pages * page_size;
+  }
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(WorkloadConfig config, sim::Rng rng);
+
+  [[nodiscard]] const WorkloadConfig& config() const { return config_; }
+
+  /// Produce the next request of the workload.
+  RequestSpec next();
+
+  /// Mean inter-arrival gap for open-loop submission (nullopt = closed loop).
+  [[nodiscard]] std::optional<double> mean_interarrival_sec() const {
+    if (config_.target_iops <= 0.0) return std::nullopt;
+    return 1.0 / config_.target_iops;
+  }
+
+  [[nodiscard]] std::uint64_t generated() const { return generated_; }
+
+ private:
+  [[nodiscard]] std::uint32_t pick_pages();
+  [[nodiscard]] ftl::Lpn pick_lpn(std::uint32_t pages);
+
+  WorkloadConfig config_;
+  sim::Rng rng_;
+  std::uint64_t generated_ = 0;
+  ftl::Lpn seq_cursor_ = 0;
+  // Sequence-mode pair state: the second access replays the first's address.
+  bool pair_pending_ = false;
+  RequestSpec pair_second_{};
+};
+
+}  // namespace pofi::workload

@@ -1,0 +1,86 @@
+#include "blk/trace_text.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pofi::blk {
+namespace {
+
+BlkTrace sample_trace() {
+  BlkTrace t;
+  const auto at = [](std::int64_t ns) { return sim::TimePoint::from_ns(ns); };
+  t.record({at(0), Action::kQueued, 17, 0, 2048, 256, true});
+  t.record({at(12'345), Action::kSplit, 17, 0, 2048, 64, true});
+  t.record({at(12'345), Action::kSplit, 17, 1, 2112, 64, true});
+  t.record({at(99'000'000), Action::kDispatch, 17, 0, 2048, 64, true});
+  t.record({at(1'500'000'000), Action::kComplete, 17, 0, 2048, 64, true});
+  t.record({at(2'000'000'001), Action::kError, 18, 0, 0, 1, false});
+  t.record({at(32'000'000'000), Action::kTimeout, 18, 0, 0, 1, false});
+  return t;
+}
+
+TEST(TraceText, RoundTripPreservesEverything) {
+  const BlkTrace original = sample_trace();
+  const std::string text = to_text(original);
+  const BlkTrace parsed = parse_text(text);
+  ASSERT_EQ(parsed.events().size(), original.events().size());
+  for (std::size_t i = 0; i < original.events().size(); ++i) {
+    const auto& a = original.events()[i];
+    const auto& b = parsed.events()[i];
+    EXPECT_EQ(a.time, b.time) << "event " << i;
+    EXPECT_EQ(a.action, b.action) << "event " << i;
+    EXPECT_EQ(a.request_id, b.request_id) << "event " << i;
+    EXPECT_EQ(a.sub_index, b.sub_index) << "event " << i;
+    EXPECT_EQ(a.lpn, b.lpn) << "event " << i;
+    EXPECT_EQ(a.pages, b.pages) << "event " << i;
+    EXPECT_EQ(a.is_write, b.is_write) << "event " << i;
+  }
+}
+
+TEST(TraceText, OutputIsOneLinePerEvent) {
+  const std::string text = to_text(sample_trace());
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 7);
+  // Spot-check the first line's format.
+  EXPECT_EQ(text.substr(0, text.find('\n')), "0.000000000 Q W 2048+256 id=17 sub=0");
+}
+
+TEST(TraceText, SubSecondTimestampsPadded) {
+  BlkTrace t;
+  t.record({sim::TimePoint::from_ns(5), Action::kQueued, 1, 0, 0, 1, false});
+  const std::string text = to_text(t);
+  EXPECT_EQ(text, "0.000000005 Q R 0+1 id=1 sub=0\n");
+}
+
+TEST(TraceText, EmptyTraceRoundTrips) {
+  BlkTrace empty;
+  EXPECT_TRUE(to_text(empty).empty());
+  EXPECT_TRUE(parse_text("").events().empty());
+  EXPECT_TRUE(parse_text("\n\n").events().empty());
+}
+
+TEST(TraceText, MalformedLineThrowsWithLineNumber) {
+  try {
+    (void)parse_text("0.000000000 Q W 2048+256 id=17 sub=0\nthis is not an event\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TraceText, UnknownActionRejected) {
+  EXPECT_THROW((void)parse_text("0.000000000 Z W 0+1 id=1 sub=0\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse_text("0.000000000 Q X 0+1 id=1 sub=0\n"), std::invalid_argument);
+}
+
+TEST(TraceText, ParsedTraceFeedsBtt) {
+  const std::string text = to_text(sample_trace());
+  const BlkTrace parsed = parse_text(text);
+  const auto ios = Btt::per_io_dump(parsed);
+  ASSERT_EQ(ios.size(), 2u);
+  EXPECT_EQ(ios[0].request_id, 17u);
+  EXPECT_TRUE(ios[1].io_error());
+}
+
+}  // namespace
+}  // namespace pofi::blk

@@ -1,0 +1,135 @@
+#include "ftl/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace pofi::ftl {
+namespace {
+
+nand::Geometry small_geometry() {
+  nand::Geometry g;
+  g.page_size_bytes = 4096;
+  g.pages_per_block = 8;
+  g.blocks_per_plane = 4;
+  g.planes = 2;
+  return g;
+}
+
+TEST(BlockAllocator, StartsWithAllBlocksFree) {
+  BlockAllocator alloc(small_geometry());
+  EXPECT_EQ(alloc.free_blocks(), 8u);
+  EXPECT_EQ(alloc.pages_allocated(), 0u);
+}
+
+TEST(BlockAllocator, StripesAcrossPlanes) {
+  const auto g = small_geometry();
+  BlockAllocator alloc(g);
+  const auto p0 = alloc.alloc_page(Stream::kHost);
+  const auto p1 = alloc.alloc_page(Stream::kHost);
+  ASSERT_TRUE(p0.has_value() && p1.has_value());
+  EXPECT_NE(g.plane_of(*p0), g.plane_of(*p1));
+}
+
+TEST(BlockAllocator, PagesWithinBlockInOrder) {
+  const auto g = small_geometry();
+  BlockAllocator alloc(g);
+  std::vector<Ppn> on_plane0;
+  for (int i = 0; i < 16; ++i) {
+    const auto p = alloc.alloc_page(Stream::kHost);
+    ASSERT_TRUE(p.has_value());
+    if (g.plane_of(*p) == 0) on_plane0.push_back(*p);
+  }
+  for (std::size_t i = 1; i < on_plane0.size(); ++i) {
+    if (g.block_of(on_plane0[i]) == g.block_of(on_plane0[i - 1])) {
+      EXPECT_EQ(g.page_in_block(on_plane0[i]), g.page_in_block(on_plane0[i - 1]) + 1);
+    }
+  }
+}
+
+TEST(BlockAllocator, StreamsUseDistinctBlocks) {
+  const auto g = small_geometry();
+  BlockAllocator alloc(g);
+  const auto host = alloc.alloc_page(Stream::kHost);
+  const auto gc = alloc.alloc_page(Stream::kGc);
+  const auto journal = alloc.alloc_page(Stream::kJournal);
+  ASSERT_TRUE(host && gc && journal);
+  std::set<BlockId> blocks{g.block_of(*host), g.block_of(*gc), g.block_of(*journal)};
+  EXPECT_EQ(blocks.size(), 3u);
+}
+
+TEST(BlockAllocator, FullBlockIsSealed) {
+  const auto g = small_geometry();
+  BlockAllocator alloc(g);
+  // 8 pages/block * 2 planes: 16 allocations fill two blocks.
+  for (int i = 0; i < 16; ++i) ASSERT_TRUE(alloc.alloc_page(Stream::kHost).has_value());
+  EXPECT_EQ(alloc.sealed_blocks().size(), 2u);
+}
+
+TEST(BlockAllocator, NeverHandsOutSamePageTwice) {
+  BlockAllocator alloc(small_geometry());
+  std::set<Ppn> seen;
+  while (true) {
+    const auto p = alloc.alloc_page(Stream::kHost);
+    if (!p.has_value()) break;
+    EXPECT_TRUE(seen.insert(*p).second) << "duplicate ppn " << *p;
+  }
+  EXPECT_EQ(seen.size(), 64u);  // every page of the device exactly once
+}
+
+TEST(BlockAllocator, ExhaustionReturnsEmpty) {
+  BlockAllocator alloc(small_geometry());
+  for (int i = 0; i < 64; ++i) ASSERT_TRUE(alloc.alloc_page(Stream::kHost).has_value());
+  EXPECT_FALSE(alloc.alloc_page(Stream::kHost).has_value());
+  EXPECT_EQ(alloc.free_blocks(), 0u);
+}
+
+TEST(BlockAllocator, ErasedBlockReturnsToPool) {
+  const auto g = small_geometry();
+  BlockAllocator alloc(g);
+  for (int i = 0; i < 64; ++i) ASSERT_TRUE(alloc.alloc_page(Stream::kHost).has_value());
+  alloc.unseal(0);
+  alloc.on_block_erased(0);
+  EXPECT_EQ(alloc.free_blocks(), 1u);
+  const auto p = alloc.alloc_page(Stream::kHost);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(g.block_of(*p), 0u);
+}
+
+TEST(BlockAllocator, WearAwarePicksLeastErased) {
+  const auto g = small_geometry();
+  BlockAllocator alloc(g);
+  for (int i = 0; i < 64; ++i) ASSERT_TRUE(alloc.alloc_page(Stream::kHost).has_value());
+  // Cycle block 0 through a full use-erase round so its wear reaches 2,
+  // then free block 2 with wear 1: allocation must prefer block 2.
+  alloc.unseal(0);
+  alloc.on_block_erased(0);  // wear 1; only free block (plane 0)
+  for (int i = 0; i < 8; ++i) {
+    const auto p = alloc.alloc_page(Stream::kHost);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(g.block_of(*p), 0u);
+  }
+  alloc.unseal(0);
+  alloc.on_block_erased(0);  // wear 2
+  alloc.unseal(2);
+  alloc.on_block_erased(2);  // wear 1
+  const auto p = alloc.alloc_page(Stream::kHost);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(g.block_of(*p), 2u) << "expected the least-worn block first";
+}
+
+TEST(BlockAllocator, AbandonActiveBlocksSealsThem) {
+  BlockAllocator alloc(small_geometry());
+  ASSERT_TRUE(alloc.alloc_page(Stream::kHost).has_value());
+  ASSERT_TRUE(alloc.alloc_page(Stream::kHost).has_value());
+  const auto sealed_before = alloc.sealed_blocks().size();
+  alloc.abandon_active_blocks();
+  EXPECT_EQ(alloc.sealed_blocks().size(), sealed_before + 2);  // one per plane
+  // Active slots were dropped.
+  EXPECT_FALSE(alloc.active_block(Stream::kHost, 0).has_value());
+  EXPECT_FALSE(alloc.active_block(Stream::kHost, 1).has_value());
+}
+
+}  // namespace
+}  // namespace pofi::ftl

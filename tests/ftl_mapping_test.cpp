@@ -1,0 +1,192 @@
+#include "ftl/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pofi::ftl {
+namespace {
+
+TEST(MappingTable, LookupUnknownIsEmpty) {
+  MappingTable map(MappingPolicy::kPageLevel);
+  EXPECT_FALSE(map.lookup(42).has_value());
+  EXPECT_EQ(map.entry_count(), 0u);
+}
+
+TEST(MappingTable, UpdateAndLookup) {
+  MappingTable map(MappingPolicy::kPageLevel);
+  map.update(10, 100);
+  EXPECT_EQ(map.lookup(10), std::optional<Ppn>(100));
+  map.update(10, 200);
+  EXPECT_EQ(map.lookup(10), std::optional<Ppn>(200));
+  EXPECT_EQ(map.entry_count(), 1u);
+}
+
+TEST(MappingTable, RemoveDropsEntry) {
+  MappingTable map(MappingPolicy::kPageLevel);
+  map.update(10, 100);
+  map.remove(10);
+  EXPECT_FALSE(map.lookup(10).has_value());
+  map.remove(11);  // removing unknown is a no-op
+}
+
+TEST(MappingTable, UpdatesAreVolatileUntilCommitted) {
+  MappingTable map(MappingPolicy::kPageLevel);
+  map.update(1, 11);
+  map.update(2, 22);
+  EXPECT_EQ(map.volatile_count(), 2u);
+  EXPECT_EQ(map.committable_count(), 2u);
+
+  const auto batch = map.begin_persist_batch();
+  ASSERT_NE(batch, 0u);
+  EXPECT_EQ(map.batch_size(batch), 2u);
+  EXPECT_EQ(map.committable_count(), 0u);  // in flight, not dirty
+  EXPECT_EQ(map.volatile_count(), 2u);     // still volatile until commit
+
+  map.commit_batch(batch);
+  EXPECT_EQ(map.volatile_count(), 0u);
+}
+
+TEST(MappingTable, EmptyBatchReturnsZero) {
+  MappingTable map(MappingPolicy::kPageLevel);
+  EXPECT_EQ(map.begin_persist_batch(), 0u);
+}
+
+TEST(MappingTable, PowerLossRevertsToNothingForFreshEntries) {
+  MappingTable map(MappingPolicy::kPageLevel);
+  map.update(1, 11);
+  const auto reverted = map.on_power_lost();
+  ASSERT_EQ(reverted.size(), 1u);
+  EXPECT_EQ(reverted[0].lpn, 1u);
+  EXPECT_EQ(reverted[0].dropped_ppn, std::optional<Ppn>(11));
+  EXPECT_FALSE(reverted[0].restored_ppn.has_value());
+  EXPECT_FALSE(map.lookup(1).has_value());
+}
+
+TEST(MappingTable, PowerLossRestoresPersistedValue) {
+  MappingTable map(MappingPolicy::kPageLevel);
+  map.update(1, 11);
+  map.commit_batch(map.begin_persist_batch());
+  map.update(1, 99);  // volatile overwrite of a persisted entry
+  const auto reverted = map.on_power_lost();
+  ASSERT_EQ(reverted.size(), 1u);
+  EXPECT_EQ(reverted[0].restored_ppn, std::optional<Ppn>(11));
+  EXPECT_EQ(map.lookup(1), std::optional<Ppn>(11));
+}
+
+TEST(MappingTable, InFlightBatchAlsoRevertsOnPowerLoss) {
+  MappingTable map(MappingPolicy::kPageLevel);
+  map.update(1, 11);
+  const auto batch = map.begin_persist_batch();
+  ASSERT_NE(batch, 0u);
+  // Journal page never completed: the batch must revert with the rest.
+  const auto reverted = map.on_power_lost();
+  EXPECT_EQ(reverted.size(), 1u);
+  EXPECT_FALSE(map.lookup(1).has_value());
+}
+
+TEST(MappingTable, RedirtyDuringBatchKeepsNewValueVolatile) {
+  MappingTable map(MappingPolicy::kPageLevel);
+  map.update(1, 11);
+  const auto batch = map.begin_persist_batch();
+  map.update(1, 22);  // re-dirtied while the batch is in flight
+  map.commit_batch(batch);
+  // 11 is now durable; 22 is still volatile.
+  EXPECT_EQ(map.volatile_count(), 1u);
+  const auto reverted = map.on_power_lost();
+  ASSERT_EQ(reverted.size(), 1u);
+  EXPECT_EQ(reverted[0].restored_ppn, std::optional<Ppn>(11));
+  EXPECT_EQ(map.lookup(1), std::optional<Ppn>(11));
+}
+
+TEST(MappingTable, RemoveRevertsToRestoredValue) {
+  MappingTable map(MappingPolicy::kPageLevel);
+  map.update(1, 11);
+  map.commit_batch(map.begin_persist_batch());
+  map.remove(1);
+  EXPECT_FALSE(map.lookup(1).has_value());
+  map.on_power_lost();
+  EXPECT_EQ(map.lookup(1), std::optional<Ppn>(11));  // TRIM was volatile
+}
+
+// ----------------------------------------------------------- extent frames
+
+constexpr std::uint32_t kFrame = 512;
+constexpr std::uint32_t kMinFill = 260;
+
+TEST(MappingTableExtent, RandomWritesAreNotWithheld) {
+  MappingTable map(MappingPolicy::kHybridExtent, kFrame, kMinFill);
+  // A single 256-page "request" (largest allowed) never triggers detection.
+  for (Lpn lpn = 0; lpn < 256; ++lpn) map.update(lpn, 1000 + lpn);
+  EXPECT_EQ(map.open_extents(), 0u);
+  EXPECT_EQ(map.committable_count(), 256u);
+}
+
+TEST(MappingTableExtent, SequentialStreamIsWithheld) {
+  MappingTable map(MappingPolicy::kHybridExtent, kFrame, kMinFill);
+  // Two back-to-back contiguous requests cross the detection threshold.
+  for (Lpn lpn = 0; lpn < 300; ++lpn) map.update(lpn, 1000 + lpn);
+  EXPECT_EQ(map.open_extents(), 1u);
+  // Everything in frame 0 is withheld from the journal.
+  EXPECT_EQ(map.committable_count(), 0u);
+  const auto batch = map.begin_persist_batch();
+  EXPECT_EQ(map.batch_size(batch), 0u);
+}
+
+TEST(MappingTableExtent, StagnantExtentClosesAfterTwoCuts) {
+  MappingTable map(MappingPolicy::kHybridExtent, kFrame, kMinFill);
+  for (Lpn lpn = 0; lpn < 300; ++lpn) map.update(lpn, 1000 + lpn);
+  // First cut records the size; second cut sees no growth and closes it.
+  EXPECT_EQ(map.begin_persist_batch(), 0u);
+  const auto batch = map.begin_persist_batch();
+  ASSERT_NE(batch, 0u);
+  EXPECT_EQ(map.batch_size(batch), 300u);
+}
+
+TEST(MappingTableExtent, GrowingExtentStaysOpen) {
+  MappingTable map(MappingPolicy::kHybridExtent, kFrame, kMinFill);
+  for (Lpn lpn = 0; lpn < 300; ++lpn) map.update(lpn, 1000 + lpn);
+  EXPECT_EQ(map.begin_persist_batch(), 0u);
+  for (Lpn lpn = 300; lpn < 350; ++lpn) map.update(lpn, 1000 + lpn);  // still growing
+  EXPECT_EQ(map.begin_persist_batch(), 0u);  // not stagnant yet
+  EXPECT_EQ(map.open_extents(), 1u);
+}
+
+TEST(MappingTableExtent, EmergencyFlushIncludesWithheld) {
+  MappingTable map(MappingPolicy::kHybridExtent, kFrame, kMinFill);
+  for (Lpn lpn = 0; lpn < 300; ++lpn) map.update(lpn, 1000 + lpn);
+  const auto batch = map.begin_persist_batch(/*include_withheld=*/true);
+  ASSERT_NE(batch, 0u);
+  EXPECT_EQ(map.batch_size(batch), 300u);
+}
+
+TEST(MappingTableExtent, ScrambledArrivalOrderStillDetectsStream) {
+  MappingTable map(MappingPolicy::kHybridExtent, kFrame, kMinFill);
+  // Dense region written in a shuffled order (cache-flush scramble).
+  for (Lpn i = 0; i < 300; ++i) {
+    const Lpn lpn = (i * 7) % 300;  // permutation of [0,300)
+    map.update(lpn, 2000 + lpn);
+  }
+  EXPECT_EQ(map.open_extents(), 1u);
+}
+
+TEST(MappingTableExtent, FrameForgottenWhenDrained) {
+  MappingTable map(MappingPolicy::kHybridExtent, kFrame, kMinFill);
+  for (Lpn lpn = 0; lpn < 300; ++lpn) map.update(lpn, 1000 + lpn);
+  (void)map.begin_persist_batch();                     // records size
+  const auto batch = map.begin_persist_batch();  // stagnant -> closed
+  map.commit_batch(batch);
+  EXPECT_EQ(map.volatile_count(), 0u);
+  // New writes into the same frame start fresh (no stale `touched`).
+  for (Lpn lpn = 0; lpn < 100; ++lpn) map.update(lpn, 3000 + lpn);
+  EXPECT_EQ(map.open_extents(), 0u);
+  EXPECT_EQ(map.committable_count(), 100u);
+}
+
+TEST(MappingTableExtent, PageLevelPolicyIgnoresFrames) {
+  MappingTable map(MappingPolicy::kPageLevel, kFrame, kMinFill);
+  for (Lpn lpn = 0; lpn < 600; ++lpn) map.update(lpn, 1000 + lpn);
+  EXPECT_EQ(map.open_extents(), 0u);
+  EXPECT_EQ(map.committable_count(), 600u);
+}
+
+}  // namespace
+}  // namespace pofi::ftl

@@ -1,0 +1,215 @@
+#include "nand/ecc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pofi::nand {
+namespace {
+
+constexpr std::uint64_t kPageBits = 4096ULL * 8;
+
+TEST(PoissonCdf, KnownValues) {
+  EXPECT_DOUBLE_EQ(poisson_cdf(5, 0.0), 1.0);
+  // P(X<=0 | lambda=1) = e^-1.
+  EXPECT_NEAR(poisson_cdf(0, 1.0), std::exp(-1.0), 1e-12);
+  // P(X<=1 | lambda=1) = 2e^-1.
+  EXPECT_NEAR(poisson_cdf(1, 1.0), 2.0 * std::exp(-1.0), 1e-12);
+  // Median-ish: P(X<=lambda) ~ 0.5 for large lambda.
+  EXPECT_NEAR(poisson_cdf(100, 100.0), 0.5, 0.05);
+}
+
+TEST(PoissonCdf, FarTailIsZero) {
+  EXPECT_DOUBLE_EQ(poisson_cdf(10, 10000.0), 0.0);
+}
+
+TEST(PoissonCdf, MonotoneInK) {
+  double prev = 0.0;
+  for (std::uint32_t k = 0; k < 40; ++k) {
+    const double p = poisson_cdf(k, 12.0);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-6);
+}
+
+TEST(NoEcc, AnyErrorIsFatal) {
+  NoEcc ecc;
+  sim::Rng rng(1);
+  EXPECT_TRUE(ecc.decode(kPageBits, 0, rng).correctable);
+  EXPECT_FALSE(ecc.decode(kPageBits, 1, rng).correctable);
+  EXPECT_EQ(ecc.strength(), 0u);
+}
+
+TEST(BchEcc, ZeroErrorsAlwaysDecode) {
+  BchEcc ecc(40, 1024);
+  sim::Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const auto out = ecc.decode(kPageBits, 0, rng);
+    EXPECT_TRUE(out.correctable);
+    EXPECT_EQ(out.residual_errors, 0u);
+    EXPECT_TRUE(out.extra_latency.is_zero());
+  }
+}
+
+TEST(BchEcc, FewErrorsAlwaysDecode) {
+  BchEcc ecc(40, 1024);
+  sim::Rng rng(3);
+  // 8 errors over 4 codewords can never exceed t=40 in any codeword.
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(ecc.decode(kPageBits, 8, rng).correctable);
+  }
+}
+
+TEST(BchEcc, MassiveErrorsNeverDecode) {
+  BchEcc ecc(40, 1024);
+  sim::Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const auto out = ecc.decode(kPageBits, 20000, rng);
+    EXPECT_FALSE(out.correctable);
+    EXPECT_EQ(out.residual_errors, 20000u);
+  }
+}
+
+TEST(BchEcc, SuccessProbabilityMonotoneInErrors) {
+  BchEcc ecc(40, 1024);
+  double prev = 1.1;
+  for (const std::uint64_t e : {0ULL, 50ULL, 100ULL, 150ULL, 200ULL, 400ULL, 800ULL}) {
+    const double p = ecc.page_success_probability(kPageBits, e);
+    EXPECT_LE(p, prev + 1e-12) << e << " errors";
+    prev = p;
+  }
+}
+
+TEST(BchEcc, StrongerCodeDecodesMore) {
+  BchEcc weak(8, 1024), strong(72, 1024);
+  const std::uint64_t errors = 90;
+  EXPECT_LT(weak.page_success_probability(kPageBits, errors),
+            strong.page_success_probability(kPageBits, errors));
+}
+
+TEST(BchEcc, SingleCodewordExactThreshold) {
+  // Page equal to one codeword: success iff errors <= t, deterministically.
+  BchEcc ecc(10, 4096);
+  EXPECT_DOUBLE_EQ(ecc.page_success_probability(4096 * 8, 10), 1.0);
+  EXPECT_DOUBLE_EQ(ecc.page_success_probability(4096 * 8, 11), 0.0);
+}
+
+TEST(LdpcEcc, RetriesAddLatencyButRecover) {
+  LdpcEcc::Params p;
+  p.t_hard = 20;
+  p.codeword_bytes = 2048;
+  p.max_retries = 3;
+  p.soft_gain = 1.0;  // each retry doubles-ish the strength
+  p.retry_latency = sim::Duration::us(80);
+  LdpcEcc ecc(p);
+  sim::Rng rng(5);
+
+  // 30 errors in one 2 KiB codeword of a 4 KiB page (2 codewords): hard
+  // decode (t=20) usually fails, a retry (t=40) should succeed.
+  int recovered_with_retry = 0;
+  for (int i = 0; i < 300; ++i) {
+    const auto out = ecc.decode(2 * 2048 * 8, 35, rng);
+    if (out.correctable && out.soft_retries > 0) {
+      ++recovered_with_retry;
+      EXPECT_GE(out.extra_latency, sim::Duration::us(80));
+    }
+  }
+  EXPECT_GT(recovered_with_retry, 0);
+}
+
+TEST(LdpcEcc, GivesUpAfterMaxRetries) {
+  LdpcEcc ecc;
+  sim::Rng rng(6);
+  const auto out = ecc.decode(kPageBits, 50000, rng);
+  EXPECT_FALSE(out.correctable);
+  EXPECT_EQ(out.soft_retries, 3u);
+}
+
+TEST(EccFactory, MakesEveryKind) {
+  for (const auto kind : {EccKind::kNone, EccKind::kBch, EccKind::kLdpc}) {
+    const auto ecc = make_ecc(kind);
+    ASSERT_NE(ecc, nullptr);
+    EXPECT_FALSE(ecc->name().empty());
+  }
+}
+
+// ------------------------------------------------- Hamming SEC-DED (72,64)
+
+TEST(HammingSecDed, CleanRoundTrip) {
+  for (const std::uint64_t data :
+       {0ULL, ~0ULL, 0x0123456789abcdefULL, 0xdeadbeefcafef00dULL, 1ULL}) {
+    auto cw = HammingSecDed::encode(data);
+    EXPECT_EQ(HammingSecDed::decode(cw), HammingSecDed::Result::kClean);
+    EXPECT_EQ(cw.data, data);
+  }
+}
+
+TEST(HammingSecDed, CorrectsEverySingleDataBitFlip) {
+  const std::uint64_t data = 0x5a5a5a5a5a5a5a5aULL;
+  for (int bit = 0; bit < 64; ++bit) {
+    auto cw = HammingSecDed::encode(data);
+    cw.data ^= (1ULL << bit);
+    EXPECT_EQ(HammingSecDed::decode(cw), HammingSecDed::Result::kCorrectedSingle)
+        << "bit " << bit;
+    EXPECT_EQ(cw.data, data) << "bit " << bit;
+  }
+}
+
+TEST(HammingSecDed, CorrectsEverySingleParityBitFlip) {
+  const std::uint64_t data = 0x13572468ace0bdf9ULL;
+  for (int bit = 0; bit < 8; ++bit) {
+    auto cw = HammingSecDed::encode(data);
+    cw.parity ^= static_cast<std::uint8_t>(1u << bit);
+    EXPECT_EQ(HammingSecDed::decode(cw), HammingSecDed::Result::kCorrectedSingle)
+        << "parity bit " << bit;
+    EXPECT_EQ(cw.data, data) << "parity bit " << bit;
+  }
+}
+
+TEST(HammingSecDed, DetectsDoubleDataFlips) {
+  const std::uint64_t data = 0xfedcba9876543210ULL;
+  int detected = 0, total = 0;
+  for (int i = 0; i < 64; i += 7) {
+    for (int j = i + 1; j < 64; j += 11) {
+      auto cw = HammingSecDed::encode(data);
+      cw.data ^= (1ULL << i);
+      cw.data ^= (1ULL << j);
+      ++total;
+      if (HammingSecDed::decode(cw) == HammingSecDed::Result::kDetectedDouble) ++detected;
+    }
+  }
+  EXPECT_EQ(detected, total);
+}
+
+TEST(HammingSecDed, DetectsDataPlusParityDoubleFlip) {
+  const std::uint64_t data = 0x0f0f0f0f0f0f0f0fULL;
+  auto cw = HammingSecDed::encode(data);
+  cw.data ^= (1ULL << 20);
+  cw.parity ^= 0x04;
+  EXPECT_EQ(HammingSecDed::decode(cw), HammingSecDed::Result::kDetectedDouble);
+}
+
+// Property sweep: random words, random single flips, always corrected.
+class HammingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HammingProperty, RandomSingleFlipsCorrected) {
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t data = rng.next();
+    auto cw = HammingSecDed::encode(data);
+    const auto pos = static_cast<unsigned>(rng.below(72));
+    if (pos < 64) {
+      cw.data ^= (1ULL << pos);
+    } else {
+      cw.parity ^= static_cast<std::uint8_t>(1u << (pos - 64));
+    }
+    EXPECT_EQ(HammingSecDed::decode(cw), HammingSecDed::Result::kCorrectedSingle);
+    EXPECT_EQ(cw.data, data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HammingProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace pofi::nand

@@ -1,0 +1,211 @@
+// Analyzer classification tests against a real (small) device stack: we
+// construct controlled damage scenarios and assert the SecIII-B taxonomy.
+#include "platform/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "blk/queue.hpp"
+#include "psu/power_supply.hpp"
+#include "ssd/presets.hpp"
+
+namespace pofi::platform {
+namespace {
+
+using sim::Duration;
+using sim::Simulator;
+using workload::DataPacket;
+using workload::OpType;
+
+struct Harness {
+  Harness()
+      : sim(23),
+        psu(sim, std::make_unique<psu::PowerLawDischarge>()),
+        ssd(sim, drive()),
+        queue(sim, ssd),
+        analyzer(sim, queue, shadow) {
+    psu.attach(ssd);
+    psu.power_on();
+    run_until([&] { return ssd.ready(); });
+  }
+
+  static ssd::SsdConfig drive() {
+    ssd::PresetOptions opts;
+    opts.capacity_override_gb = 1;
+    auto cfg = ssd::make_preset(ssd::VendorModel::kA, opts);
+    cfg.mount_delay = Duration::ms(20);
+    return cfg;
+  }
+
+  template <typename Pred>
+  void run_until(Pred done, std::uint64_t max_events = 2'000'000) {
+    std::uint64_t fired = 0;
+    while (!done() && !sim.idle() && fired < max_events) {
+      sim.run_all(1);
+      ++fired;
+    }
+  }
+
+  DataPacket make_write_packet(ftl::Lpn lpn, std::uint32_t pages) {
+    DataPacket p;
+    p.packet_id = next_id++;
+    p.op = OpType::kWrite;
+    p.address = lpn;
+    p.size_pages = pages;
+    p.page_tags = shadow.allocate_tags(pages);
+    for (std::uint32_t i = 0; i < pages; ++i) {
+      p.initial_page_tags.push_back(shadow.expected(lpn + i));
+    }
+    return p;
+  }
+
+  /// Write through the block queue and wait for the ACK.
+  void write_and_ack(DataPacket& p) {
+    bool done = false;
+    auto tags = p.page_tags;
+    queue.submit_write(p.address, std::move(tags),
+                       [&](blk::RequestOutcome out) {
+                         done = true;
+                         ASSERT_EQ(out.status, blk::IoStatus::kOk);
+                         p.complete_time = out.finished_at;
+                       });
+    run_until([&] { return done; });
+    shadow.commit_write(p.address, p.page_tags);
+  }
+
+  void power_cycle() {
+    psu.power_off();
+    run_until([&] { return psu.state() == psu::PowerSupply::State::kOff; });
+    sim.run_for(Duration::ms(100));
+    psu.power_on();
+    run_until([&] { return ssd.ready(); });
+  }
+
+  std::uint64_t verify_all(double fault_ms = 0.0) {
+    bool done = false;
+    analyzer.verify_pending(sim::TimePoint::from_ns(static_cast<std::int64_t>(fault_ms * 1e6)),
+                            0, [&] { done = true; });
+    run_until([&] { return done; });
+    return analyzer.counters().data_failures + analyzer.counters().fwa_failures +
+           analyzer.counters().verified_ok;
+  }
+
+  Simulator sim;
+  psu::PowerSupply psu;
+  ssd::Ssd ssd;
+  blk::BlockQueue queue;
+  ShadowStore shadow;
+  Analyzer analyzer;
+  std::uint64_t next_id = 1;
+};
+
+TEST(Analyzer, DurableWriteVerifiesOk) {
+  Harness h;
+  auto p = h.make_write_packet(10, 4);
+  h.write_and_ack(p);
+  h.analyzer.note_acked_write(p);
+  // Let the flush + journal make it durable, then crash.
+  h.sim.run_for(Duration::sec(2));
+  h.power_cycle();
+  h.verify_all();
+  EXPECT_EQ(h.analyzer.counters().verified_ok, 1u);
+  EXPECT_EQ(h.analyzer.counters().data_failures, 0u);
+  EXPECT_EQ(h.analyzer.counters().fwa_failures, 0u);
+}
+
+TEST(Analyzer, VolatileWriteClassifiedAsFwa) {
+  Harness h;
+  auto p = h.make_write_packet(10, 4);
+  h.write_and_ack(p);
+  h.analyzer.note_acked_write(p);
+  // Crash immediately: the whole request is still in DRAM.
+  h.power_cycle();
+  h.verify_all();
+  EXPECT_EQ(h.analyzer.counters().fwa_failures, 1u);
+  EXPECT_EQ(h.analyzer.counters().data_failures, 0u);
+  ASSERT_EQ(h.analyzer.failures().size(), 1u);
+  EXPECT_EQ(h.analyzer.failures()[0].type, FailureType::kFwa);
+  EXPECT_EQ(h.analyzer.failures()[0].pages_reverted, 4u);
+}
+
+TEST(Analyzer, VerificationWithoutPendingCompletesImmediately) {
+  Harness h;
+  bool done = false;
+  h.analyzer.verify_pending(h.sim.now(), 0, [&] { done = true; });
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(h.analyzer.verification_running());
+}
+
+TEST(Analyzer, SupersededPacketSkipped) {
+  Harness h;
+  auto p1 = h.make_write_packet(10, 2);
+  h.write_and_ack(p1);
+  h.analyzer.note_acked_write(p1);
+  auto p2 = h.make_write_packet(10, 2);  // same address, overwrites p1
+  h.write_and_ack(p2);
+  h.analyzer.note_acked_write(p2);
+  h.sim.run_for(Duration::sec(2));
+  h.power_cycle();
+  h.verify_all();
+  EXPECT_EQ(h.analyzer.counters().superseded_skipped, 1u);
+  EXPECT_EQ(h.analyzer.counters().verified_ok, 1u);
+}
+
+TEST(Analyzer, IoErrorNoted) {
+  Harness h;
+  auto p = h.make_write_packet(50, 1);
+  p.not_issued = true;
+  h.analyzer.note_io_error(p);
+  EXPECT_EQ(h.analyzer.counters().io_errors, 1u);
+  ASSERT_EQ(h.analyzer.failures().size(), 1u);
+  EXPECT_EQ(h.analyzer.failures()[0].type, FailureType::kIoError);
+}
+
+TEST(Analyzer, ReadMismatchCounted) {
+  Harness h;
+  auto p = h.make_write_packet(60, 2);
+  h.write_and_ack(p);
+  DataPacket read_packet;
+  read_packet.op = OpType::kRead;
+  read_packet.address = 60;
+  read_packet.size_pages = 2;
+  const std::vector<std::uint64_t> wrong{0xBAD, 0xBAD2};
+  h.analyzer.note_read_result(read_packet, wrong);
+  EXPECT_EQ(h.analyzer.counters().read_mismatches, 1u);
+  // A correct read does not count.
+  h.analyzer.note_read_result(read_packet, p.page_tags);
+  EXPECT_EQ(h.analyzer.counters().read_mismatches, 1u);
+}
+
+TEST(Analyzer, AckToFaultIntervalRecorded) {
+  Harness h;
+  auto p = h.make_write_packet(10, 1);
+  h.write_and_ack(p);
+  h.analyzer.note_acked_write(p);
+  const double ack_ms = h.sim.now().to_ms();
+  h.power_cycle();
+  // Report the fault as 123 ms after the ACK.
+  bool done = false;
+  h.analyzer.verify_pending(
+      sim::TimePoint::from_ns(static_cast<std::int64_t>((ack_ms + 123.0) * 1e6)), 7,
+      [&] { done = true; });
+  h.run_until([&] { return done; });
+  ASSERT_EQ(h.analyzer.failures().size(), 1u);
+  EXPECT_NEAR(h.analyzer.failures()[0].ack_to_fault_ms, 123.0, 1.0);
+  EXPECT_EQ(h.analyzer.failures()[0].fault_index, 7u);
+}
+
+TEST(Analyzer, PendingCountTracksLifecycle) {
+  Harness h;
+  EXPECT_EQ(h.analyzer.pending_packets(), 0u);
+  auto p = h.make_write_packet(10, 1);
+  h.write_and_ack(p);
+  h.analyzer.note_acked_write(p);
+  EXPECT_EQ(h.analyzer.pending_packets(), 1u);
+  h.sim.run_for(Duration::sec(2));
+  h.power_cycle();
+  h.verify_all();
+  EXPECT_EQ(h.analyzer.pending_packets(), 0u);
+}
+
+}  // namespace
+}  // namespace pofi::platform

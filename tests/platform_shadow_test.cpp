@@ -1,0 +1,88 @@
+#include "platform/shadow_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pofi::platform {
+namespace {
+
+TEST(ShadowStore, TagsAreUniqueAndNonZero) {
+  ShadowStore shadow;
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    for (const auto tag : shadow.allocate_tags(16)) {
+      EXPECT_NE(tag, 0u);
+      EXPECT_NE(tag, nand::kErasedContent);
+      EXPECT_TRUE(seen.insert(tag).second);
+    }
+  }
+  EXPECT_EQ(shadow.tags_allocated(), 1600u);
+}
+
+TEST(ShadowStore, UnknownPageExpectsErased) {
+  ShadowStore shadow;
+  EXPECT_EQ(shadow.expected(5), nand::kErasedContent);
+  EXPECT_TRUE(shadow.acceptable(5, nand::kErasedContent));
+  EXPECT_FALSE(shadow.acceptable(5, 123));
+}
+
+TEST(ShadowStore, CommitMakesTagsExpected) {
+  ShadowStore shadow;
+  const auto tags = shadow.allocate_tags(3);
+  shadow.commit_write(10, tags);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(shadow.expected(10 + i), tags[i]);
+    EXPECT_TRUE(shadow.acceptable(10 + i, tags[i]));
+    EXPECT_FALSE(shadow.acceptable(10 + i, nand::kErasedContent));
+  }
+  EXPECT_EQ(shadow.tracked_pages(), 3u);
+}
+
+TEST(ShadowStore, IndeterminateAcceptsOldAndNew) {
+  ShadowStore shadow;
+  const auto first = shadow.allocate_tags(1);
+  shadow.commit_write(10, first);
+  const auto second = shadow.allocate_tags(1);
+  shadow.mark_indeterminate(10, second);
+  // The unacked write may or may not have reached the media.
+  EXPECT_TRUE(shadow.acceptable(10, first[0]));
+  EXPECT_TRUE(shadow.acceptable(10, second[0]));
+  EXPECT_FALSE(shadow.acceptable(10, 0xDEAD));
+  // Expected (for FWA comparisons) is still the committed value.
+  EXPECT_EQ(shadow.expected(10), first[0]);
+}
+
+TEST(ShadowStore, ObserveCollapsesState) {
+  ShadowStore shadow;
+  const auto first = shadow.allocate_tags(1);
+  shadow.commit_write(10, first);
+  const auto second = shadow.allocate_tags(1);
+  shadow.mark_indeterminate(10, second);
+  shadow.observe(10, second[0]);  // verification saw the new data
+  EXPECT_EQ(shadow.expected(10), second[0]);
+  EXPECT_TRUE(shadow.acceptable(10, second[0]));
+  EXPECT_FALSE(shadow.acceptable(10, first[0]));
+}
+
+TEST(ShadowStore, CommitClearsIndeterminate) {
+  ShadowStore shadow;
+  const auto loose = shadow.allocate_tags(1);
+  shadow.mark_indeterminate(10, loose);
+  const auto committed = shadow.allocate_tags(1);
+  shadow.commit_write(10, committed);
+  EXPECT_FALSE(shadow.acceptable(10, loose[0]));
+  EXPECT_TRUE(shadow.acceptable(10, committed[0]));
+}
+
+TEST(ShadowStore, MultiPageCommitIndexesCorrectly) {
+  ShadowStore shadow;
+  const auto tags = shadow.allocate_tags(4);
+  shadow.commit_write(100, tags);
+  EXPECT_EQ(shadow.expected(100), tags[0]);
+  EXPECT_EQ(shadow.expected(103), tags[3]);
+  EXPECT_EQ(shadow.expected(104), nand::kErasedContent);
+}
+
+}  // namespace
+}  // namespace pofi::platform

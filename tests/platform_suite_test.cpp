@@ -1,0 +1,87 @@
+#include "platform/campaign_suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ssd/presets.hpp"
+
+namespace pofi::platform {
+namespace {
+
+ssd::SsdConfig tiny_drive(bool plp = false) {
+  ssd::PresetOptions opts;
+  opts.capacity_override_gb = 1;
+  opts.plp = plp;
+  auto cfg = ssd::make_preset(ssd::VendorModel::kA, opts);
+  cfg.mount_delay = sim::Duration::ms(50);
+  return cfg;
+}
+
+ExperimentSpec tiny_spec(std::uint64_t seed) {
+  ExperimentSpec spec;
+  spec.name = "suite-entry";
+  spec.workload.wss_pages = (256ULL << 20) / 4096;
+  spec.workload.min_pages = 1;
+  spec.workload.max_pages = 16;
+  spec.total_requests = 200;
+  spec.faults = 4;
+  spec.pace_iops = 40.0;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(CampaignSuite, RunsEveryEntry) {
+  CampaignSuite suite;
+  suite.add("commodity", tiny_drive(false), tiny_spec(1))
+      .add("plp", tiny_drive(true), tiny_spec(1));
+  EXPECT_EQ(suite.size(), 2u);
+  const auto rows = suite.run_all();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].label, "commodity");
+  EXPECT_EQ(rows[1].label, "plp");
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.result.faults_injected, 4u);
+    EXPECT_GT(row.result.requests_submitted, 0u);
+  }
+  // Same workload, same faults: the commodity drive loses, the PLP doesn't.
+  EXPECT_GT(rows[0].result.total_data_loss(), 0u);
+  EXPECT_EQ(rows[1].result.total_data_loss(), 0u);
+}
+
+TEST(CampaignSuite, EntriesAreIndependent) {
+  // Two identical entries must produce identical results: the suite gives
+  // each its own fresh platform (no shared device history).
+  CampaignSuite suite;
+  suite.add("a", tiny_drive(), tiny_spec(7)).add("b", tiny_drive(), tiny_spec(7));
+  const auto rows = suite.run_all();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].result.data_failures, rows[1].result.data_failures);
+  EXPECT_EQ(rows[0].result.fwa_failures, rows[1].result.fwa_failures);
+  EXPECT_EQ(rows[0].result.requests_submitted, rows[1].result.requests_submitted);
+  EXPECT_DOUBLE_EQ(rows[0].result.sim_seconds, rows[1].result.sim_seconds);
+}
+
+TEST(CampaignSuite, SummaryTableAndCsvContainEveryRow) {
+  CampaignSuite suite;
+  suite.add("row-one", tiny_drive(), tiny_spec(2)).add("row-two", tiny_drive(true), tiny_spec(3));
+  const auto rows = suite.run_all();
+  const std::string table = CampaignSuite::summary_table(rows);
+  EXPECT_NE(table.find("row-one"), std::string::npos);
+  EXPECT_NE(table.find("row-two"), std::string::npos);
+  EXPECT_NE(table.find("loss/fault"), std::string::npos);
+
+  const auto csv = CampaignSuite::to_csv(rows);
+  EXPECT_EQ(csv.rows(), 2u);
+  const std::string rendered = csv.render();
+  EXPECT_NE(rendered.find("campaign,faults"), std::string::npos);
+  EXPECT_NE(rendered.find("row-one"), std::string::npos);
+}
+
+TEST(CampaignSuite, EmptySuiteIsFine) {
+  CampaignSuite suite;
+  const auto rows = suite.run_all();
+  EXPECT_TRUE(rows.empty());
+  EXPECT_NE(CampaignSuite::summary_table(rows).find("campaign"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pofi::platform

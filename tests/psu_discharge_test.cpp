@@ -1,0 +1,110 @@
+#include "psu/discharge_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace pofi::psu {
+namespace {
+
+using sim::Duration;
+
+TEST(PowerLawDischarge, PaperCalibrationLandmarks) {
+  PowerLawDischarge m;
+  // Loaded with one SSD (0.5 A): 4.5 V at ~40 ms, ~0 V at ~900 ms.
+  EXPECT_NEAR(m.time_to_voltage(4.5, 0.5).to_ms(), 40.0, 0.5);
+  EXPECT_NEAR(m.full_discharge_time(0.5).to_ms(), 900.0, 30.0);
+  // Unloaded: ~1400 ms.
+  EXPECT_NEAR(m.full_discharge_time(0.0).to_ms(), 1400.0, 30.0);
+}
+
+TEST(PowerLawDischarge, StartsAtNominalAndEndsAtZero) {
+  PowerLawDischarge m;
+  EXPECT_DOUBLE_EQ(m.voltage(Duration::zero(), 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(m.voltage(Duration::sec(10), 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(m.voltage(Duration::ms(-5), 0.5), 5.0);  // before the cut
+}
+
+TEST(PowerLawDischarge, HeavierLoadDischargesFaster) {
+  PowerLawDischarge m;
+  EXPECT_LT(m.full_discharge_time(1.0), m.full_discharge_time(0.5));
+  EXPECT_LT(m.full_discharge_time(0.5), m.full_discharge_time(0.0));
+}
+
+TEST(ExponentialDischarge, MonotoneAndCalibrated) {
+  ExponentialDischarge m;
+  EXPECT_DOUBLE_EQ(m.voltage(Duration::zero(), 0.5), 5.0);
+  // tau(0.5 A) should match the configured loaded tau: V(tau) = V0/e.
+  const double tau_v = m.voltage(Duration::ms(120), 0.5);
+  EXPECT_NEAR(tau_v, 5.0 / 2.718281828, 0.05);
+}
+
+TEST(InstantCutoff, CollapsesInMicroseconds) {
+  InstantCutoff m;
+  EXPECT_DOUBLE_EQ(m.voltage(Duration::zero(), 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(m.voltage(Duration::us(20), 0.5), 0.0);
+  EXPECT_LE(m.full_discharge_time(0.5), Duration::us(10));
+  EXPECT_LE(m.time_to_voltage(4.5, 0.5), Duration::us(2));
+}
+
+TEST(DischargeFactory, MakesEveryKind) {
+  for (const auto kind :
+       {DischargeKind::kPowerLaw, DischargeKind::kExponential, DischargeKind::kInstant}) {
+    const auto m = make_discharge_model(kind);
+    ASSERT_NE(m, nullptr);
+    EXPECT_GT(m->voltage(Duration::zero(), 0.5), 4.9);
+    EXPECT_FALSE(m->name().empty());
+    EXPECT_NE(to_string(kind), nullptr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: every model must be monotonically non-increasing in time
+// and self-consistent with its analytic inverse, for a range of loads.
+// ---------------------------------------------------------------------------
+class DischargeProperty
+    : public ::testing::TestWithParam<std::tuple<DischargeKind, double>> {};
+
+TEST_P(DischargeProperty, VoltageMonotoneNonIncreasing) {
+  const auto [kind, load] = GetParam();
+  const auto m = make_discharge_model(kind);
+  double prev = 1e9;
+  for (int t_us = 0; t_us <= 1'600'000; t_us += 5'000) {
+    const double v = m->voltage(Duration::us(t_us), load);
+    EXPECT_LE(v, prev + 1e-9) << "at t=" << t_us << "us";
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 5.0 + 1e-9);
+    prev = v;
+  }
+}
+
+TEST_P(DischargeProperty, InverseConsistency) {
+  const auto [kind, load] = GetParam();
+  const auto m = make_discharge_model(kind);
+  for (const double target : {4.9, 4.5, 4.0, 3.0, 2.0, 1.0, 0.2}) {
+    const auto t = m->time_to_voltage(target, load);
+    const double v = m->voltage(t, load);
+    // At the crossing instant the voltage is at (or just below) the target.
+    EXPECT_LE(v, target + 0.02) << "target " << target;
+    if (!t.is_zero()) {
+      const double v_before = m->voltage(t - Duration::us(500), load);
+      EXPECT_GE(v_before, target - 0.05) << "target " << target;
+    }
+  }
+}
+
+TEST_P(DischargeProperty, ThresholdOrderingBrownoutBeforeCutoff) {
+  const auto [kind, load] = GetParam();
+  const auto m = make_discharge_model(kind);
+  EXPECT_LE(m->time_to_voltage(4.75, load), m->time_to_voltage(4.5, load));
+  EXPECT_LE(m->time_to_voltage(4.5, load), m->full_discharge_time(load));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModelsAndLoads, DischargeProperty,
+    ::testing::Combine(::testing::Values(DischargeKind::kPowerLaw, DischargeKind::kExponential,
+                                         DischargeKind::kInstant),
+                       ::testing::Values(0.0, 0.25, 0.5, 1.0, 2.0)));
+
+}  // namespace
+}  // namespace pofi::psu

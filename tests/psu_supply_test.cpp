@@ -1,0 +1,228 @@
+#include "psu/atx_control.hpp"
+#include "psu/power_supply.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace pofi::psu {
+namespace {
+
+using sim::Duration;
+using sim::Simulator;
+using sim::TimePoint;
+
+/// Scripted sink that records every power event with its timestamp.
+class RecordingSink final : public PowerSink {
+ public:
+  explicit RecordingSink(double amps = 0.5, double cutoff = 4.5, double brownout = 4.75)
+      : amps_(amps), cutoff_(cutoff), brownout_(brownout) {}
+
+  [[nodiscard]] double load_amps() const override { return amps_; }
+  [[nodiscard]] double cutoff_volts() const override { return cutoff_; }
+  [[nodiscard]] double brownout_volts() const override { return brownout_; }
+  void on_brownout(TimePoint now) override { events.push_back({'B', now}); }
+  void on_power_lost(TimePoint now) override { events.push_back({'L', now}); }
+  void on_power_good(TimePoint now) override { events.push_back({'G', now}); }
+
+  struct Event {
+    char kind;
+    TimePoint at;
+  };
+  std::vector<Event> events;
+
+ private:
+  double amps_;
+  double cutoff_;
+  double brownout_;
+};
+
+std::unique_ptr<PowerSupply> make_psu(Simulator& sim) {
+  return std::make_unique<PowerSupply>(sim, std::make_unique<PowerLawDischarge>());
+}
+
+TEST(PowerSupply, StartsOffThenPowersOn) {
+  Simulator sim;
+  auto psu = make_psu(sim);
+  RecordingSink sink;
+  psu->attach(sink);
+  EXPECT_EQ(psu->state(), PowerSupply::State::kOff);
+  EXPECT_DOUBLE_EQ(psu->voltage(), 0.0);
+
+  psu->power_on();
+  EXPECT_EQ(psu->state(), PowerSupply::State::kCharging);
+  sim.run_all();
+  EXPECT_EQ(psu->state(), PowerSupply::State::kOn);
+  EXPECT_DOUBLE_EQ(psu->voltage(), 5.0);
+  ASSERT_EQ(sink.events.size(), 1u);
+  EXPECT_EQ(sink.events[0].kind, 'G');
+  EXPECT_NEAR(sink.events[0].at.to_ms(), 100.0, 1.0);  // rise time
+}
+
+TEST(PowerSupply, AttachWhileOnFiresPowerGoodImmediately) {
+  Simulator sim;
+  auto psu = make_psu(sim);
+  psu->power_on();
+  sim.run_all();
+  RecordingSink sink;
+  psu->attach(sink);
+  ASSERT_EQ(sink.events.size(), 1u);
+  EXPECT_EQ(sink.events[0].kind, 'G');
+}
+
+TEST(PowerSupply, DischargeEventOrderingAndTiming) {
+  Simulator sim;
+  auto psu = make_psu(sim);
+  RecordingSink sink;
+  psu->attach(sink);
+  psu->power_on();
+  sim.run_all();
+  sink.events.clear();
+
+  const TimePoint off_at = sim.now();
+  psu->power_off();
+  EXPECT_EQ(psu->state(), PowerSupply::State::kDischarging);
+  EXPECT_EQ(psu->last_off_at(), off_at);
+  sim.run_all();
+  EXPECT_EQ(psu->state(), PowerSupply::State::kOff);
+
+  ASSERT_EQ(sink.events.size(), 2u);
+  EXPECT_EQ(sink.events[0].kind, 'B');  // brownout strictly precedes loss
+  EXPECT_EQ(sink.events[1].kind, 'L');
+  const double brown_ms = (sink.events[0].at - off_at).to_ms();
+  const double lost_ms = (sink.events[1].at - off_at).to_ms();
+  EXPECT_LT(brown_ms, lost_ms);
+  EXPECT_NEAR(lost_ms, 40.0, 1.0);  // paper: unavailable at 4.5 V ~ 40 ms
+}
+
+TEST(PowerSupply, SinkWithoutBrownoutGetsNoBrownoutEvent) {
+  Simulator sim;
+  auto psu = make_psu(sim);
+  RecordingSink sink(0.5, 4.5, /*brownout=*/0.0);
+  psu->attach(sink);
+  psu->power_on();
+  sim.run_all();
+  sink.events.clear();
+  psu->power_off();
+  sim.run_all();
+  ASSERT_EQ(sink.events.size(), 1u);
+  EXPECT_EQ(sink.events[0].kind, 'L');
+}
+
+TEST(PowerSupply, PowerOnMidDischargeCancelsPendingEvents) {
+  Simulator sim;
+  auto psu = make_psu(sim);
+  RecordingSink sink;
+  psu->attach(sink);
+  psu->power_on();
+  sim.run_all();
+  sink.events.clear();
+
+  psu->power_off();
+  sim.run_for(Duration::ms(5));  // before the 40 ms cutoff crossing
+  psu->power_on();
+  sim.run_all();
+  // The sink must never see the loss event, only the recovery.
+  ASSERT_EQ(sink.events.size(), 1u);
+  EXPECT_EQ(sink.events[0].kind, 'G');
+}
+
+TEST(PowerSupply, VoltageFollowsCurveDuringDischarge) {
+  Simulator sim;
+  auto psu = make_psu(sim);
+  RecordingSink sink;
+  psu->attach(sink);
+  psu->power_on();
+  sim.run_all();
+  psu->power_off();
+  sim.run_for(Duration::ms(40));
+  EXPECT_NEAR(psu->voltage(), 4.5, 0.05);
+  sim.run_for(Duration::ms(400));
+  EXPECT_LT(psu->voltage(), 4.0);
+}
+
+TEST(PowerSupply, CyclesCountOffTransitions) {
+  Simulator sim;
+  auto psu = make_psu(sim);
+  psu->power_on();
+  sim.run_all();
+  EXPECT_EQ(psu->cycles(), 0u);
+  psu->power_off();
+  sim.run_all();
+  psu->power_on();
+  sim.run_all();
+  psu->power_off();
+  sim.run_all();
+  EXPECT_EQ(psu->cycles(), 2u);
+}
+
+TEST(PowerSupply, RedundantCommandsAreNoops) {
+  Simulator sim;
+  auto psu = make_psu(sim);
+  psu->power_on();
+  psu->power_on();
+  sim.run_all();
+  psu->power_off();
+  psu->power_off();  // still discharging: no double-count
+  sim.run_all();
+  EXPECT_EQ(psu->cycles(), 1u);
+}
+
+TEST(PowerSupply, TotalLoadSumsSinks) {
+  Simulator sim;
+  auto psu = make_psu(sim);
+  RecordingSink a(0.5), b(0.7);
+  psu->attach(a);
+  psu->attach(b);
+  EXPECT_DOUBLE_EQ(psu->total_load_amps(), 1.2);
+}
+
+// ------------------------------------------------------------- ATX/Arduino
+
+TEST(AtxController, ActiveLowSemantics) {
+  Simulator sim;
+  auto psu = make_psu(sim);
+  AtxController atx(*psu);
+  EXPECT_TRUE(atx.pin16_high());  // rail off at boot
+  atx.set_ps_on_pin(false);       // pull low -> rail on
+  sim.run_all();
+  EXPECT_EQ(psu->state(), PowerSupply::State::kOn);
+  atx.set_ps_on_pin(true);  // +5 V -> rail off
+  EXPECT_EQ(psu->state(), PowerSupply::State::kDischarging);
+}
+
+TEST(ArduinoBridge, CommandsArriveWithSerialLatency) {
+  Simulator sim;
+  auto psu = make_psu(sim);
+  AtxController atx(*psu);
+  ArduinoBridge::Params params;
+  params.command_latency = Duration::us(1200);
+  params.jitter = Duration::zero();
+  ArduinoBridge bridge(sim, atx, params);
+
+  bridge.send(PowerCommand::kOn);
+  EXPECT_EQ(psu->state(), PowerSupply::State::kOff);  // not yet arrived
+  sim.run_for(Duration::us(1199));
+  EXPECT_EQ(psu->state(), PowerSupply::State::kOff);
+  sim.run_for(Duration::us(2));
+  EXPECT_NE(psu->state(), PowerSupply::State::kOff);
+  EXPECT_EQ(bridge.commands_sent(), 1u);
+}
+
+TEST(ArduinoBridge, OffCommandCutsRail) {
+  Simulator sim;
+  auto psu = make_psu(sim);
+  AtxController atx(*psu);
+  ArduinoBridge bridge(sim, atx);
+  bridge.send(PowerCommand::kOn);
+  sim.run_all();
+  EXPECT_EQ(psu->state(), PowerSupply::State::kOn);
+  bridge.send(PowerCommand::kOff);
+  sim.run_all();
+  EXPECT_EQ(psu->state(), PowerSupply::State::kOff);
+  EXPECT_EQ(bridge.commands_sent(), 2u);
+}
+
+}  // namespace
+}  // namespace pofi::psu

@@ -1,0 +1,112 @@
+// Randomised property tests for the simulation kernel against reference
+// models.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace pofi::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EventQueue vs a reference std::multimap model: random schedule/cancel/pop
+// sequences must fire exactly the reference's surviving events in exactly
+// the reference's order.
+// ---------------------------------------------------------------------------
+class EventQueueTorture : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueTorture, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 30; ++round) {
+    EventQueue queue;
+    // Reference: (time, insertion-seq) -> payload; cancelled entries removed.
+    std::multimap<std::pair<std::int64_t, int>, int> reference;
+    std::vector<EventId> ids;
+    std::vector<int> fired;
+
+    int payload = 0;
+    const int ops = 200;
+    for (int op = 0; op < ops; ++op) {
+      if (rng.chance(0.7) || ids.empty()) {
+        const std::int64_t t = rng.range(0, 50);
+        const int value = payload++;
+        ids.push_back(queue.schedule_at(TimePoint::from_ns(t),
+                                        [&fired, value] { fired.push_back(value); }));
+        reference.emplace(std::make_pair(t, value), value);
+      } else {
+        const auto idx = static_cast<std::size_t>(rng.below(ids.size()));
+        const bool cancelled = queue.cancel(ids[idx]);
+        // Find the reference entry by payload value == its insertion index.
+        bool ref_had = false;
+        for (auto it = reference.begin(); it != reference.end(); ++it) {
+          if (it->second == static_cast<int>(idx)) {
+            reference.erase(it);
+            ref_had = true;
+            break;
+          }
+        }
+        EXPECT_EQ(cancelled, ref_had) << "cancel mismatch round " << round;
+      }
+    }
+
+    EXPECT_EQ(queue.size(), reference.size());
+    std::vector<int> expected;
+    for (const auto& [key, value] : reference) expected.push_back(value);
+    while (!queue.empty()) queue.pop().cb();
+    EXPECT_EQ(fired, expected) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueTorture, ::testing::Values(7, 77, 777));
+
+// ---------------------------------------------------------------------------
+// Simulator time monotonicity: however events interleave and re-schedule,
+// observed `now()` never decreases and equals each event's scheduled time.
+// ---------------------------------------------------------------------------
+class SimulatorMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimulatorMonotonicity, NowNeverDecreases) {
+  Simulator sim(GetParam());
+  Rng rng(GetParam() * 13);
+  std::int64_t last_ns = -1;
+  bool violated = false;
+  std::function<void(int)> spawn = [&](int depth) {
+    const std::int64_t now_ns = sim.now().count_ns();
+    if (now_ns < last_ns) violated = true;
+    last_ns = now_ns;
+    if (depth <= 0) return;
+    const int children = 1 + static_cast<int>(rng.below(3));
+    for (int c = 0; c < children; ++c) {
+      sim.after(Duration::us(rng.range(0, 500)), [&spawn, depth] { spawn(depth - 1); });
+    }
+  };
+  for (int roots = 0; roots < 10; ++roots) {
+    sim.after(Duration::us(rng.range(0, 1000)), [&spawn] { spawn(4); });
+  }
+  sim.run_all();
+  EXPECT_FALSE(violated);
+  EXPECT_GT(sim.events_fired(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorMonotonicity, ::testing::Values(1, 2, 3));
+
+// ---------------------------------------------------------------------------
+// run_until boundary semantics: events exactly at the deadline fire; later
+// ones do not; the clock lands exactly on the deadline.
+// ---------------------------------------------------------------------------
+TEST(SimulatorBoundary, DeadlineInclusive) {
+  Simulator sim;
+  int fired = 0;
+  sim.after(Duration::ms(10), [&] { ++fired; });
+  sim.after(Duration::ms(10) + Duration::ns(1), [&] { ++fired; });
+  sim.run_until(TimePoint::zero() + Duration::ms(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), TimePoint::zero() + Duration::ms(10));
+  sim.run_all();
+  EXPECT_EQ(fired, 2);
+}
+
+}  // namespace
+}  // namespace pofi::sim

@@ -1,0 +1,140 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace pofi::sim {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (std::uint64_t n : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.below(n), n);
+  }
+}
+
+TEST(Rng, BelowZeroIsZero) {
+  Rng r(7);
+  EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.range(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RangeDegenerate) {
+  Rng r(9);
+  EXPECT_EQ(r.range(5, 5), 5);
+  EXPECT_EQ(r.range(5, 4), 5);  // inverted bounds clamp to lo
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(11);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceEdges) {
+  Rng r(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng r(13);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += r.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(17);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.1);
+}
+
+TEST(Rng, PoissonSmallLambdaMean) {
+  Rng r(19);
+  double sum = 0.0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.poisson(3.0));
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, PoissonLargeLambdaMean) {
+  Rng r(23);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.poisson(500.0));
+  EXPECT_NEAR(sum / n, 500.0, 2.0);
+}
+
+TEST(Rng, PoissonZeroLambda) {
+  Rng r(23);
+  EXPECT_EQ(r.poisson(0.0), 0u);
+  EXPECT_EQ(r.poisson(-1.0), 0u);
+}
+
+TEST(Rng, ForkIsStableAndIndependent) {
+  Rng parent(31);
+  Rng c1 = parent.fork("alpha");
+  Rng c2 = parent.fork("alpha");
+  Rng c3 = parent.fork("beta");
+  // Same label from same parent state -> identical stream.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(c1.next(), c2.next());
+  // Different label -> different stream.
+  Rng c1b = parent.fork("alpha");
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1b.next() == c3.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitMix64KnownSequenceDistinct) {
+  std::uint64_t s = 0;
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(splitmix64(s));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace pofi::sim

@@ -1,0 +1,76 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pofi::sim {
+namespace {
+
+using namespace pofi::sim::literals;
+
+TEST(Duration, FactoryUnitsAgree) {
+  EXPECT_EQ(Duration::us(1).count_ns(), 1000);
+  EXPECT_EQ(Duration::ms(1).count_ns(), 1'000'000);
+  EXPECT_EQ(Duration::sec(1).count_ns(), 1'000'000'000);
+  EXPECT_EQ(Duration::ms_f(1.5).count_ns(), 1'500'000);
+  EXPECT_EQ(Duration::sec_f(0.25).count_ns(), 250'000'000);
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ((2_ms + 500_us).count_ns(), 2'500'000);
+  EXPECT_EQ((2_ms - 500_us).count_ns(), 1'500'000);
+  EXPECT_EQ((1_ms * 3).count_ns(), 3'000'000);
+  EXPECT_EQ((3_ms / 3).count_ns(), 1'000'000);
+  Duration d = 1_ms;
+  d += 1_ms;
+  EXPECT_EQ(d, 2_ms);
+  d -= 2_ms;
+  EXPECT_TRUE(d.is_zero());
+}
+
+TEST(Duration, Ordering) {
+  EXPECT_LT(1_us, 1_ms);
+  EXPECT_GT(1_s, 999_ms);
+  EXPECT_LE(1_ms, 1_ms);
+}
+
+TEST(Duration, ScaledRoundsTowardZero) {
+  EXPECT_EQ((10_ns).scaled(0.55).count_ns(), 5);
+  EXPECT_EQ((100_ms).scaled(0.5), 50_ms);
+}
+
+TEST(Duration, Conversions) {
+  EXPECT_DOUBLE_EQ((1500_us).to_ms(), 1.5);
+  EXPECT_DOUBLE_EQ((2_s).to_sec(), 2.0);
+  EXPECT_DOUBLE_EQ((3_us).to_us(), 3.0);
+}
+
+TEST(Duration, NegativeDetection) {
+  EXPECT_TRUE((0_ms - 1_ms).is_negative());
+  EXPECT_FALSE((1_ms).is_negative());
+}
+
+TEST(TimePoint, ArithmeticWithDurations) {
+  const TimePoint t0 = TimePoint::zero();
+  const TimePoint t1 = t0 + 5_ms;
+  EXPECT_EQ((t1 - t0), 5_ms);
+  EXPECT_EQ((t1 - 2_ms).count_ns(), 3'000'000);
+  TimePoint t = t1;
+  t += 1_ms;
+  EXPECT_EQ(t.count_ns(), 6'000'000);
+}
+
+TEST(TimePoint, Ordering) {
+  EXPECT_LT(TimePoint::zero(), TimePoint::zero() + 1_ns);
+  EXPECT_EQ(TimePoint::from_ns(42).count_ns(), 42);
+  EXPECT_LT(TimePoint::from_ns(41), TimePoint::max());
+}
+
+TEST(TimeFormat, HumanReadable) {
+  EXPECT_EQ((5_ns).to_string(), "5ns");
+  EXPECT_EQ((1500_ns).to_string(), "1.500us");
+  EXPECT_EQ((2500_us).to_string(), "2.500ms");
+  EXPECT_EQ((1500_ms).to_string(), "1.500s");
+}
+
+}  // namespace
+}  // namespace pofi::sim

@@ -1,0 +1,206 @@
+#include "ssd/write_cache.hpp"
+
+#include "nand/chip_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+namespace pofi::ssd {
+namespace {
+
+using ftl::Lpn;
+using sim::Duration;
+using sim::Simulator;
+
+struct Harness {
+  explicit Harness(WriteCache::Config cache_cfg = default_cache(), ftl::Ftl::Config ftl_cfg = fast_journal())
+      : sim(11),
+        chip(sim, nand::ChipArray::Config{1, chip_config()}),
+        ftl(sim, chip, ftl_cfg),
+        cache(sim, ftl, cache_cfg) {
+    chip.on_power_good();
+    ftl.on_power_good();
+    cache.on_power_good();
+  }
+
+  static nand::NandChip::Config chip_config() {
+    nand::NandChip::Config cfg;
+    cfg.geometry.page_size_bytes = 4096;
+    cfg.geometry.pages_per_block = 32;
+    cfg.geometry.blocks_per_plane = 32;
+    cfg.geometry.planes = 4;
+    return cfg;
+  }
+  static WriteCache::Config default_cache() {
+    WriteCache::Config cfg;
+    cfg.capacity_pages = 64;
+    cfg.hold_time = Duration::ms(50);
+    cfg.flush_ways = 4;
+    cfg.high_watermark = 0.75;
+    cfg.flush_scramble_window = 8;
+    return cfg;
+  }
+  static ftl::Ftl::Config fast_journal() {
+    ftl::Ftl::Config cfg;
+    cfg.journal_interval = Duration::ms(5);
+    return cfg;
+  }
+
+  Simulator sim;
+  nand::ChipArray chip;
+  ftl::Ftl ftl;
+  WriteCache cache;
+};
+
+TEST(WriteCache, InsertThenLookup) {
+  Harness h;
+  EXPECT_TRUE(h.cache.insert(10, 0xAA));
+  EXPECT_EQ(h.cache.lookup(10), std::optional<std::uint64_t>(0xAA));
+  EXPECT_FALSE(h.cache.lookup(11).has_value());
+  EXPECT_EQ(h.cache.dirty_pages(), 1u);
+}
+
+TEST(WriteCache, OverwriteCoalesces) {
+  Harness h;
+  EXPECT_TRUE(h.cache.insert(10, 0xAA));
+  EXPECT_TRUE(h.cache.insert(10, 0xBB));
+  EXPECT_EQ(h.cache.lookup(10), std::optional<std::uint64_t>(0xBB));
+  EXPECT_EQ(h.cache.dirty_pages(), 1u);  // still one dirty page
+}
+
+TEST(WriteCache, InsertFailsWhenUnpowered) {
+  Harness h;
+  h.cache.on_power_lost();
+  EXPECT_FALSE(h.cache.insert(1, 2));
+}
+
+TEST(WriteCache, HoldTimeDelaysFlush) {
+  Harness h;
+  EXPECT_TRUE(h.cache.insert(10, 0xAA));
+  h.sim.run_for(Duration::ms(20));  // < hold_time
+  EXPECT_EQ(h.cache.dirty_pages(), 1u);
+  EXPECT_EQ(h.cache.stats().flushes_completed, 0u);
+  h.sim.run_for(Duration::ms(100));  // past hold_time + program
+  EXPECT_EQ(h.cache.dirty_pages(), 0u);
+  EXPECT_EQ(h.cache.stats().flushes_completed, 1u);
+  // Flushed data is readable through the FTL.
+  std::optional<std::uint64_t> seen;
+  h.ftl.read(10, [&](nand::ReadResult r, bool) { seen = r.content; });
+  while (!seen.has_value() && !h.sim.idle()) h.sim.run_all(1);
+  EXPECT_EQ(seen, std::optional<std::uint64_t>(0xAA));
+}
+
+TEST(WriteCache, OldestDirtyAgeTracksHead) {
+  Harness h;
+  EXPECT_FALSE(h.cache.oldest_dirty_age().has_value());
+  EXPECT_TRUE(h.cache.insert(10, 0xAA));
+  h.sim.run_for(Duration::ms(10));
+  const auto age = h.cache.oldest_dirty_age();
+  ASSERT_TRUE(age.has_value());
+  EXPECT_NEAR(age->to_ms(), 10.0, 0.1);
+}
+
+TEST(WriteCache, WatermarkForcesEagerFlush) {
+  auto cfg = Harness::default_cache();
+  cfg.hold_time = Duration::sec(100);  // hold would block flushing forever
+  cfg.high_watermark = 0.5;            // 32 of 64 pages
+  Harness h(cfg);
+  for (Lpn lpn = 0; lpn < 40; ++lpn) ASSERT_TRUE(h.cache.insert(lpn, lpn));
+  h.sim.run_for(Duration::ms(500));
+  // Pressure flushed the backlog despite the huge hold time.
+  EXPECT_LT(h.cache.dirty_pages(), 40u);
+  EXPECT_GT(h.cache.stats().flushes_completed, 0u);
+}
+
+TEST(WriteCache, BackpressureWhenFullOfDirty) {
+  auto cfg = Harness::default_cache();
+  cfg.capacity_pages = 8;
+  cfg.hold_time = Duration::sec(100);
+  cfg.high_watermark = 2.0;  // never pressured: everything stays dirty
+  Harness h(cfg);
+  for (Lpn lpn = 0; lpn < 8; ++lpn) ASSERT_TRUE(h.cache.insert(lpn, lpn));
+  EXPECT_FALSE(h.cache.insert(99, 99));
+  EXPECT_GT(h.cache.stats().backpressure_stalls, 0u);
+  // on_space fires once a flush frees room.
+  bool notified = false;
+  h.cache.on_space([&] { notified = true; });
+  h.cache.flush_all([] {});
+  h.sim.run_for(Duration::ms(200));
+  EXPECT_TRUE(notified);
+  EXPECT_TRUE(h.cache.insert(99, 99));
+}
+
+TEST(WriteCache, EmergencyFlushDrainsEverything) {
+  auto cfg = Harness::default_cache();
+  cfg.hold_time = Duration::sec(100);
+  Harness h(cfg);
+  for (Lpn lpn = 0; lpn < 20; ++lpn) ASSERT_TRUE(h.cache.insert(lpn, lpn + 1000));
+  bool done = false;
+  h.cache.flush_all([&] { done = true; });
+  h.sim.run_for(Duration::ms(200));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(h.cache.dirty_pages(), 0u);
+}
+
+TEST(WriteCache, EmergencyFlushOnEmptyCacheFiresImmediately) {
+  Harness h;
+  bool done = false;
+  h.cache.flush_all([&] { done = true; });
+  EXPECT_TRUE(done);
+}
+
+TEST(WriteCache, PowerLossDropsDirtyData) {
+  Harness h;
+  for (Lpn lpn = 0; lpn < 5; ++lpn) ASSERT_TRUE(h.cache.insert(lpn, lpn));
+  const std::size_t lost = h.cache.on_power_lost();
+  EXPECT_EQ(lost, 5u);
+  EXPECT_EQ(h.cache.resident_pages(), 0u);
+  EXPECT_EQ(h.cache.stats().dirty_lost_on_power_failure, 5u);
+  h.cache.on_power_good();
+  EXPECT_FALSE(h.cache.lookup(0).has_value());
+}
+
+TEST(WriteCache, RedirtyDuringFlushKeepsNewValue) {
+  auto cfg = Harness::default_cache();
+  cfg.hold_time = Duration::ms(1);
+  Harness h(cfg);
+  ASSERT_TRUE(h.cache.insert(10, 0xAA));
+  h.sim.run_for(Duration::ms(2));  // flush of 0xAA now in flight
+  ASSERT_TRUE(h.cache.insert(10, 0xBB));
+  h.sim.run_for(Duration::ms(200));
+  // The entry must not be marked clean with the stale value.
+  EXPECT_EQ(h.cache.lookup(10), std::optional<std::uint64_t>(0xBB));
+  // And the final flash state converges to 0xBB.
+  std::optional<std::uint64_t> seen;
+  h.ftl.read(10, [&](nand::ReadResult r, bool) { seen = r.content; });
+  while (!seen.has_value() && !h.sim.idle()) h.sim.run_all(1);
+  EXPECT_EQ(seen, std::optional<std::uint64_t>(0xBB));
+}
+
+TEST(WriteCache, CapacityNeverExceeded) {
+  auto cfg = Harness::default_cache();
+  cfg.capacity_pages = 16;
+  cfg.hold_time = Duration::ms(1);
+  Harness h(cfg);
+  sim::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    (void)h.cache.insert(rng.below(64), i);
+    h.sim.run_for(Duration::us(200));
+    ASSERT_LE(h.cache.resident_pages(), 16u);
+  }
+}
+
+TEST(WriteCache, ScrambleWindowOneIsStrictFifo) {
+  auto cfg = Harness::default_cache();
+  cfg.flush_scramble_window = 1;
+  cfg.hold_time = Duration::ms(1);
+  cfg.flush_ways = 1;
+  Harness h(cfg);
+  for (Lpn lpn = 0; lpn < 4; ++lpn) ASSERT_TRUE(h.cache.insert(lpn, lpn + 50));
+  h.sim.run_for(Duration::sec(1));
+  EXPECT_EQ(h.cache.stats().flushes_completed, 4u);
+}
+
+}  // namespace
+}  // namespace pofi::ssd

@@ -1,0 +1,63 @@
+#include "stats/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pofi::stats {
+namespace {
+
+TEST(Csv, HeaderOnly) {
+  CsvWriter w({"a", "b", "c"});
+  EXPECT_EQ(w.render(), "a,b,c\n");
+  EXPECT_EQ(w.rows(), 0u);
+}
+
+TEST(Csv, SimpleRows) {
+  CsvWriter w({"x", "y"});
+  w.add_row({"1", "2"}).add_row({"3", "4"});
+  EXPECT_EQ(w.render(), "x,y\n1,2\n3,4\n");
+  EXPECT_EQ(w.rows(), 2u);
+}
+
+TEST(Csv, ShortRowsPadded) {
+  CsvWriter w({"x", "y", "z"});
+  w.add_row({"only"});
+  EXPECT_EQ(w.render(), "x,y,z\nonly,,\n");
+}
+
+TEST(Csv, EscapingPerRfc4180) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("has,comma"), "\"has,comma\"");
+  EXPECT_EQ(CsvWriter::escape("has\"quote"), "\"has\"\"quote\"");
+  EXPECT_EQ(CsvWriter::escape("has\nnewline"), "\"has\nnewline\"");
+  EXPECT_EQ(CsvWriter::escape(""), "");
+}
+
+TEST(Csv, QuotedCellsInRows) {
+  CsvWriter w({"name", "note"});
+  w.add_row({"a,b", "he said \"hi\""});
+  EXPECT_EQ(w.render(), "name,note\n\"a,b\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, WriteFileRoundTrips) {
+  CsvWriter w({"k", "v"});
+  w.add_row({"one", "1"});
+  const std::string path = "/tmp/pofi_csv_test.csv";
+  ASSERT_TRUE(w.write_file(path));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "k,v\none,1\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, WriteFileFailsOnBadPath) {
+  CsvWriter w({"a"});
+  EXPECT_FALSE(w.write_file("/nonexistent-dir-xyz/file.csv"));
+}
+
+}  // namespace
+}  // namespace pofi::stats

@@ -1,0 +1,99 @@
+#include "workload/payload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/rng.hpp"
+
+namespace pofi::workload {
+namespace {
+
+TEST(PayloadCodec, ExpandIsDeterministic) {
+  PayloadCodec codec(4096);
+  EXPECT_EQ(codec.expand(42), codec.expand(42));
+  EXPECT_EQ(codec.page_crc(42), codec.page_crc(42));
+}
+
+TEST(PayloadCodec, DistinctTagsDistinctPayloads) {
+  PayloadCodec codec(4096);
+  std::set<std::uint32_t> crcs;
+  for (std::uint64_t tag = 1; tag <= 500; ++tag) {
+    EXPECT_TRUE(crcs.insert(codec.page_crc(tag)).second) << "tag " << tag;
+  }
+}
+
+TEST(PayloadCodec, PayloadHasRequestedSize) {
+  for (const std::uint32_t size : {512u, 4096u, 16384u}) {
+    PayloadCodec codec(size);
+    EXPECT_EQ(codec.expand(7).size(), size);
+  }
+}
+
+TEST(PayloadCodec, OddSizedTailFilled) {
+  PayloadCodec codec(100);  // not a multiple of 8
+  const auto bytes = codec.expand(9);
+  EXPECT_EQ(bytes.size(), 100u);
+}
+
+TEST(PayloadCodec, MatchesAgreesWithTagEquality) {
+  PayloadCodec codec(4096);
+  const auto payload_a = codec.expand(1001);
+  EXPECT_TRUE(codec.matches(1001, payload_a));
+  EXPECT_FALSE(codec.matches(1002, payload_a));
+}
+
+TEST(PayloadCodec, BitFlipBreaksMatch) {
+  PayloadCodec codec(4096);
+  auto payload = codec.expand(77);
+  for (const std::size_t pos : {0u, 15u, 100u, 4095u}) {
+    auto corrupted = payload;
+    corrupted[pos] ^= 0x40;
+    EXPECT_FALSE(codec.matches(77, corrupted)) << "flip at " << pos;
+  }
+}
+
+TEST(PayloadCodec, ExtractRecoversTag) {
+  PayloadCodec codec(4096);
+  const auto payload = codec.expand(0xDEADBEEF12345678ULL);
+  std::uint64_t tag = 0;
+  ASSERT_TRUE(codec.extract(payload, tag));
+  EXPECT_EQ(tag, 0xDEADBEEF12345678ULL);
+}
+
+TEST(PayloadCodec, ExtractRejectsCorruption) {
+  PayloadCodec codec(4096);
+  auto payload = codec.expand(55);
+  payload[2000] ^= 1;
+  std::uint64_t tag = 0;
+  EXPECT_FALSE(codec.extract(payload, tag));
+}
+
+TEST(PayloadCodec, ExtractRejectsWrongSize) {
+  PayloadCodec codec(4096);
+  std::vector<std::uint8_t> wrong(100, 0);
+  std::uint64_t tag = 0;
+  EXPECT_FALSE(codec.extract(wrong, tag));
+}
+
+// The load-bearing property: for any pair of tags, CRC-based comparison of
+// the expanded payloads gives exactly the same verdict as tag comparison.
+// This is what justifies running the hot path on tags alone.
+class PayloadEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PayloadEquivalence, TagComparisonEqualsChecksumComparison) {
+  PayloadCodec codec(2048);
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng.below(1000);
+    const std::uint64_t b = rng.below(1000);
+    const bool tags_equal = a == b;
+    const bool crc_equal = codec.page_crc(a) == codec.page_crc(b);
+    EXPECT_EQ(tags_equal, crc_equal) << "tags " << a << " vs " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PayloadEquivalence, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace pofi::workload
