@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_cache_plp"
+  "../bench/bench_ablation_cache_plp.pdb"
+  "CMakeFiles/bench_ablation_cache_plp.dir/bench_ablation_cache_plp.cpp.o"
+  "CMakeFiles/bench_ablation_cache_plp.dir/bench_ablation_cache_plp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cache_plp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

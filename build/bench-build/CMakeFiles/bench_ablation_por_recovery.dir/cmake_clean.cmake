@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_por_recovery"
+  "../bench/bench_ablation_por_recovery.pdb"
+  "CMakeFiles/bench_ablation_por_recovery.dir/bench_ablation_por_recovery.cpp.o"
+  "CMakeFiles/bench_ablation_por_recovery.dir/bench_ablation_por_recovery.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_por_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

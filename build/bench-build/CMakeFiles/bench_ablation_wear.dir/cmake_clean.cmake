@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_wear"
+  "../bench/bench_ablation_wear.pdb"
+  "CMakeFiles/bench_ablation_wear.dir/bench_ablation_wear.cpp.o"
+  "CMakeFiles/bench_ablation_wear.dir/bench_ablation_wear.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_psu_discharge"
+  "../bench/bench_fig4_psu_discharge.pdb"
+  "CMakeFiles/bench_fig4_psu_discharge.dir/bench_fig4_psu_discharge.cpp.o"
+  "CMakeFiles/bench_fig4_psu_discharge.dir/bench_fig4_psu_discharge.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_psu_discharge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_request_type"
+  "../bench/bench_fig5_request_type.pdb"
+  "CMakeFiles/bench_fig5_request_type.dir/bench_fig5_request_type.cpp.o"
+  "CMakeFiles/bench_fig5_request_type.dir/bench_fig5_request_type.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_request_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

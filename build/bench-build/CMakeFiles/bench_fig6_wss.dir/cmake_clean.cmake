@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_wss"
+  "../bench/bench_fig6_wss.pdb"
+  "CMakeFiles/bench_fig6_wss.dir/bench_fig6_wss.cpp.o"
+  "CMakeFiles/bench_fig6_wss.dir/bench_fig6_wss.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_wss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_iops"
+  "../bench/bench_fig8_iops.pdb"
+  "CMakeFiles/bench_fig8_iops.dir/bench_fig8_iops.cpp.o"
+  "CMakeFiles/bench_fig8_iops.dir/bench_fig8_iops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_iops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

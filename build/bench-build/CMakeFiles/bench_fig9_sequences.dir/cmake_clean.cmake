@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_sequences"
+  "../bench/bench_fig9_sequences.pdb"
+  "CMakeFiles/bench_fig9_sequences.dir/bench_fig9_sequences.cpp.o"
+  "CMakeFiles/bench_fig9_sequences.dir/bench_fig9_sequences.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_sequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fleet_comparison"
+  "../bench/bench_fleet_comparison.pdb"
+  "CMakeFiles/bench_fleet_comparison.dir/bench_fleet_comparison.cpp.o"
+  "CMakeFiles/bench_fleet_comparison.dir/bench_fleet_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fleet_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_platform"
+  "../bench/bench_micro_platform.pdb"
+  "CMakeFiles/bench_micro_platform.dir/bench_micro_platform.cpp.o"
+  "CMakeFiles/bench_micro_platform.dir/bench_micro_platform.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

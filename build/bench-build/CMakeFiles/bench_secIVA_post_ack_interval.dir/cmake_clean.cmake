@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_secIVA_post_ack_interval"
+  "../bench/bench_secIVA_post_ack_interval.pdb"
+  "CMakeFiles/bench_secIVA_post_ack_interval.dir/bench_secIVA_post_ack_interval.cpp.o"
+  "CMakeFiles/bench_secIVA_post_ack_interval.dir/bench_secIVA_post_ack_interval.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secIVA_post_ack_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

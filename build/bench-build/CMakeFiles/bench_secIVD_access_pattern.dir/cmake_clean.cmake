@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_secIVD_access_pattern"
+  "../bench/bench_secIVD_access_pattern.pdb"
+  "CMakeFiles/bench_secIVD_access_pattern.dir/bench_secIVD_access_pattern.cpp.o"
+  "CMakeFiles/bench_secIVD_access_pattern.dir/bench_secIVD_access_pattern.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secIVD_access_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

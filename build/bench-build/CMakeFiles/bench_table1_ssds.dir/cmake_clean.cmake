@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_ssds"
+  "../bench/bench_table1_ssds.pdb"
+  "CMakeFiles/bench_table1_ssds.dir/bench_table1_ssds.cpp.o"
+  "CMakeFiles/bench_table1_ssds.dir/bench_table1_ssds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_ssds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

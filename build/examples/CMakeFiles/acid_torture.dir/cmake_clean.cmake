@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acid_torture.dir/acid_torture.cpp.o"
+  "CMakeFiles/acid_torture.dir/acid_torture.cpp.o.d"
+  "acid_torture"
+  "acid_torture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acid_torture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

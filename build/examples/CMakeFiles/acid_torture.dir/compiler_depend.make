@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for acid_torture.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_outage.dir/datacenter_outage.cpp.o"
+  "CMakeFiles/datacenter_outage.dir/datacenter_outage.cpp.o.d"
+  "datacenter_outage"
+  "datacenter_outage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pofi_run.dir/pofi_run.cpp.o"
+  "CMakeFiles/pofi_run.dir/pofi_run.cpp.o.d"
+  "pofi_run"
+  "pofi_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pofi_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vendor_qualification.dir/vendor_qualification.cpp.o"
+  "CMakeFiles/vendor_qualification.dir/vendor_qualification.cpp.o.d"
+  "vendor_qualification"
+  "vendor_qualification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vendor_qualification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pofi_blk.dir/queue.cpp.o"
+  "CMakeFiles/pofi_blk.dir/queue.cpp.o.d"
+  "CMakeFiles/pofi_blk.dir/trace.cpp.o"
+  "CMakeFiles/pofi_blk.dir/trace.cpp.o.d"
+  "CMakeFiles/pofi_blk.dir/trace_text.cpp.o"
+  "CMakeFiles/pofi_blk.dir/trace_text.cpp.o.d"
+  "libpofi_blk.a"
+  "libpofi_blk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pofi_blk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

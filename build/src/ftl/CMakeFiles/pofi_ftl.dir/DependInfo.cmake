@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/allocator.cpp" "src/ftl/CMakeFiles/pofi_ftl.dir/allocator.cpp.o" "gcc" "src/ftl/CMakeFiles/pofi_ftl.dir/allocator.cpp.o.d"
+  "/root/repo/src/ftl/ftl.cpp" "src/ftl/CMakeFiles/pofi_ftl.dir/ftl.cpp.o" "gcc" "src/ftl/CMakeFiles/pofi_ftl.dir/ftl.cpp.o.d"
+  "/root/repo/src/ftl/mapping.cpp" "src/ftl/CMakeFiles/pofi_ftl.dir/mapping.cpp.o" "gcc" "src/ftl/CMakeFiles/pofi_ftl.dir/mapping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pofi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/pofi_nand.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

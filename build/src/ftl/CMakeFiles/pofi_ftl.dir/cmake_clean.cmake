@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pofi_ftl.dir/allocator.cpp.o"
+  "CMakeFiles/pofi_ftl.dir/allocator.cpp.o.d"
+  "CMakeFiles/pofi_ftl.dir/ftl.cpp.o"
+  "CMakeFiles/pofi_ftl.dir/ftl.cpp.o.d"
+  "CMakeFiles/pofi_ftl.dir/mapping.cpp.o"
+  "CMakeFiles/pofi_ftl.dir/mapping.cpp.o.d"
+  "libpofi_ftl.a"
+  "libpofi_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pofi_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pofi_kvs.dir/minikv.cpp.o"
+  "CMakeFiles/pofi_kvs.dir/minikv.cpp.o.d"
+  "libpofi_kvs.a"
+  "libpofi_kvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pofi_kvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

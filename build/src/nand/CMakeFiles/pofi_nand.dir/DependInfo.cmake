@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nand/chip.cpp" "src/nand/CMakeFiles/pofi_nand.dir/chip.cpp.o" "gcc" "src/nand/CMakeFiles/pofi_nand.dir/chip.cpp.o.d"
+  "/root/repo/src/nand/chip_array.cpp" "src/nand/CMakeFiles/pofi_nand.dir/chip_array.cpp.o" "gcc" "src/nand/CMakeFiles/pofi_nand.dir/chip_array.cpp.o.d"
+  "/root/repo/src/nand/ecc.cpp" "src/nand/CMakeFiles/pofi_nand.dir/ecc.cpp.o" "gcc" "src/nand/CMakeFiles/pofi_nand.dir/ecc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pofi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

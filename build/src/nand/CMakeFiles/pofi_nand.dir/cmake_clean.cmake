@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pofi_nand.dir/chip.cpp.o"
+  "CMakeFiles/pofi_nand.dir/chip.cpp.o.d"
+  "CMakeFiles/pofi_nand.dir/chip_array.cpp.o"
+  "CMakeFiles/pofi_nand.dir/chip_array.cpp.o.d"
+  "CMakeFiles/pofi_nand.dir/ecc.cpp.o"
+  "CMakeFiles/pofi_nand.dir/ecc.cpp.o.d"
+  "libpofi_nand.a"
+  "libpofi_nand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pofi_nand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/analyzer.cpp" "src/platform/CMakeFiles/pofi_platform.dir/analyzer.cpp.o" "gcc" "src/platform/CMakeFiles/pofi_platform.dir/analyzer.cpp.o.d"
+  "/root/repo/src/platform/campaign_suite.cpp" "src/platform/CMakeFiles/pofi_platform.dir/campaign_suite.cpp.o" "gcc" "src/platform/CMakeFiles/pofi_platform.dir/campaign_suite.cpp.o.d"
+  "/root/repo/src/platform/report.cpp" "src/platform/CMakeFiles/pofi_platform.dir/report.cpp.o" "gcc" "src/platform/CMakeFiles/pofi_platform.dir/report.cpp.o.d"
+  "/root/repo/src/platform/shadow_store.cpp" "src/platform/CMakeFiles/pofi_platform.dir/shadow_store.cpp.o" "gcc" "src/platform/CMakeFiles/pofi_platform.dir/shadow_store.cpp.o.d"
+  "/root/repo/src/platform/test_platform.cpp" "src/platform/CMakeFiles/pofi_platform.dir/test_platform.cpp.o" "gcc" "src/platform/CMakeFiles/pofi_platform.dir/test_platform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pofi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/psu/CMakeFiles/pofi_psu.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/pofi_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/pofi_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/pofi_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/blk/CMakeFiles/pofi_blk.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pofi_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pofi_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pofi_platform.dir/analyzer.cpp.o"
+  "CMakeFiles/pofi_platform.dir/analyzer.cpp.o.d"
+  "CMakeFiles/pofi_platform.dir/campaign_suite.cpp.o"
+  "CMakeFiles/pofi_platform.dir/campaign_suite.cpp.o.d"
+  "CMakeFiles/pofi_platform.dir/report.cpp.o"
+  "CMakeFiles/pofi_platform.dir/report.cpp.o.d"
+  "CMakeFiles/pofi_platform.dir/shadow_store.cpp.o"
+  "CMakeFiles/pofi_platform.dir/shadow_store.cpp.o.d"
+  "CMakeFiles/pofi_platform.dir/test_platform.cpp.o"
+  "CMakeFiles/pofi_platform.dir/test_platform.cpp.o.d"
+  "libpofi_platform.a"
+  "libpofi_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pofi_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

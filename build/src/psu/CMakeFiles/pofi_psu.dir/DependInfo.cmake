@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/psu/atx_control.cpp" "src/psu/CMakeFiles/pofi_psu.dir/atx_control.cpp.o" "gcc" "src/psu/CMakeFiles/pofi_psu.dir/atx_control.cpp.o.d"
+  "/root/repo/src/psu/discharge_model.cpp" "src/psu/CMakeFiles/pofi_psu.dir/discharge_model.cpp.o" "gcc" "src/psu/CMakeFiles/pofi_psu.dir/discharge_model.cpp.o.d"
+  "/root/repo/src/psu/power_supply.cpp" "src/psu/CMakeFiles/pofi_psu.dir/power_supply.cpp.o" "gcc" "src/psu/CMakeFiles/pofi_psu.dir/power_supply.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pofi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pofi_psu.dir/atx_control.cpp.o"
+  "CMakeFiles/pofi_psu.dir/atx_control.cpp.o.d"
+  "CMakeFiles/pofi_psu.dir/discharge_model.cpp.o"
+  "CMakeFiles/pofi_psu.dir/discharge_model.cpp.o.d"
+  "CMakeFiles/pofi_psu.dir/power_supply.cpp.o"
+  "CMakeFiles/pofi_psu.dir/power_supply.cpp.o.d"
+  "libpofi_psu.a"
+  "libpofi_psu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pofi_psu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

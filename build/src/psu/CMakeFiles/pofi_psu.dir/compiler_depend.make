@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pofi_psu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pofi_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/pofi_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/pofi_sim.dir/log.cpp.o"
+  "CMakeFiles/pofi_sim.dir/log.cpp.o.d"
+  "CMakeFiles/pofi_sim.dir/rng.cpp.o"
+  "CMakeFiles/pofi_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/pofi_sim.dir/simulator.cpp.o"
+  "CMakeFiles/pofi_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/pofi_sim.dir/time.cpp.o"
+  "CMakeFiles/pofi_sim.dir/time.cpp.o.d"
+  "libpofi_sim.a"
+  "libpofi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pofi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssd/presets.cpp" "src/ssd/CMakeFiles/pofi_ssd.dir/presets.cpp.o" "gcc" "src/ssd/CMakeFiles/pofi_ssd.dir/presets.cpp.o.d"
+  "/root/repo/src/ssd/ssd.cpp" "src/ssd/CMakeFiles/pofi_ssd.dir/ssd.cpp.o" "gcc" "src/ssd/CMakeFiles/pofi_ssd.dir/ssd.cpp.o.d"
+  "/root/repo/src/ssd/write_cache.cpp" "src/ssd/CMakeFiles/pofi_ssd.dir/write_cache.cpp.o" "gcc" "src/ssd/CMakeFiles/pofi_ssd.dir/write_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pofi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/pofi_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/pofi_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/psu/CMakeFiles/pofi_psu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

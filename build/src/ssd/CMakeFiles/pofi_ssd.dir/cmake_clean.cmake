@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pofi_ssd.dir/presets.cpp.o"
+  "CMakeFiles/pofi_ssd.dir/presets.cpp.o.d"
+  "CMakeFiles/pofi_ssd.dir/ssd.cpp.o"
+  "CMakeFiles/pofi_ssd.dir/ssd.cpp.o.d"
+  "CMakeFiles/pofi_ssd.dir/write_cache.cpp.o"
+  "CMakeFiles/pofi_ssd.dir/write_cache.cpp.o.d"
+  "libpofi_ssd.a"
+  "libpofi_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pofi_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pofi_stats.dir/csv.cpp.o"
+  "CMakeFiles/pofi_stats.dir/csv.cpp.o.d"
+  "CMakeFiles/pofi_stats.dir/table.cpp.o"
+  "CMakeFiles/pofi_stats.dir/table.cpp.o.d"
+  "libpofi_stats.a"
+  "libpofi_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pofi_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpofi_stats.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/checksum.cpp" "src/workload/CMakeFiles/pofi_workload.dir/checksum.cpp.o" "gcc" "src/workload/CMakeFiles/pofi_workload.dir/checksum.cpp.o.d"
+  "/root/repo/src/workload/payload.cpp" "src/workload/CMakeFiles/pofi_workload.dir/payload.cpp.o" "gcc" "src/workload/CMakeFiles/pofi_workload.dir/payload.cpp.o.d"
+  "/root/repo/src/workload/trace_replay.cpp" "src/workload/CMakeFiles/pofi_workload.dir/trace_replay.cpp.o" "gcc" "src/workload/CMakeFiles/pofi_workload.dir/trace_replay.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "src/workload/CMakeFiles/pofi_workload.dir/workload.cpp.o" "gcc" "src/workload/CMakeFiles/pofi_workload.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pofi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/pofi_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/pofi_nand.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

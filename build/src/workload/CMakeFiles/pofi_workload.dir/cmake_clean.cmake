@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pofi_workload.dir/checksum.cpp.o"
+  "CMakeFiles/pofi_workload.dir/checksum.cpp.o.d"
+  "CMakeFiles/pofi_workload.dir/payload.cpp.o"
+  "CMakeFiles/pofi_workload.dir/payload.cpp.o.d"
+  "CMakeFiles/pofi_workload.dir/trace_replay.cpp.o"
+  "CMakeFiles/pofi_workload.dir/trace_replay.cpp.o.d"
+  "CMakeFiles/pofi_workload.dir/workload.cpp.o"
+  "CMakeFiles/pofi_workload.dir/workload.cpp.o.d"
+  "libpofi_workload.a"
+  "libpofi_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pofi_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blk_queue_test.dir/blk_queue_test.cpp.o"
+  "CMakeFiles/blk_queue_test.dir/blk_queue_test.cpp.o.d"
+  "blk_queue_test"
+  "blk_queue_test.pdb"
+  "blk_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blk_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

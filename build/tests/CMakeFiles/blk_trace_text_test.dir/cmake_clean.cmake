@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blk_trace_text_test.dir/blk_trace_text_test.cpp.o"
+  "CMakeFiles/blk_trace_text_test.dir/blk_trace_text_test.cpp.o.d"
+  "blk_trace_text_test"
+  "blk_trace_text_test.pdb"
+  "blk_trace_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blk_trace_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

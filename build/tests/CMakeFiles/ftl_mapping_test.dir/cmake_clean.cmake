@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_mapping_test.dir/ftl_mapping_test.cpp.o"
+  "CMakeFiles/ftl_mapping_test.dir/ftl_mapping_test.cpp.o.d"
+  "ftl_mapping_test"
+  "ftl_mapping_test.pdb"
+  "ftl_mapping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_property_test.dir/ftl_property_test.cpp.o"
+  "CMakeFiles/ftl_property_test.dir/ftl_property_test.cpp.o.d"
+  "ftl_property_test"
+  "ftl_property_test.pdb"
+  "ftl_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvs_minikv_test.dir/kvs_minikv_test.cpp.o"
+  "CMakeFiles/kvs_minikv_test.dir/kvs_minikv_test.cpp.o.d"
+  "kvs_minikv_test"
+  "kvs_minikv_test.pdb"
+  "kvs_minikv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvs_minikv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nand_chip_array_test.cpp" "tests/CMakeFiles/nand_chip_array_test.dir/nand_chip_array_test.cpp.o" "gcc" "tests/CMakeFiles/nand_chip_array_test.dir/nand_chip_array_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/pofi_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pofi_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvs/CMakeFiles/pofi_kvs.dir/DependInfo.cmake"
+  "/root/repo/build/src/blk/CMakeFiles/pofi_blk.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/pofi_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/psu/CMakeFiles/pofi_psu.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/pofi_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/pofi_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pofi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pofi_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nand_ecc_test.dir/nand_ecc_test.cpp.o"
+  "CMakeFiles/nand_ecc_test.dir/nand_ecc_test.cpp.o.d"
+  "nand_ecc_test"
+  "nand_ecc_test.pdb"
+  "nand_ecc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nand_ecc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

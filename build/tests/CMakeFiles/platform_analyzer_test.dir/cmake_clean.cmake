@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_analyzer_test.dir/platform_analyzer_test.cpp.o"
+  "CMakeFiles/platform_analyzer_test.dir/platform_analyzer_test.cpp.o.d"
+  "platform_analyzer_test"
+  "platform_analyzer_test.pdb"
+  "platform_analyzer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_analyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

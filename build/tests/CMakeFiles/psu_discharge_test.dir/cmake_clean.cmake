@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psu_discharge_test.dir/psu_discharge_test.cpp.o"
+  "CMakeFiles/psu_discharge_test.dir/psu_discharge_test.cpp.o.d"
+  "psu_discharge_test"
+  "psu_discharge_test.pdb"
+  "psu_discharge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psu_discharge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psu_supply_test.dir/psu_supply_test.cpp.o"
+  "CMakeFiles/psu_supply_test.dir/psu_supply_test.cpp.o.d"
+  "psu_supply_test"
+  "psu_supply_test.pdb"
+  "psu_supply_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psu_supply_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_cache_test.dir/ssd_cache_test.cpp.o"
+  "CMakeFiles/ssd_cache_test.dir/ssd_cache_test.cpp.o.d"
+  "ssd_cache_test"
+  "ssd_cache_test.pdb"
+  "ssd_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_flush_por_test.dir/ssd_flush_por_test.cpp.o"
+  "CMakeFiles/ssd_flush_por_test.dir/ssd_flush_por_test.cpp.o.d"
+  "ssd_flush_por_test"
+  "ssd_flush_por_test.pdb"
+  "ssd_flush_por_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_flush_por_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

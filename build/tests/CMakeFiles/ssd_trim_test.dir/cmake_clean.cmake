@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_trim_test.dir/ssd_trim_test.cpp.o"
+  "CMakeFiles/ssd_trim_test.dir/ssd_trim_test.cpp.o.d"
+  "ssd_trim_test"
+  "ssd_trim_test.pdb"
+  "ssd_trim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_trim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_csv_test.dir/stats_csv_test.cpp.o"
+  "CMakeFiles/stats_csv_test.dir/stats_csv_test.cpp.o.d"
+  "stats_csv_test"
+  "stats_csv_test.pdb"
+  "stats_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_payload_test.dir/workload_payload_test.cpp.o"
+  "CMakeFiles/workload_payload_test.dir/workload_payload_test.cpp.o.d"
+  "workload_payload_test"
+  "workload_payload_test.pdb"
+  "workload_payload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_payload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
