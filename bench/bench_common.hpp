@@ -7,13 +7,17 @@
 // prints its scale next to the paper's.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include <cstdlib>
 
+#include "platform/campaign_suite.hpp"
 #include "platform/test_platform.hpp"
+#include "runner/progress.hpp"
+#include "runner/runner_config.hpp"
 #include "stats/csv.hpp"
 #include "ssd/presets.hpp"
 #include "stats/summary.hpp"
@@ -33,6 +37,86 @@ inline platform::ExperimentResult run_campaign(const ssd::SsdConfig& drive,
                                                const platform::PlatformConfig& pc = {}) {
   platform::TestPlatform tp(drive, pc, spec.seed);
   return tp.run(spec);
+}
+
+/// One queued campaign of a figure sweep (label + drive + spec).
+struct QueuedCampaign {
+  std::string label;
+  ssd::SsdConfig drive;
+  platform::ExperimentSpec spec;
+};
+
+/// Worker threads for parallel sweeps: POFI_THREADS overrides; default 0
+/// resolves to one worker per hardware thread.
+inline unsigned bench_threads() {
+  if (const char* env = std::getenv("POFI_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  return 0;
+}
+
+/// Run a sweep on the parallel campaign runner. Rows come back in submission
+/// order and are bit-identical to a sequential run: per-point seeds live in
+/// the specs, not in execution order.
+inline std::vector<platform::CampaignSuite::Row> run_campaigns(
+    const std::vector<QueuedCampaign>& campaigns, unsigned threads,
+    const platform::PlatformConfig& pc = {}, runner::ProgressSink* sink = nullptr) {
+  platform::CampaignSuite suite(pc);
+  for (const auto& c : campaigns) suite.add(c.label, c.drive, c.spec);
+  runner::RunnerConfig config;
+  config.threads = threads;
+  return suite.run_all(config, sink);
+}
+
+inline std::vector<platform::CampaignSuite::Row> run_campaigns(
+    const std::vector<QueuedCampaign>& campaigns) {
+  return run_campaigns(campaigns, bench_threads());
+}
+
+/// Wall-clock seconds spent in `fn`.
+template <typename Fn>
+inline double wall_seconds(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Machine-readable perf record for the parallel runner, tracked across PRs
+/// (see ISSUE/ROADMAP): campaigns/sec, wall seconds, thread count, speedup
+/// over the sequential path. Written to $POFI_BENCH_DIR/BENCH_runner.json
+/// (cwd when unset).
+inline void write_runner_bench_json(const char* bench, unsigned threads,
+                                    std::size_t campaigns, double parallel_seconds,
+                                    double sequential_seconds) {
+  const char* dir = std::getenv("POFI_BENCH_DIR");
+  const std::string path = std::string(dir == nullptr ? "." : dir) + "/BENCH_runner.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BENCH_runner.json write FAILED: %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"%s\",\n"
+               "  \"campaigns\": %zu,\n"
+               "  \"threads\": %u,\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"wall_seconds\": %.3f,\n"
+               "  \"campaigns_per_sec\": %.3f,\n"
+               "  \"sequential_wall_seconds\": %.3f,\n"
+               "  \"sequential_campaigns_per_sec\": %.3f,\n"
+               "  \"speedup\": %.2f\n"
+               "}\n",
+               bench, campaigns, threads, std::thread::hardware_concurrency(),
+               parallel_seconds,
+               parallel_seconds > 0 ? static_cast<double>(campaigns) / parallel_seconds : 0.0,
+               sequential_seconds,
+               sequential_seconds > 0 ? static_cast<double>(campaigns) / sequential_seconds
+                                      : 0.0,
+               parallel_seconds > 0 ? sequential_seconds / parallel_seconds : 0.0);
+  std::fclose(f);
+  std::printf("perf record written: %s\n", path.c_str());
 }
 
 /// Pages for a working set of `gib` GiB on `drive`.

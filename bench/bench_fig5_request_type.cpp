@@ -19,7 +19,7 @@ int main() {
   const auto drive = bench::study_drive();
   const std::vector<int> read_pcts{0, 20, 50, 80, 100};
 
-  std::vector<double> xs, data_failures, fwa, io_errors, per_fault;
+  std::vector<bench::QueuedCampaign> campaigns;
   for (const int read_pct : read_pcts) {
     workload::WorkloadConfig wl;
     wl.name = "fig5";
@@ -35,9 +35,16 @@ int main() {
     spec.pace_iops = 4.0;
     spec.seed = 500 + read_pct;
 
-    const auto r = bench::run_campaign(drive, spec);
-    bench::print_result_row(r, spec.name.c_str());
-    xs.push_back(read_pct);
+    campaigns.push_back(bench::QueuedCampaign{spec.name, drive, spec});
+  }
+
+  const auto rows = bench::run_campaigns(campaigns);
+
+  std::vector<double> xs, data_failures, fwa, io_errors, per_fault;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i].result;
+    bench::print_result_row(r, rows[i].label.c_str());
+    xs.push_back(read_pcts[i]);
     // The paper counts FWA as a type of data failure ("a type of data
     // failure or data loss", SecIII-B): the headline series is the total.
     data_failures.push_back(static_cast<double>(r.total_data_loss()));

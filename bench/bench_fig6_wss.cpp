@@ -17,8 +17,7 @@ int main() {
   const auto drive = bench::study_drive();
   const std::vector<double> wss_gb{1, 10, 20, 30, 40, 50, 60, 70, 80, 90};
 
-  std::vector<double> xs, data_failures, per_fault;
-  stats::RunningStat across_wss;
+  std::vector<bench::QueuedCampaign> campaigns;
   for (const double gb : wss_gb) {
     workload::WorkloadConfig wl;
     wl.name = "fig6";
@@ -34,9 +33,16 @@ int main() {
     spec.pace_iops = 4.0;
     spec.seed = 600 + static_cast<std::uint64_t>(gb);
 
-    const auto r = bench::run_campaign(drive, spec);
-    bench::print_result_row(r, spec.name.c_str());
-    xs.push_back(gb);
+    campaigns.push_back(bench::QueuedCampaign{spec.name, drive, spec});
+  }
+  const auto rows = bench::run_campaigns(campaigns);
+
+  std::vector<double> xs, data_failures, per_fault;
+  stats::RunningStat across_wss;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i].result;
+    bench::print_result_row(r, rows[i].label.c_str());
+    xs.push_back(wss_gb[i]);
     data_failures.push_back(static_cast<double>(r.total_data_loss()));
     per_fault.push_back(r.data_failures_per_fault());
     across_wss.add(r.data_failures_per_fault());

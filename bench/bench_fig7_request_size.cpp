@@ -26,7 +26,7 @@ int main() {
   const std::vector<int> sizes_kb{4, 16, 64, 256, 1024};
   const double bytes_per_sec = 4.0 * 1024 * 1024;
 
-  std::vector<double> xs, data_failures, fwa, per_fault;
+  std::vector<bench::QueuedCampaign> campaigns;
   for (const int kb : sizes_kb) {
     const std::uint32_t pages =
         std::max(1u, static_cast<std::uint32_t>(kb * 1024u / drive.chip.geometry.page_size_bytes));
@@ -47,9 +47,15 @@ int main() {
     spec.pace_iops = iops;
     spec.seed = 700 + kb;
 
-    const auto r = bench::run_campaign(drive, spec);
-    bench::print_result_row(r, spec.name.c_str());
-    xs.push_back(kb);
+    campaigns.push_back(bench::QueuedCampaign{spec.name, drive, spec});
+  }
+  const auto rows = bench::run_campaigns(campaigns);
+
+  std::vector<double> xs, data_failures, fwa, per_fault;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i].result;
+    bench::print_result_row(r, rows[i].label.c_str());
+    xs.push_back(sizes_kb[i]);
     data_failures.push_back(static_cast<double>(r.total_data_loss()));
     fwa.push_back(static_cast<double>(r.fwa_failures));
     per_fault.push_back(r.data_failures_per_fault());

@@ -22,7 +22,7 @@ int main() {
   const auto drive = bench::study_drive();
   const std::vector<double> rates{1200, 2400, 6000, 12000, 20000, 25000, 30000};
 
-  std::vector<double> xs, responded, failures;
+  std::vector<bench::QueuedCampaign> campaigns;
   for (const double rate : rates) {
     workload::WorkloadConfig wl;
     wl.name = "fig8";
@@ -40,12 +40,18 @@ int main() {
     spec.total_requests = static_cast<std::uint64_t>(rate * 0.3 * spec.faults);
     spec.seed = 800 + static_cast<std::uint64_t>(rate);
 
-    const auto r = bench::run_campaign(drive, spec);
+    campaigns.push_back(bench::QueuedCampaign{spec.name, drive, spec});
+  }
+  const auto rows = bench::run_campaigns(campaigns);
+
+  std::vector<double> xs, responded, failures;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i].result;
     std::printf("  %-12s requested=%-6.0f responded=%-8.0f dataLoss=%-5llu ioErr=%llu\n",
-                spec.name.c_str(), rate, r.responded_iops,
+                rows[i].label.c_str(), rates[i], r.responded_iops,
                 static_cast<unsigned long long>(r.total_data_loss()),
                 static_cast<unsigned long long>(r.io_errors));
-    xs.push_back(rate);
+    xs.push_back(rates[i]);
     responded.push_back(r.responded_iops);
     failures.push_back(static_cast<double>(r.total_data_loss()));
   }

@@ -20,7 +20,7 @@ int main() {
       workload::SequenceMode::kRAW, workload::SequenceMode::kWAR,
       workload::SequenceMode::kRAR, workload::SequenceMode::kWAW};
 
-  std::vector<double> xs, data_failures, fwa, io_errors, per_fault;
+  std::vector<bench::QueuedCampaign> campaigns;
   int idx = 0;
   for (const auto mode : modes) {
     workload::WorkloadConfig wl;
@@ -35,11 +35,17 @@ int main() {
     spec.total_requests = 8000;
     spec.faults = 100;
     spec.pace_iops = 4.0;
-    spec.seed = 900 + idx;
+    spec.seed = 900 + idx++;
 
-    const auto r = bench::run_campaign(drive, spec);
-    bench::print_result_row(r, to_string(mode));
-    xs.push_back(idx++);
+    campaigns.push_back(bench::QueuedCampaign{to_string(mode), drive, spec});
+  }
+  const auto rows = bench::run_campaigns(campaigns);
+
+  std::vector<double> xs, data_failures, fwa, io_errors, per_fault;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i].result;
+    bench::print_result_row(r, rows[i].label.c_str());
+    xs.push_back(static_cast<double>(i));
     // FWA is a subtype of data failure (SecIII-B); headline series = total.
     data_failures.push_back(static_cast<double>(r.total_data_loss()));
     fwa.push_back(static_cast<double>(r.fwa_failures));

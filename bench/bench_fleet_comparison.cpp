@@ -1,25 +1,28 @@
 // Fleet comparison: the same write-heavy campaign against every Table I
-// model (two units each, different seeds — six drives, as in the paper's
+// model (three units each, sharded seeds — nine drives, as in the paper's
 // "we have examined more than five SSDs from different vendors").
 //
 // The paper reports that all of its drives lost data; the interesting
 // comparison is *how* they differ: cache size and flush cadence move the
 // FWA channel, cell technology and ECC move the physical-corruption channel.
+//
+// This bench doubles as the perf gate for the parallel campaign runner: the
+// fleet is embarrassingly parallel (one fresh platform per unit), so it runs
+// once sequentially and once on the worker pool, cross-checks that the rows
+// are identical, and records the speedup in BENCH_runner.json.
 #include <cstdio>
 
 #include "bench_common.hpp"
 
 int main() {
   using namespace pofi;
-  stats::print_banner("fleet comparison: identical campaign on all six Table I drives");
+  stats::print_banner("fleet comparison: identical campaign on all nine Table I units");
   std::printf("write-only 4KiB..1MiB random workload; 60 faults per unit\n\n");
 
-  stats::Table table({"unit", "cell", "ECC", "cache DRAM", "data failures", "FWA", "IO err",
-                      "loss/fault", "mean Q2C (us)"});
-  int unit_index = 0;
+  std::vector<bench::QueuedCampaign> fleet;
   for (const auto model :
        {ssd::VendorModel::kA, ssd::VendorModel::kB, ssd::VendorModel::kC}) {
-    for (int unit = 0; unit < 2; ++unit) {
+    for (int unit = 0; unit < 3; ++unit) {
       auto drive = ssd::make_preset(model);
       drive.model += "#" + std::to_string(unit + 1);
 
@@ -35,22 +38,50 @@ int main() {
       spec.total_requests = 4800;
       spec.faults = 60;
       spec.pace_iops = 4.0;
-      spec.seed = 1500 + unit_index;
+      // Seed left at the ExperimentSpec default: the suite shards one per
+      // unit from its master seed, so units of a model are decorrelated.
 
-      const auto r = bench::run_campaign(drive, spec);
-      table.add_row({drive.model, nand::to_string(drive.chip.tech),
-                     nand::to_string(drive.chip.ecc),
-                     std::to_string(drive.cache.capacity_pages * 4 / 1024) + " MiB",
-                     stats::Table::fmt(r.data_failures), stats::Table::fmt(r.fwa_failures),
-                     stats::Table::fmt(r.io_errors),
-                     stats::Table::fmt(r.data_failures_per_fault(), 2),
-                     stats::Table::fmt(r.mean_latency_us, 0)});
-      ++unit_index;
+      fleet.push_back(bench::QueuedCampaign{drive.model, drive, spec});
     }
   }
+
+  const unsigned threads = bench::bench_threads() != 0 ? bench::bench_threads() : 8;
+  std::vector<platform::CampaignSuite::Row> seq_rows, par_rows;
+  const double seq_seconds =
+      bench::wall_seconds([&] { seq_rows = bench::run_campaigns(fleet, 1); });
+  const double par_seconds =
+      bench::wall_seconds([&] { par_rows = bench::run_campaigns(fleet, threads); });
+
+  stats::Table table({"unit", "cell", "ECC", "cache DRAM", "data failures", "FWA", "IO err",
+                      "loss/fault", "mean Q2C (us)"});
+  bool deterministic = seq_rows.size() == par_rows.size();
+  for (std::size_t i = 0; i < par_rows.size(); ++i) {
+    const auto& r = par_rows[i].result;
+    const auto& drive = fleet[i].drive;
+    deterministic = deterministic && r.data_failures == seq_rows[i].result.data_failures &&
+                    r.fwa_failures == seq_rows[i].result.fwa_failures &&
+                    r.io_errors == seq_rows[i].result.io_errors &&
+                    r.sim_seconds == seq_rows[i].result.sim_seconds;
+    table.add_row({par_rows[i].label, nand::to_string(drive.chip.tech),
+                   nand::to_string(drive.chip.ecc),
+                   std::to_string(drive.cache.capacity_pages * 4 / 1024) + " MiB",
+                   stats::Table::fmt(r.data_failures), stats::Table::fmt(r.fwa_failures),
+                   stats::Table::fmt(r.io_errors),
+                   stats::Table::fmt(r.data_failures_per_fault(), 2),
+                   stats::Table::fmt(r.mean_latency_us, 0)});
+  }
   table.print();
+
+  std::printf("\nrunner: %zu campaigns | sequential %.1fs | %u threads %.1fs | "
+              "speedup %.2fx | parallel rows %s sequential rows\n",
+              fleet.size(), seq_seconds, threads, par_seconds,
+              par_seconds > 0 ? seq_seconds / par_seconds : 0.0,
+              deterministic ? "bit-identical to" : "DIVERGE from");
+  bench::write_runner_bench_json("fleet_comparison", threads, fleet.size(), par_seconds,
+                                 seq_seconds);
+
   std::printf("\nreading: every unit loses acknowledged data (the paper's prior-work\n");
   std::printf("baseline found 13 of 15 drives failing); units of the same model agree\n");
   std::printf("closely while models differ through cache size and flush cadence.\n");
-  return 0;
+  return deterministic ? 0 : 1;
 }

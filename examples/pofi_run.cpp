@@ -7,14 +7,23 @@
 //            --pattern random --wss-gb 8 --seed 42
 //   pofi_run --model B --cache off --faults 30
 //   pofi_run --model A --plp --cutoff instant --faults 30
+//   pofi_run --model A --units 8 --threads 4 --progress jsonl
 //   pofi_run --help
+//
+// --units N runs N statistically independent copies of the campaign (seeds
+// sharded from --seed) on the parallel runner and prints the fleet-style
+// comparison table; results are identical at any --threads value.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
+#include <memory>
 #include <string>
 
+#include "platform/campaign_suite.hpp"
 #include "platform/report.hpp"
 #include "platform/test_platform.hpp"
+#include "runner/progress.hpp"
 #include "ssd/presets.hpp"
 #include "stats/table.hpp"
 
@@ -41,6 +50,9 @@ struct Options {
   std::uint32_t capacity_gb = 16;
   psu::DischargeKind cutoff = psu::DischargeKind::kPowerLaw;
   std::uint64_t seed = 42;
+  std::uint32_t units = 1;
+  unsigned threads = 0;
+  std::string progress = "console";
 };
 
 [[noreturn]] void usage(int code) {
@@ -65,6 +77,9 @@ struct Options {
       "  --capacity-gb G      scale the drive (default 16)\n"
       "  --cutoff power-law|exponential|instant   rail model (default power-law)\n"
       "  --seed N             campaign seed (default 42)\n"
+      "  --units N            independent campaign copies, sharded seeds (default 1)\n"
+      "  --threads N          runner workers for --units; 0 = hardware (default 0)\n"
+      "  --progress console|jsonl|off   progress reporting for --units (default console)\n"
       "  --help               this text\n");
   std::exit(code);
 }
@@ -117,13 +132,18 @@ Options parse(int argc, char** argv) {
       else if (v == "instant") o.cutoff = psu::DischargeKind::kInstant;
       else usage(2);
     } else if (a == "--seed") o.seed = static_cast<std::uint64_t>(std::atoll(next_arg(argc, argv, i)));
-    else {
+    else if (a == "--units") o.units = static_cast<std::uint32_t>(std::atoi(next_arg(argc, argv, i)));
+    else if (a == "--threads") o.threads = static_cast<unsigned>(std::atoi(next_arg(argc, argv, i)));
+    else if (a == "--progress") {
+      o.progress = next_arg(argc, argv, i);
+      if (o.progress != "console" && o.progress != "jsonl" && o.progress != "off") usage(2);
+    } else {
       std::fprintf(stderr, "unknown option %s\n", a.c_str());
       usage(2);
     }
   }
   if (o.read_pct < 0 || o.read_pct > 100 || o.size_min_kb < 4 ||
-      o.size_max_kb < o.size_min_kb || o.faults == 0) {
+      o.size_max_kb < o.size_min_kb || o.faults == 0 || o.units == 0) {
     usage(2);
   }
   return o;
@@ -173,8 +193,43 @@ int main(int argc, char** argv) {
               o.read_pct, o.sequential ? "sequential" : "random",
               to_string(o.sequence));
 
-  platform::TestPlatform tp(drive, pc, spec.seed);
-  const auto result = tp.run(spec);
-  std::fputs(platform::format_report(result).c_str(), stdout);
+  if (o.units == 1) {
+    platform::TestPlatform tp(drive, pc, spec.seed);
+    const auto result = tp.run(spec);
+    std::fputs(platform::format_report(result).c_str(), stdout);
+    return 0;
+  }
+
+  // Multi-unit: N copies of the campaign with seeds sharded from --seed,
+  // fanned out over the parallel runner.
+  platform::CampaignSuite suite(pc, o.seed);
+  for (std::uint32_t u = 0; u < o.units; ++u) {
+    platform::ExperimentSpec unit_spec = spec;
+    unit_spec.name = spec.name + "-u" + std::to_string(u + 1);
+    unit_spec.seed = platform::ExperimentSpec{}.seed;  // let the suite derive it
+    suite.add("unit-" + std::to_string(u + 1), drive, unit_spec);
+  }
+
+  std::unique_ptr<runner::ProgressSink> sink;
+  if (o.progress == "console") {
+    sink = std::make_unique<runner::ConsoleProgress>(stderr);
+  } else if (o.progress == "jsonl") {
+    sink = std::make_unique<runner::JsonlProgress>(std::cout);
+  }
+  runner::RunnerConfig rc;
+  rc.threads = o.threads;
+  const auto rows = suite.run_all(rc, sink.get());
+
+  std::printf("%u units, %u worker threads\n\n", o.units, runner::resolved_threads(rc));
+  std::fputs(platform::CampaignSuite::summary_table(rows).c_str(), stdout);
+  std::uint64_t total_loss = 0;
+  std::uint32_t total_faults = 0;
+  for (const auto& row : rows) {
+    total_loss += row.result.total_data_loss();
+    total_faults += row.result.faults_injected;
+  }
+  std::printf("\nfleet total: %llu acknowledged writes lost over %u faults (%.2f/fault)\n",
+              static_cast<unsigned long long>(total_loss), total_faults,
+              total_faults > 0 ? static_cast<double>(total_loss) / total_faults : 0.0);
   return 0;
 }

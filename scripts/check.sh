@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Mechanical gate for the repo: tier-1 build + full ctest, then a
+# ThreadSanitizer build of the concurrent runner code and its tests.
+#
+#   scripts/check.sh          # tier-1 + TSan runner tests
+#   scripts/check.sh --fast   # tier-1 only
+#   JOBS=4 scripts/check.sh   # override parallelism
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "==> tier-1: configure + build + ctest (build/, -j${JOBS})"
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+if [[ "${FAST}" == "1" ]]; then
+  echo "==> fast mode: skipping TSan stage"
+  exit 0
+fi
+
+# The runner's worker pool, progress sinks, and suite facade are the only
+# concurrent code in the tree; build just their tests under TSan so data
+# races are caught mechanically without a full instrumented rebuild.
+echo "==> TSan: configure + build runner tests (build-tsan/, -DPOFI_SANITIZE=thread)"
+cmake -B build-tsan -S . -DPOFI_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "${JOBS}" --target runner_test platform_suite_test
+
+echo "==> TSan: ctest (runner + suite tests)"
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
+        -R 'CampaignRunner|RunnerDeterminism|JsonlProgressSink|CampaignSuite'
+
+echo "==> all checks passed"

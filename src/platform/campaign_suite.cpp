@@ -1,21 +1,56 @@
 #include "platform/campaign_suite.hpp"
 
+#include <stdexcept>
+
+#include "sim/rng.hpp"
 #include "stats/table.hpp"
 
 namespace pofi::platform {
 
 CampaignSuite& CampaignSuite::add(std::string label, ssd::SsdConfig drive,
                                   ExperimentSpec spec) {
+  if (spec.seed == ExperimentSpec{}.seed) {
+    spec.seed = sim::derive_seed(master_seed_, entries_.size());
+  }
   entries_.push_back(Entry{std::move(label), std::move(drive), std::move(spec)});
   return *this;
 }
 
 std::vector<CampaignSuite::Row> CampaignSuite::run_all() {
-  std::vector<Row> rows;
-  rows.reserve(entries_.size());
+  runner::RunnerConfig sequential;
+  sequential.threads = 1;
+  return run_all(sequential);
+}
+
+std::vector<runner::CampaignRunner::Outcome> CampaignSuite::run_outcomes(
+    const runner::RunnerConfig& config, runner::ProgressSink* sink) {
+  runner::CampaignRunner engine(config, sink);
   for (const Entry& e : entries_) {
-    TestPlatform platform(e.drive, platform_config_, e.spec.seed);
-    rows.push_back(Row{e.label, platform.run(e.spec)});
+    engine.add(e.label, [this, &e] {
+      TestPlatform platform(e.drive, platform_config_, e.spec.seed);
+      return platform.run(e.spec);
+    });
+  }
+  return engine.run();
+}
+
+std::vector<CampaignSuite::Row> CampaignSuite::run_all(const runner::RunnerConfig& config,
+                                                       runner::ProgressSink* sink) {
+  auto outcomes = run_outcomes(config, sink);
+  std::vector<Row> rows;
+  rows.reserve(outcomes.size());
+  for (auto& o : outcomes) {
+    switch (o.status) {
+      case runner::CampaignStatus::kOk:
+      case runner::CampaignStatus::kTimedOut:
+        rows.push_back(Row{std::move(o.label), std::move(o.result)});
+        break;
+      case runner::CampaignStatus::kFailed:
+        throw std::runtime_error("campaign '" + o.label + "' failed: " + o.error);
+      case runner::CampaignStatus::kSkipped:
+      case runner::CampaignStatus::kPending:
+        break;  // fail-fast cancelled it before it ran
+    }
   }
   return rows;
 }

@@ -1,0 +1,133 @@
+#include "runner/campaign_runner.hpp"
+
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace pofi::runner {
+
+std::size_t CampaignRunner::add(std::string label, CampaignFn fn) {
+  jobs_.push_back(Job{std::move(label), std::move(fn)});
+  return jobs_.size() - 1;
+}
+
+std::vector<CampaignRunner::Outcome> CampaignRunner::run() {
+  const std::vector<Job> jobs = std::move(jobs_);
+  jobs_.clear();
+  const std::size_t n = jobs.size();
+
+  std::vector<Outcome> outcomes(n);
+  for (std::size_t i = 0; i < n; ++i) outcomes[i].label = jobs[i].label;
+
+  // Shared state; every access (including sink calls) is under `mu`.
+  std::mutex mu;
+  std::deque<std::size_t> pending;
+  bool cancelled = false;
+  std::size_t finished = 0;
+  std::uint64_t suite_data_loss = 0;
+
+  const auto emit = [&](ProgressEvent ev) {
+    ev.total = n;
+    ev.finished = finished;
+    ev.suite_data_loss = suite_data_loss;
+    if (sink_ != nullptr) sink_->on_event(ev);
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    pending.push_back(i);
+    ProgressEvent ev;
+    ev.phase = CampaignPhase::kQueued;
+    ev.index = i;
+    ev.label = jobs[i].label;
+    emit(ev);
+  }
+  if (n == 0) return outcomes;
+
+  const auto worker = [&] {
+    for (;;) {
+      std::size_t idx = 0;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (cancelled || pending.empty()) return;
+        idx = pending.front();
+        pending.pop_front();
+        ProgressEvent ev;
+        ev.phase = CampaignPhase::kStarted;
+        ev.index = idx;
+        ev.label = jobs[idx].label;
+        emit(ev);
+      }
+
+      Outcome& out = outcomes[idx];
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        out.result = jobs[idx].fn();
+        out.status = CampaignStatus::kOk;
+      } catch (const std::exception& e) {
+        out.status = CampaignStatus::kFailed;
+        out.error = e.what();
+      } catch (...) {
+        out.status = CampaignStatus::kFailed;
+        out.error = "unknown exception";
+      }
+      out.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      if (out.status == CampaignStatus::kOk && config_.campaign_timeout_seconds > 0.0 &&
+          out.wall_seconds > config_.campaign_timeout_seconds) {
+        out.status = CampaignStatus::kTimedOut;
+      }
+
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        ++finished;
+        if (out.status != CampaignStatus::kFailed) {
+          suite_data_loss += out.result.total_data_loss();
+        }
+        ProgressEvent ev;
+        ev.phase = CampaignPhase::kFinished;
+        ev.index = idx;
+        ev.label = out.label;
+        ev.status = out.status;
+        ev.faults_injected = out.result.faults_injected;
+        ev.requests_submitted = out.result.requests_submitted;
+        ev.data_failures = out.result.data_failures;
+        ev.fwa_failures = out.result.fwa_failures;
+        ev.io_errors = out.result.io_errors;
+        ev.wall_seconds = out.wall_seconds;
+        ev.error = out.error;
+        emit(ev);
+        if (config_.fail_fast && out.status != CampaignStatus::kOk) cancelled = true;
+      }
+    }
+  };
+
+  const unsigned threads =
+      static_cast<unsigned>(std::min<std::size_t>(resolved_threads(config_), n));
+  if (threads <= 1) {
+    // Calling-thread execution: exactly the historical sequential path.
+    worker();
+  } else {
+    std::vector<std::jthread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    // jthreads join on destruction.
+  }
+
+  // Anything fail-fast left in the queue resolves as kSkipped, in order.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (outcomes[i].status != CampaignStatus::kSkipped) continue;
+    ++finished;
+    ProgressEvent ev;
+    ev.phase = CampaignPhase::kFinished;
+    ev.index = i;
+    ev.label = outcomes[i].label;
+    ev.status = CampaignStatus::kSkipped;
+    emit(ev);
+  }
+  return outcomes;
+}
+
+}  // namespace pofi::runner

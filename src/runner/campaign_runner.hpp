@@ -1,0 +1,76 @@
+// CampaignRunner: execute queued fault-injection campaigns on a fixed pool
+// of worker threads.
+//
+// Campaigns are embarrassingly parallel — each one builds a fresh platform
+// from its own seed — so the runner is a plain mutex-protected work queue in
+// front of std::jthread workers. Three guarantees make parallel sweeps as
+// trustworthy as sequential ones:
+//
+//   1. Determinism: a campaign's result depends only on its own closure
+//      (drive config + spec + seed). Seeds are derived per submission index
+//      (sim::derive_seed), never from execution order, so results are
+//      bit-identical at any thread count.
+//   2. Ordered collection: outcomes land at their submission index; callers
+//      never see interleaving.
+//   3. Serialized progress: every ProgressSink call happens under the runner
+//      lock, with per-campaign queued < started < finished ordering and a
+//      monotone finished counter.
+//
+// The runner is generic over *what* a campaign runs (a CampaignFn returning
+// an ExperimentResult), which keeps this layer free of TestPlatform
+// dependencies and lets tests drive it with synthetic jobs.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "platform/experiment.hpp"
+#include "runner/progress.hpp"
+#include "runner/runner_config.hpp"
+
+namespace pofi::runner {
+
+class CampaignRunner {
+ public:
+  using CampaignFn = std::function<platform::ExperimentResult()>;
+
+  struct Outcome {
+    std::string label;
+    CampaignStatus status = CampaignStatus::kSkipped;
+    /// Valid when status is kOk or kTimedOut (a timed-out campaign still
+    /// completed; it just blew its wall-clock budget).
+    platform::ExperimentResult result;
+    double wall_seconds = 0.0;
+    std::string error;  ///< kFailed: what the campaign threw
+  };
+
+  /// `sink` may be null (no progress reporting); it must outlive run().
+  explicit CampaignRunner(RunnerConfig config = {}, ProgressSink* sink = nullptr)
+      : config_(config), sink_(sink) {}
+
+  CampaignRunner(const CampaignRunner&) = delete;
+  CampaignRunner& operator=(const CampaignRunner&) = delete;
+
+  /// Queue one campaign; returns its submission index (== outcome position).
+  std::size_t add(std::string label, CampaignFn fn);
+
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+
+  /// Execute every queued campaign; blocks until the pool drains (or
+  /// fail-fast cancels the queue). Outcomes are in submission order. run()
+  /// consumes the queue: a second call runs nothing and returns empty.
+  [[nodiscard]] std::vector<Outcome> run();
+
+ private:
+  struct Job {
+    std::string label;
+    CampaignFn fn;
+  };
+
+  RunnerConfig config_;
+  ProgressSink* sink_;
+  std::vector<Job> jobs_;
+};
+
+}  // namespace pofi::runner

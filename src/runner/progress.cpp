@@ -1,0 +1,80 @@
+#include "runner/progress.hpp"
+
+#include <cinttypes>
+
+namespace pofi::runner {
+
+void ConsoleProgress::on_event(const ProgressEvent& e) {
+  switch (e.phase) {
+    case CampaignPhase::kQueued:
+      if (verbose_) {
+        std::fprintf(out_, "[runner] queued   %zu/%zu %s\n", e.index + 1, e.total,
+                     e.label.c_str());
+      }
+      break;
+    case CampaignPhase::kStarted:
+      std::fprintf(out_, "[runner] started  %s\n", e.label.c_str());
+      break;
+    case CampaignPhase::kFinished:
+      if (e.status == CampaignStatus::kSkipped) {
+        std::fprintf(out_, "[runner] skipped  %s (fail-fast)\n", e.label.c_str());
+      } else if (e.status == CampaignStatus::kFailed) {
+        std::fprintf(out_, "[runner] FAILED   %s: %s\n", e.label.c_str(), e.error.c_str());
+      } else {
+        std::fprintf(out_,
+                     "[runner] finished %zu/%zu %s%s: faults=%" PRIu32 " reqs=%" PRIu64
+                     " dataFail=%" PRIu64 " fwa=%" PRIu64 " ioErr=%" PRIu64
+                     " (%.2fs, suite loss %" PRIu64 ")\n",
+                     e.finished, e.total, e.label.c_str(),
+                     e.status == CampaignStatus::kTimedOut ? " [over budget]" : "",
+                     e.faults_injected, e.requests_submitted, e.data_failures,
+                     e.fwa_failures, e.io_errors, e.wall_seconds, e.suite_data_loss);
+      }
+      std::fflush(out_);
+      break;
+  }
+}
+
+void JsonlProgress::on_event(const ProgressEvent& e) {
+  out_ << "{\"event\":\"" << to_string(e.phase) << "\""
+       << ",\"index\":" << e.index << ",\"label\":\"" << json_escape(e.label) << "\"";
+  if (e.phase == CampaignPhase::kFinished) {
+    out_ << ",\"status\":\"" << to_string(e.status) << "\"";
+    if (e.status == CampaignStatus::kFailed) {
+      out_ << ",\"error\":\"" << json_escape(e.error) << "\"";
+    } else if (e.status != CampaignStatus::kSkipped) {
+      out_ << ",\"faults\":" << e.faults_injected
+           << ",\"requests\":" << e.requests_submitted
+           << ",\"data_failures\":" << e.data_failures << ",\"fwa\":" << e.fwa_failures
+           << ",\"io_errors\":" << e.io_errors << ",\"wall_seconds\":" << e.wall_seconds;
+    }
+  }
+  out_ << ",\"finished\":" << e.finished << ",\"total\":" << e.total
+       << ",\"suite_data_loss\":" << e.suite_data_loss << "}\n";
+  out_.flush();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace pofi::runner

@@ -1,0 +1,106 @@
+// Live progress reporting for parallel campaign execution.
+//
+// The runner emits one ProgressEvent per campaign lifecycle transition
+// (queued -> started -> finished/skipped). Events are serialized: the runner
+// holds its own lock around every on_event call, so no two calls overlap and
+// sink implementations need no locking of their own. Event order is
+// guaranteed per campaign (queued before started before finished) and the
+// `finished` counter is monotone across the whole run; started/finished
+// events of *different* campaigns interleave freely under parallelism.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace pofi::runner {
+
+enum class CampaignPhase : std::uint8_t { kQueued, kStarted, kFinished };
+
+enum class CampaignStatus : std::uint8_t {
+  kPending,   ///< not finished yet (queued/started events)
+  kOk,        ///< campaign completed within budget
+  kFailed,    ///< campaign threw; Outcome::error holds the message
+  kTimedOut,  ///< completed, but over the wall-clock budget
+  kSkipped,   ///< never ran (fail-fast cancelled the queue)
+};
+
+[[nodiscard]] constexpr const char* to_string(CampaignPhase p) {
+  switch (p) {
+    case CampaignPhase::kQueued: return "queued";
+    case CampaignPhase::kStarted: return "started";
+    case CampaignPhase::kFinished: return "finished";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(CampaignStatus s) {
+  switch (s) {
+    case CampaignStatus::kPending: return "pending";
+    case CampaignStatus::kOk: return "ok";
+    case CampaignStatus::kFailed: return "failed";
+    case CampaignStatus::kTimedOut: return "timed-out";
+    case CampaignStatus::kSkipped: return "skipped";
+  }
+  return "?";
+}
+
+struct ProgressEvent {
+  CampaignPhase phase = CampaignPhase::kQueued;
+  std::size_t index = 0;  ///< submission index (== position in the results)
+  std::string label;
+  CampaignStatus status = CampaignStatus::kPending;  ///< set on kFinished
+
+  // Per-campaign aggregates, populated on kFinished when the campaign ran.
+  std::uint32_t faults_injected = 0;
+  std::uint64_t requests_submitted = 0;
+  std::uint64_t data_failures = 0;
+  std::uint64_t fwa_failures = 0;
+  std::uint64_t io_errors = 0;
+  double wall_seconds = 0.0;
+  std::string error;  ///< kFailed: what the campaign threw
+
+  // Suite-level running totals at the instant of the event.
+  std::size_t finished = 0;           ///< campaigns finished so far
+  std::size_t total = 0;              ///< campaigns in the run
+  std::uint64_t suite_data_loss = 0;  ///< data failures + FWAs so far
+};
+
+/// Receives serialized lifecycle events; implementations never see
+/// concurrent calls (the runner locks around each one).
+class ProgressSink {
+ public:
+  virtual ~ProgressSink() = default;
+  virtual void on_event(const ProgressEvent& event) = 0;
+};
+
+/// Human-oriented one-line-per-event reporter. Quiet by default: only
+/// started/finished lines; `verbose` adds the queued burst.
+class ConsoleProgress final : public ProgressSink {
+ public:
+  explicit ConsoleProgress(std::FILE* out = stderr, bool verbose = false)
+      : out_(out), verbose_(verbose) {}
+  void on_event(const ProgressEvent& event) override;
+
+ private:
+  std::FILE* out_;
+  bool verbose_;
+};
+
+/// Machine-readable reporter: one JSON object per line (JSONL), schema
+/// documented in README.md ("Parallel execution"). Every event phase is
+/// emitted, including the initial queued burst.
+class JsonlProgress final : public ProgressSink {
+ public:
+  explicit JsonlProgress(std::ostream& out) : out_(out) {}
+  void on_event(const ProgressEvent& event) override;
+
+ private:
+  std::ostream& out_;
+};
+
+/// Escape a string for embedding in a JSON value (exposed for tests).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace pofi::runner

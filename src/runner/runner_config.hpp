@@ -1,0 +1,34 @@
+// Execution policy for a CampaignRunner.
+//
+// The runner never preempts a campaign (a TestPlatform::run is an opaque,
+// single-threaded simulation), so the timeout is a *budget*: a campaign that
+// finishes over budget is flagged kTimedOut after the fact and, under
+// fail-fast, cancels everything still queued.
+#pragma once
+
+#include <thread>
+
+namespace pofi::runner {
+
+struct RunnerConfig {
+  /// Worker threads. 0 = one per hardware thread; 1 = run on the calling
+  /// thread (exactly the old sequential CampaignSuite behaviour, no pool).
+  unsigned threads = 1;
+
+  /// Stop scheduling queued campaigns after the first one that does not
+  /// finish kOk (exception or blown timeout budget). Campaigns already
+  /// running on other workers complete normally; queued ones become kSkipped.
+  bool fail_fast = false;
+
+  /// Wall-clock budget per campaign in seconds; <= 0 disables the check.
+  double campaign_timeout_seconds = 0.0;
+};
+
+/// Threads the config resolves to on this machine (never 0).
+[[nodiscard]] inline unsigned resolved_threads(const RunnerConfig& config) {
+  if (config.threads != 0) return config.threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace pofi::runner

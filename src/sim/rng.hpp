@@ -20,6 +20,20 @@ namespace pofi::sim {
   return z ^ (z >> 31);
 }
 
+/// Shard a master seed into statistically independent per-stream seeds.
+/// Campaign `stream_index` of a suite always receives the same seed for a
+/// given master, regardless of worker-thread count or completion order, so
+/// sharded runs are bit-identical to sequential ones. Constant-time (no
+/// stream advancing): the master is mixed once, then offset by the index on
+/// the SplitMix64 golden-gamma lattice and mixed again.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t master_seed,
+                                                 std::uint64_t stream_index) {
+  std::uint64_t sm = master_seed;
+  const std::uint64_t mixed_master = splitmix64(sm);
+  sm = mixed_master ^ (0x9e3779b97f4a7c15ULL * (stream_index + 1));
+  return splitmix64(sm);
+}
+
 /// xoshiro256** PRNG. Not cryptographic; fast, 256-bit state, period 2^256-1.
 class Rng {
  public:

@@ -83,5 +83,40 @@ TEST(CampaignSuite, EmptySuiteIsFine) {
   EXPECT_NE(CampaignSuite::summary_table(rows).find("campaign"), std::string::npos);
 }
 
+TEST(CampaignSuite, ParallelRowsMatchSequentialRows) {
+  const auto build = [] {
+    CampaignSuite suite;
+    suite.add("one", tiny_drive(), tiny_spec(11))
+        .add("two", tiny_drive(true), tiny_spec(12))
+        .add("three", tiny_drive(), tiny_spec(13));
+    return suite;
+  };
+  auto sequential_suite = build();
+  auto parallel_suite = build();
+  const auto seq = sequential_suite.run_all();
+  runner::RunnerConfig config;
+  config.threads = 3;
+  const auto par = parallel_suite.run_all(config);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].label, par[i].label);
+    EXPECT_EQ(seq[i].result.data_failures, par[i].result.data_failures);
+    EXPECT_EQ(seq[i].result.fwa_failures, par[i].result.fwa_failures);
+    EXPECT_EQ(seq[i].result.requests_submitted, par[i].result.requests_submitted);
+    EXPECT_DOUBLE_EQ(seq[i].result.sim_seconds, par[i].result.sim_seconds);
+  }
+}
+
+TEST(CampaignSuite, RunOutcomesReportsPerCampaignStatus) {
+  CampaignSuite suite;
+  suite.add("solo", tiny_drive(), tiny_spec(21));
+  const auto outcomes = suite.run_outcomes(runner::RunnerConfig{});
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].label, "solo");
+  EXPECT_EQ(outcomes[0].status, runner::CampaignStatus::kOk);
+  EXPECT_GT(outcomes[0].wall_seconds, 0.0);
+  EXPECT_EQ(outcomes[0].result.faults_injected, 4u);
+}
+
 }  // namespace
 }  // namespace pofi::platform

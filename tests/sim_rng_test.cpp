@@ -129,6 +129,34 @@ TEST(Rng, ForkIsStableAndIndependent) {
   EXPECT_LT(same, 2);
 }
 
+TEST(DeriveSeed, DeterministicAndConstexpr) {
+  static_assert(derive_seed(42, 0) == derive_seed(42, 0));
+  EXPECT_EQ(derive_seed(42, 3), derive_seed(42, 3));
+  EXPECT_EQ(derive_seed(0, 0), derive_seed(0, 0));
+}
+
+TEST(DeriveSeed, ShardsAreDistinctAcrossIndices) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 4096; ++i) seen.insert(derive_seed(42, i));
+  EXPECT_EQ(seen.size(), 4096u);
+}
+
+TEST(DeriveSeed, MasterSeedChangesEveryShard) {
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_NE(derive_seed(1, i), derive_seed(2, i));
+  }
+}
+
+TEST(DeriveSeed, ShardsSeedIndependentStreams) {
+  // Streams seeded from adjacent shards must decorrelate immediately.
+  Rng a(derive_seed(7, 0)), b(derive_seed(7, 1));
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
 TEST(Rng, SplitMix64KnownSequenceDistinct) {
   std::uint64_t s = 0;
   std::set<std::uint64_t> seen;
