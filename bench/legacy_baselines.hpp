@@ -1,0 +1,167 @@
+// Frozen PR-1 implementations of the event kernel and the L2P map, kept
+// verbatim (modulo renames) as in-binary baselines for the before/after
+// microbenches. These are *measurement artifacts*: production code must use
+// sim::EventQueue and ftl::MappingTable. Keeping the baseline in the same
+// binary makes the speedup claim in BENCH_micro.json reproducible with one
+// command instead of a checkout dance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ftl/types.hpp"
+#include "sim/time.hpp"
+
+namespace pofi::bench {
+
+/// PR-1 sim::EventQueue: std::function callbacks, std::priority_queue,
+/// two per-event hash sets for pending/cancelled bookkeeping.
+class LegacyEventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  std::uint64_t schedule_at(sim::TimePoint at, Callback cb) {
+    const std::uint64_t seq = next_seq_++;
+    heap_.push(Entry{at, seq, std::move(cb)});
+    pending_seqs_.insert(seq);
+    return seq;
+  }
+
+  bool cancel(std::uint64_t seq) {
+    if (seq == 0) return false;
+    if (pending_seqs_.erase(seq) == 0) return false;
+    cancelled_.insert(seq);
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const { return pending_seqs_.empty(); }
+
+  struct Fired {
+    sim::TimePoint time;
+    Callback cb;
+  };
+  Fired pop() {
+    skip_cancelled();
+    Entry top = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    pending_seqs_.erase(top.seq);
+    return Fired{top.time, std::move(top.cb)};
+  }
+
+ private:
+  struct Entry {
+    sim::TimePoint time;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void skip_cancelled() {
+    while (!heap_.empty()) {
+      const auto found = cancelled_.find(heap_.top().seq);
+      if (found == cancelled_.end()) return;
+      cancelled_.erase(found);
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> pending_seqs_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_seq_ = 1;
+};
+
+/// PR-1 MappingTable, page-level policy: unordered_map L2P plus the same
+/// volatile/journal bookkeeping the real table keeps, so the update A/B
+/// compares full steady-state paths, not a bare hash map against a
+/// journal-tracking table.
+class LegacyMappingTable {
+ public:
+  [[nodiscard]] std::optional<ftl::Ppn> lookup(ftl::Lpn lpn) const {
+    const auto it = map_.find(lpn);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void update(ftl::Lpn lpn, ftl::Ppn ppn) {
+    mark_dirty(lpn, lookup(lpn));
+    map_[lpn] = ppn;
+  }
+
+  std::uint64_t begin_persist_batch() {
+    std::vector<ftl::Lpn> members;
+    members.reserve(volatile_.size());
+    for (auto& [lpn, st] : volatile_) {
+      if (st.batch == 0) members.push_back(lpn);
+    }
+    if (members.empty()) return 0;
+    const std::uint64_t id = next_batch_++;
+    for (const ftl::Lpn lpn : members) volatile_[lpn].batch = id;
+    batches_.emplace(id, std::move(members));
+    return id;
+  }
+
+  void commit_batch(std::uint64_t batch) {
+    const auto it = batches_.find(batch);
+    if (it == batches_.end()) return;
+    for (const ftl::Lpn lpn : it->second) {
+      const auto vit = volatile_.find(lpn);
+      if (vit != volatile_.end() && vit->second.batch == batch) volatile_.erase(vit);
+    }
+    batches_.erase(it);
+  }
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+ private:
+  struct DirtyState {
+    std::optional<ftl::Ppn> persisted;
+    std::uint64_t batch = 0;
+  };
+
+  void mark_dirty(ftl::Lpn lpn, std::optional<ftl::Ppn> old_value) {
+    auto it = volatile_.find(lpn);
+    if (it == volatile_.end()) {
+      volatile_.emplace(lpn, DirtyState{old_value, 0});
+      return;
+    }
+    if (it->second.batch != 0) {
+      it->second.persisted = old_value;
+      it->second.batch = 0;
+    }
+  }
+
+  std::unordered_map<ftl::Lpn, ftl::Ppn> map_;
+  std::unordered_map<ftl::Lpn, DirtyState> volatile_;
+  std::unordered_map<std::uint64_t, std::vector<ftl::Lpn>> batches_;
+  std::uint64_t next_batch_ = 1;
+};
+
+/// Bare unordered_map L2P: the pure structure half of the swap, used by the
+/// lookup A/B (lookups touch no bookkeeping in either implementation).
+class LegacyL2pMap {
+ public:
+  [[nodiscard]] std::optional<ftl::Ppn> lookup(ftl::Lpn lpn) const {
+    const auto it = map_.find(lpn);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+  void update(ftl::Lpn lpn, ftl::Ppn ppn) { map_[lpn] = ppn; }
+  void remove(ftl::Lpn lpn) { map_.erase(lpn); }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<ftl::Lpn, ftl::Ppn> map_;
+};
+
+}  // namespace pofi::bench

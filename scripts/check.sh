@@ -24,14 +24,18 @@ fi
 
 # The runner's worker pool, progress sinks, and suite facade are the only
 # concurrent code in the tree; build just their tests under TSan so data
-# races are caught mechanically without a full instrumented rebuild.
-echo "==> TSan: configure + build runner tests (build-tsan/, -DPOFI_SANITIZE=thread)"
+# races are caught mechanically without a full instrumented rebuild. The
+# event-kernel fuzz rides along: the kernel itself is single-threaded, but
+# campaigns running on TSan-instrumented workers execute this exact code, so
+# the fuzz under TSan both exercises the instrumented kernel at depth and
+# documents the single-thread-per-queue contract.
+echo "==> TSan: configure + build runner + event-kernel tests (build-tsan/, -DPOFI_SANITIZE=thread)"
 cmake -B build-tsan -S . -DPOFI_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "${JOBS}" --target runner_test platform_suite_test
+cmake --build build-tsan -j "${JOBS}" --target runner_test platform_suite_test sim_property_test
 
-echo "==> TSan: ctest (runner + suite tests)"
+echo "==> TSan: ctest (runner + suite + event-kernel fuzz)"
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-        -R 'CampaignRunner|RunnerDeterminism|JsonlProgressSink|CampaignSuite'
+        -R 'CampaignRunner|RunnerDeterminism|JsonlProgressSink|CampaignSuite|EventQueueFuzz|EventQueueClear'
 
 echo "==> all checks passed"

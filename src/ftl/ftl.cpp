@@ -16,7 +16,9 @@ Ftl::Ftl(sim::Simulator& simulator, nand::ChipArray& chips, Config config)
     : sim_(simulator),
       chip_(chips),
       config_(config),
-      map_(config.mapping_policy, config.extent_frame_pages, config.extent_min_fill),
+      map_(config.mapping_policy, config.extent_frame_pages, config.extent_min_fill,
+           config.lpn_capacity != 0 ? config.lpn_capacity
+                                    : chips.geometry().total_pages()),
       alloc_(chips.geometry()) {}
 
 // ------------------------------------------------------------- host writes
@@ -324,49 +326,53 @@ void Ftl::por_scan_next(std::shared_ptr<std::vector<Ppn>> pages, std::size_t ind
 
 void Ftl::por_apply(const std::unordered_map<Lpn, PorHit>& hits, std::function<void()> done) {
   // Apply hits one at a time; each may need an extra OOB read to compare
-  // sequence numbers with the currently-mapped copy.
+  // sequence numbers with the currently-mapped copy. The continuation is an
+  // explicit member function (like por_scan_next) rather than a
+  // self-capturing std::function — a function owning the shared_ptr to
+  // itself never reaches refcount zero.
   auto remaining = std::make_shared<std::vector<std::pair<Lpn, PorHit>>>(hits.begin(),
                                                                          hits.end());
-  auto step = std::make_shared<std::function<void()>>();
-  *step = [this, remaining, step, done = std::move(done)]() mutable {
-    if (!powered_) return;
-    if (remaining->empty()) {
-      // Checkpoint the recovered map so the next crash starts clean.
-      flush_all([done = std::move(done)] {
-        if (done) done();
-      });
-      return;
-    }
-    const auto [lpn, hit] = remaining->back();
-    remaining->pop_back();
-    const auto current = map_.lookup(lpn);
-    auto install = [this, lpn = lpn, hit = hit, current, step] {
-      if (current.has_value()) invalidate(*current);
-      map_.update(lpn, hit.ppn);
-      make_valid(lpn, hit.ppn);
-      ++stats_.por_entries_recovered;
-      (*step)();
-    };
-    if (!current.has_value()) {
-      install();
-      return;
-    }
-    if (*current == hit.ppn) {
-      (*step)();  // already mapped to the recovered copy
-      return;
-    }
-    // Compare against the mapped copy's stamp; only newer data wins.
-    chip_.read_oob(*current, [this, install = std::move(install), hit = hit,
-                              step](nand::NandChip::OobResult r) mutable {
-      if (!powered_) return;
-      if (!r.ok || !r.oob.valid() || r.oob.seq < hit.seq) {
-        install();
-      } else {
-        (*step)();
-      }
+  por_apply_next(std::move(remaining), std::move(done));
+}
+
+void Ftl::por_apply_next(std::shared_ptr<std::vector<std::pair<Lpn, PorHit>>> remaining,
+                         std::function<void()> done) {
+  if (!powered_) return;  // a second fault killed the recovery; next mount retries
+  if (remaining->empty()) {
+    // Checkpoint the recovered map so the next crash starts clean.
+    flush_all([done = std::move(done)] {
+      if (done) done();
     });
-  };
-  (*step)();
+    return;
+  }
+  const auto [lpn, hit] = remaining->back();
+  remaining->pop_back();
+  const auto current = map_.lookup(lpn);
+  if (!current.has_value()) {
+    install_por_hit(lpn, hit, current);
+    por_apply_next(std::move(remaining), std::move(done));
+    return;
+  }
+  if (*current == hit.ppn) {  // already mapped to the recovered copy
+    por_apply_next(std::move(remaining), std::move(done));
+    return;
+  }
+  // Compare against the mapped copy's stamp; only newer data wins.
+  chip_.read_oob(*current, [this, lpn = lpn, hit = hit, current, remaining = std::move(remaining),
+                            done = std::move(done)](nand::NandChip::OobResult r) mutable {
+    if (!powered_) return;
+    if (!r.ok || !r.oob.valid() || r.oob.seq < hit.seq) {
+      install_por_hit(lpn, hit, current);
+    }
+    por_apply_next(std::move(remaining), std::move(done));
+  });
+}
+
+void Ftl::install_por_hit(Lpn lpn, const PorHit& hit, std::optional<Ppn> current) {
+  if (current.has_value()) invalidate(*current);
+  map_.update(lpn, hit.ppn);
+  make_valid(lpn, hit.ppn);
+  ++stats_.por_entries_recovered;
 }
 
 }  // namespace pofi::ftl

@@ -58,6 +58,10 @@ class Ftl {
     /// pointing at a partially-programmed page (the paper's garbage-read
     /// data failures). false = conservative map-on-completion (enterprise).
     bool map_update_on_issue = true;
+    /// LPN address-space size for the dense L2P array. 0 derives it from
+    /// the chip array's geometry at construction (the normal path; ssd::Ssd
+    /// threads its device geometry through here).
+    std::uint64_t lpn_capacity = 0;
     /// Power-on recovery: after a crash, scan recently-programmed blocks'
     /// spare areas (lpn + write-sequence stamps) and rebuild mapping entries
     /// newer than the last journal checkpoint. Recovers flushed-but-
@@ -153,6 +157,9 @@ class Ftl {
                      std::shared_ptr<std::unordered_map<Lpn, PorHit>> hits,
                      std::function<void()> done);
   void por_apply(const std::unordered_map<Lpn, PorHit>& hits, std::function<void()> done);
+  void por_apply_next(std::shared_ptr<std::vector<std::pair<Lpn, PorHit>>> remaining,
+                      std::function<void()> done);
+  void install_por_hit(Lpn lpn, const PorHit& hit, std::optional<Ppn> current);
 };
 
 }  // namespace pofi::ftl

@@ -5,9 +5,30 @@
 namespace pofi::ftl {
 
 std::optional<Ppn> MappingTable::lookup(Lpn lpn) const {
-  const auto it = map_.find(lpn);
-  if (it == map_.end()) return std::nullopt;
-  return it->second;
+  if (lpn >= map_.size() || map_[lpn] == kUnmappedPpn) return std::nullopt;
+  return map_[lpn];
+}
+
+void MappingTable::grow_to(Lpn lpn) {
+  // Doubling keeps amortised growth O(1); clamping to the geometry-derived
+  // capacity (when it covers lpn) avoids overshooting the address space.
+  std::uint64_t want = std::max<std::uint64_t>(map_.size() * 2, 1024);
+  want = std::max<std::uint64_t>(want, lpn + 1);
+  if (lpn_capacity_ > lpn) want = std::min(want, lpn_capacity_);
+  map_.resize(static_cast<std::size_t>(want), kUnmappedPpn);
+}
+
+void MappingTable::set_slot(Lpn lpn, Ppn ppn) {
+  if (lpn >= map_.size()) grow_to(lpn);
+  if (map_[lpn] == kUnmappedPpn) ++mapped_count_;
+  map_[lpn] = ppn;
+}
+
+void MappingTable::clear_slot(Lpn lpn) {
+  if (lpn < map_.size() && map_[lpn] != kUnmappedPpn) {
+    map_[lpn] = kUnmappedPpn;
+    --mapped_count_;
+  }
 }
 
 void MappingTable::mark_dirty(Lpn lpn, std::optional<Ppn> old_value) {
@@ -37,14 +58,14 @@ void MappingTable::mark_dirty(Lpn lpn, std::optional<Ppn> old_value) {
 
 void MappingTable::update(Lpn lpn, Ppn ppn) {
   mark_dirty(lpn, lookup(lpn));
-  map_[lpn] = ppn;
+  set_slot(lpn, ppn);
 }
 
 void MappingTable::remove(Lpn lpn) {
   const auto old = lookup(lpn);
   if (!old.has_value()) return;
   mark_dirty(lpn, old);
-  map_.erase(lpn);
+  clear_slot(lpn);
 }
 
 bool MappingTable::withheld(Lpn lpn) const {
@@ -142,13 +163,12 @@ std::vector<RevertedUpdate> MappingTable::on_power_lost() {
   for (const auto& [lpn, st] : volatile_) {
     RevertedUpdate r;
     r.lpn = lpn;
-    const auto cur = map_.find(lpn);
-    if (cur != map_.end()) r.dropped_ppn = cur->second;
+    r.dropped_ppn = lookup(lpn);
     r.restored_ppn = st.persisted;
     if (st.persisted.has_value()) {
-      map_[lpn] = *st.persisted;
+      set_slot(lpn, *st.persisted);
     } else {
-      map_.erase(lpn);
+      clear_slot(lpn);
     }
     reverted.push_back(r);
   }

@@ -12,8 +12,16 @@
 // Extent detection is address-based (64-page frames), not arrival-order
 // based: the DRAM cache scrambles flush order, but a sequential host stream
 // still lands dense in LPN space, which is what real stream detectors key on.
+//
+// The L2P array itself is a dense std::vector<Ppn> (LPN space is dense and
+// its bound is known from device geometry), with kUnmappedPpn as the "no
+// mapping" sentinel — lookup and update on the IO hot path are a bounds
+// check and an array index, no hashing. Only the sparse *bookkeeping*
+// (volatile/dirty state, journal batches, extent frames) stays in hash maps;
+// those are touched per journal cycle, not per IO.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -44,15 +52,33 @@ struct RevertedUpdate {
   std::optional<Ppn> restored_ppn;  ///< persisted mapping, if any
 };
 
+/// Sentinel PPN meaning "LPN has no mapping" in the dense L2P array.
+inline constexpr Ppn kUnmappedPpn = ~Ppn{0};
+
 class MappingTable {
  public:
   /// `extent_pages`: frame size for sequential-region detection; a frame is
   /// treated as an extent (withheld from the journal while it still grows)
   /// once `min_extent_fill` of its pages are dirty. A full or stagnant frame
   /// closes and becomes journalable.
+  ///
+  /// `lpn_capacity`: size of the LPN space (device geometry). Used to
+  /// pre-size the dense L2P array; 0 means unknown, and the array grows
+  /// geometrically as high LPNs are touched. Either way the table serves
+  /// any LPN — capacity is a sizing hint, not a limit.
   explicit MappingTable(MappingPolicy policy, std::uint32_t extent_pages = 64,
-                        std::uint32_t min_extent_fill = 16)
-      : policy_(policy), extent_pages_(extent_pages), min_extent_fill_(min_extent_fill) {}
+                        std::uint32_t min_extent_fill = 16,
+                        std::uint64_t lpn_capacity = 0)
+      : policy_(policy),
+        extent_pages_(extent_pages),
+        min_extent_fill_(min_extent_fill),
+        lpn_capacity_(lpn_capacity) {
+    // Materialise small address spaces up front (tests, 1–4 GiB drives);
+    // cap the eager allocation so a 256 GiB fleet preset doesn't pay half a
+    // gigabyte per campaign for LPNs its workload never touches.
+    map_.assign(static_cast<std::size_t>(std::min(lpn_capacity, kEagerInitLpns)),
+                kUnmappedPpn);
+  }
 
   [[nodiscard]] MappingPolicy policy() const { return policy_; }
 
@@ -84,7 +110,7 @@ class MappingTable {
   /// Returns the reverted updates for accounting repair.
   std::vector<RevertedUpdate> on_power_lost();
 
-  [[nodiscard]] std::size_t entry_count() const { return map_.size(); }
+  [[nodiscard]] std::size_t entry_count() const { return mapped_count_; }
 
   /// Frames currently detected as open (growing) extents.
   [[nodiscard]] std::size_t open_extents() const;
@@ -103,16 +129,26 @@ class MappingTable {
     bool closed = false;            ///< journalable
   };
 
+  static constexpr std::uint64_t kEagerInitLpns = 1ULL << 20;  ///< 8 MiB of slots
+
   void mark_dirty(Lpn lpn, std::optional<Ppn> old_value);
   [[nodiscard]] std::uint64_t frame_of(Lpn lpn) const { return lpn / extent_pages_; }
   [[nodiscard]] bool withheld(Lpn lpn) const;
   void frame_entry_resolved(Lpn lpn);
 
+  /// Grow the dense array to cover `lpn` (geometric, clamped to capacity
+  /// when that suffices). Steady state never takes this path.
+  void grow_to(Lpn lpn);
+  void set_slot(Lpn lpn, Ppn ppn);
+  void clear_slot(Lpn lpn);
+
   MappingPolicy policy_;
   std::uint32_t extent_pages_;
   std::uint32_t min_extent_fill_;
+  std::uint64_t lpn_capacity_;
 
-  std::unordered_map<Lpn, Ppn> map_;
+  std::vector<Ppn> map_;  ///< dense L2P; kUnmappedPpn = no mapping
+  std::size_t mapped_count_ = 0;
   std::unordered_map<Lpn, DirtyState> volatile_;  ///< first-touch persisted values
   std::unordered_map<std::uint64_t, std::vector<Lpn>> batches_;
   std::uint64_t next_batch_ = 1;

@@ -21,6 +21,7 @@
 #include "nand/geometry.hpp"
 #include "nand/page.hpp"
 #include "nand/timing.hpp"
+#include "sim/inplace_function.hpp"
 #include "sim/simulator.hpp"
 
 namespace pofi::nand {
@@ -67,8 +68,12 @@ class NandChip {
     bool enforce_program_order = true;
   };
 
-  using ReadCallback = std::function<void(ReadResult)>;
-  using OpCallback = std::function<void(OpResult)>;
+  /// Completion callbacks ride the event hot path (one per flash op), so
+  /// they use inline-storage callables: no heap allocation per operation.
+  /// 128 bytes covers the fattest controller continuation (the FTL's PoR
+  /// scan chain); oversized captures are a compile error.
+  using ReadCallback = sim::InplaceFunction<void(ReadResult), 128>;
+  using OpCallback = sim::InplaceFunction<void(OpResult), 128>;
 
   /// `rng_label` keeps per-die random streams independent when several
   /// dies share one simulator (see ChipArray).
@@ -93,7 +98,7 @@ class NandChip {
     bool ok = false;  ///< false when the page is uncorrectable/unpowered
     Oob oob;
   };
-  using OobCallback = std::function<void(OobResult)>;
+  using OobCallback = sim::InplaceFunction<void(OobResult), 128>;
   void read_oob(Ppn ppn, OobCallback cb);
 
   // --- Power interface -----------------------------------------------------

@@ -1,0 +1,119 @@
+// InplaceFunction: a move-only callable with fixed inline storage.
+//
+// The event kernel fires millions of callbacks per campaign; wrapping each
+// in std::function costs one heap allocation (and a later free) per event
+// whenever the capture exceeds libstdc++'s tiny SBO window. InplaceFunction
+// stores the callable in an inline buffer of `Capacity` bytes — never on the
+// heap — so scheduling an event allocates nothing. Oversized captures are a
+// compile error (see the static_asserts below), which keeps the budget an
+// explicit contract instead of a silent performance cliff.
+//
+// Deliberately minimal: move-only (no copy, matching one-shot event
+// semantics), no allocator, no target_type introspection.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pofi::sim {
+
+/// True when a callable of type F fits an InplaceFunction<Sig, Capacity>.
+/// Exposed so tests (and curious callers) can check capacity budgets
+/// without triggering the constructor's static_assert.
+template <typename F, std::size_t Capacity>
+inline constexpr bool fits_inplace_v =
+    sizeof(std::decay_t<F>) <= Capacity &&
+    alignof(std::decay_t<F>) <= alignof(std::max_align_t) &&
+    std::is_nothrow_move_constructible_v<std::decay_t<F>>;
+
+template <typename Sig, std::size_t Capacity = 64>
+class InplaceFunction;  // primary left undefined; see the R(Args...) partial
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+ public:
+  InplaceFunction() = default;
+  InplaceFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InplaceFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "InplaceFunction: callable capture is larger than the inline "
+                  "capacity — shrink the capture (capture pointers/indices, not "
+                  "objects) or raise this InplaceFunction's Capacity parameter");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "InplaceFunction: callable is over-aligned for inline storage");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "InplaceFunction: callable must be nothrow-move-constructible "
+                  "(moves happen during event-slot recycling)");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* s, Args... args) -> R {
+      return (*std::launder(reinterpret_cast<Fn*>(s)))(std::forward<Args>(args)...);
+    };
+    manage_ = [](void* dst, void* src) noexcept {
+      Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+      if (dst != nullptr) ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    };
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept { move_from(other); }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InplaceFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { reset(); }
+
+  R operator()(Args... args) {
+    if (invoke_ == nullptr) throw std::bad_function_call{};
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  /// Destroy the stored callable (and everything it captured) immediately.
+  void reset() noexcept {
+    if (manage_ != nullptr) manage_(nullptr, storage_);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+ private:
+  void move_from(InplaceFunction& other) noexcept {
+    if (other.manage_ != nullptr) {
+      other.manage_(storage_, other.storage_);  // move-construct + destroy src
+      invoke_ = other.invoke_;
+      manage_ = other.manage_;
+      other.invoke_ = nullptr;
+      other.manage_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  R (*invoke_)(void*, Args...) = nullptr;
+  /// dst == nullptr: destroy src. Otherwise: move-construct src into dst,
+  /// then destroy src.
+  void (*manage_)(void* dst, void* src) noexcept = nullptr;
+};
+
+}  // namespace pofi::sim

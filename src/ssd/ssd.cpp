@@ -12,6 +12,11 @@ Ssd::Ssd(sim::Simulator& simulator, SsdConfig config)
     : sim_(simulator), config_(std::move(config)) {
   chip_ = std::make_unique<nand::ChipArray>(
       sim_, nand::ChipArray::Config{std::max(1u, config_.channels), config_.chip});
+  // The host-visible LPN space spans the whole array; size the FTL's dense
+  // L2P from the effective (all-channels) geometry unless overridden.
+  if (config_.ftl.lpn_capacity == 0) {
+    config_.ftl.lpn_capacity = chip_->geometry().total_pages();
+  }
   ftl_ = std::make_unique<ftl::Ftl>(sim_, *chip_, config_.ftl);
   cache_ = std::make_unique<WriteCache>(sim_, *ftl_, config_.cache);
 }

@@ -26,8 +26,14 @@ std::vector<std::uint8_t> PayloadCodec::expand(std::uint64_t tag) const {
 }
 
 std::uint32_t PayloadCodec::page_crc(std::uint64_t tag) const {
+  // Fibonacci-hash the tag so sequential tags spread across the slots.
+  const std::size_t slot =
+      static_cast<std::size_t>((tag * 0x9E3779B97F4A7C15ULL) >> 58) % kCrcCacheSlots;
+  CrcMemo& memo = crc_cache_[slot];
+  if (memo.valid && memo.tag == tag) return memo.crc;
   const auto bytes = expand(tag);
-  return crc32c(bytes);
+  memo = CrcMemo{tag, crc32c(bytes), true};
+  return memo.crc;
 }
 
 bool PayloadCodec::matches(std::uint64_t tag, std::span<const std::uint8_t> payload) const {

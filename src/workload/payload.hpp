@@ -9,6 +9,7 @@
 // provably loses nothing relative to the real checksum pipeline.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -28,6 +29,10 @@ class PayloadCodec {
   [[nodiscard]] std::vector<std::uint8_t> expand(std::uint64_t tag) const;
 
   /// CRC32C of expand(tag) without materialising the buffer twice.
+  /// Memoized: analyzers re-check the same small tag population after every
+  /// fault, and each miss costs a full page expansion + CRC. A direct-mapped
+  /// cache (no chaining, overwrite on collision) keeps the memo bounded.
+  /// Not thread-safe; parallel campaigns each own their codec.
   [[nodiscard]] std::uint32_t page_crc(std::uint64_t tag) const;
 
   /// Checksum-based comparison: does this byte payload carry `tag`?
@@ -40,7 +45,15 @@ class PayloadCodec {
                              std::uint64_t& tag_out) const;
 
  private:
+  struct CrcMemo {
+    std::uint64_t tag = 0;
+    std::uint32_t crc = 0;
+    bool valid = false;
+  };
+  static constexpr std::size_t kCrcCacheSlots = 64;
+
   std::uint32_t page_size_;
+  mutable std::array<CrcMemo, kCrcCacheSlots> crc_cache_{};
 };
 
 }  // namespace pofi::workload

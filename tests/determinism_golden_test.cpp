@@ -1,0 +1,188 @@
+// A/B determinism regression for the event kernel and the L2P hot path.
+//
+// The golden hashes below were captured against the PR-1 kernel
+// (std::function callbacks + std::priority_queue + unordered_map L2P) and
+// pin the simulation's observable output bit-for-bit: every ExperimentResult
+// field (doubles serialised as exact hexfloat bits), every FailureRecord and
+// the full blktrace event stream. Any kernel or mapping rework that changes
+// event order, RNG consumption or mapping semantics — however slightly —
+// flips a hash. Regenerate only for *intentional* semantic changes, via
+//   POFI_PRINT_GOLDEN=1 ./determinism_golden_test
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "blk/queue.hpp"
+#include "blk/trace_text.hpp"
+#include "platform/test_platform.hpp"
+#include "psu/power_supply.hpp"
+#include "ssd/presets.hpp"
+#include "workload/checksum.hpp"
+
+namespace pofi::platform {
+namespace {
+
+std::uint64_t hash_str(const std::string& s) {
+  return workload::fnv1a64(
+      {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+/// Canonical, lossless serialisation of a campaign result. Doubles go out as
+/// hexfloat so "equal" means bit-equal, not printf-rounded-equal.
+std::string canonical(const ExperimentResult& r) {
+  std::string out;
+  appendf(out, "name=%s\n", r.name.c_str());
+  appendf(out, "requests=%" PRIu64 " acks=%" PRIu64 " reads=%" PRIu64 " faults=%u\n",
+          r.requests_submitted, r.write_acks, r.reads_completed, r.faults_injected);
+  appendf(out, "data=%" PRIu64 " fwa=%" PRIu64 " io=%" PRIu64 " ok=%" PRIu64
+               " mismatch=%" PRIu64 "\n",
+          r.data_failures, r.fwa_failures, r.io_errors, r.verified_ok,
+          r.read_mismatches);
+  appendf(out, "iops=%a/%a lat=%a/%a active=%a sim=%a\n", r.requested_iops,
+          r.responded_iops, r.mean_latency_us, r.max_latency_us, r.active_seconds,
+          r.sim_seconds);
+  appendf(out, "dirty_lost=%" PRIu64 " interrupted=%" PRIu64 " upsets=%" PRIu64
+               " reverted=%" PRIu64 " uncorrectable=%" PRIu64 "\n",
+          r.cache_dirty_lost, r.interrupted_programs, r.paired_page_upsets,
+          r.map_updates_reverted, r.uncorrectable_reads);
+  for (const auto& f : r.failures) {
+    appendf(out, "fail id=%" PRIu64 " type=%s fault=%u dt=%a garbage=%u reverted=%u\n",
+            f.packet_id, to_string(f.type), f.fault_index, f.ack_to_fault_ms,
+            f.pages_garbage, f.pages_reverted);
+  }
+  return out;
+}
+
+struct CampaignHashes {
+  std::uint64_t result;
+  std::uint64_t trace;
+};
+
+/// The blktrace half of the A/B check: a deterministic read/write mix
+/// through Ssd + BlockQueue with tracing on and a mid-stream power fault.
+/// The campaign path clears its trace every power cycle, so the event
+/// stream is pinned here where it survives to the end.
+std::uint64_t trace_hash(std::uint64_t seed) {
+  ssd::PresetOptions opts;
+  opts.capacity_override_gb = 1;
+  auto drive = ssd::make_preset(ssd::VendorModel::kA, opts);
+  drive.mount_delay = sim::Duration::ms(20);
+
+  sim::Simulator sim(seed);
+  psu::PowerSupply psu(sim, std::make_unique<psu::PowerLawDischarge>());
+  ssd::Ssd ssd(sim, drive);
+  blk::BlockQueue queue(sim, ssd);
+  queue.trace().set_enabled(true);
+  psu.attach(ssd);
+  psu.power_on();
+  while (!ssd.ready() && !sim.idle()) sim.run_all(1);
+
+  sim::Rng rng(seed * 31 + 1);
+  int outstanding = 0;
+  for (int i = 0; i < 400; ++i) {
+    const auto lpn = rng.below(16'384);
+    const auto pages = 1 + static_cast<std::uint32_t>(rng.below(96));
+    if (rng.chance(0.7)) {
+      std::vector<std::uint64_t> tags(pages, 0x1000 + static_cast<std::uint64_t>(i));
+      queue.submit_write(lpn, std::move(tags),
+                         [&outstanding](blk::RequestOutcome) { --outstanding; });
+    } else {
+      queue.submit_read(lpn, pages,
+                        [&outstanding](blk::RequestOutcome) { --outstanding; });
+    }
+    ++outstanding;
+    sim.run_for(sim::Duration::us(200));
+    if (i == 250) psu.power_off();  // fault mid-stream: IO errors land in the trace
+  }
+  sim.run_all(4'000'000);
+  return hash_str(blk::to_text(queue.trace()));
+}
+
+CampaignHashes run_hashed(ssd::VendorModel model, ftl::MappingPolicy policy,
+                          std::uint64_t seed) {
+  ssd::PresetOptions opts;
+  opts.capacity_override_gb = 1;
+  opts.mapping_policy = policy;
+  auto drive = ssd::make_preset(model, opts);
+  drive.mount_delay = sim::Duration::ms(100);
+
+  PlatformConfig pc;
+  pc.trace_enabled = true;
+
+  ExperimentSpec spec;
+  spec.name = "golden";
+  spec.workload.wss_pages = (256ULL << 20) / 4096;  // 256 MiB
+  spec.workload.min_pages = 1;
+  spec.workload.max_pages = 64;
+  spec.workload.write_fraction = 0.8;
+  spec.faults = 4;
+  spec.total_requests = 4 * 60ULL;
+  spec.pace_iops = 30.0;
+  spec.seed = seed;
+
+  TestPlatform tp(drive, pc, seed);
+  const auto result = tp.run(spec);
+  return CampaignHashes{hash_str(canonical(result)), trace_hash(seed)};
+}
+
+struct GoldenCase {
+  ssd::VendorModel model;
+  ftl::MappingPolicy policy;
+  std::uint64_t seed;
+  CampaignHashes expect;
+};
+
+// Captured against the pre-rework kernel (see file header).
+const GoldenCase kGolden[] = {
+    {ssd::VendorModel::kA, ftl::MappingPolicy::kHybridExtent, 42,
+     {0x66785AE8EECBA82AULL, 0x770E7179CFE25617ULL}},
+    {ssd::VendorModel::kA, ftl::MappingPolicy::kPageLevel, 7,
+     {0xB5FA478E0F1FA5B6ULL, 0x0D34049E4413F8F2ULL}},
+    {ssd::VendorModel::kB, ftl::MappingPolicy::kHybridExtent, 1234,
+     {0x1DD7BF134C36FDF3ULL, 0xDAD29F043F34BDA7ULL}},
+};
+
+TEST(DeterminismGolden, CampaignRowsAndTracesMatchPreReworkKernel) {
+  const bool print = std::getenv("POFI_PRINT_GOLDEN") != nullptr;
+  for (const auto& g : kGolden) {
+    const auto got = run_hashed(g.model, g.policy, g.seed);
+    if (print) {
+      std::printf("golden model=%d policy=%d seed=%" PRIu64
+                  " result=0x%016" PRIX64 "ULL trace=0x%016" PRIX64 "ULL\n",
+                  static_cast<int>(g.model), static_cast<int>(g.policy), g.seed,
+                  got.result, got.trace);
+      continue;
+    }
+    EXPECT_EQ(got.result, g.expect.result)
+        << "ExperimentResult drifted (model=" << static_cast<int>(g.model)
+        << " seed=" << g.seed << "); rerun with POFI_PRINT_GOLDEN=1";
+    EXPECT_EQ(got.trace, g.expect.trace)
+        << "blktrace stream drifted (model=" << static_cast<int>(g.model)
+        << " seed=" << g.seed << "); rerun with POFI_PRINT_GOLDEN=1";
+  }
+}
+
+// Same seed, two fresh platforms: rows and traces must be bit-identical.
+// This half of the A/B check needs no goldens and never goes stale.
+TEST(DeterminismGolden, RepeatedRunsAreBitIdentical) {
+  const auto a = run_hashed(ssd::VendorModel::kA, ftl::MappingPolicy::kHybridExtent, 5);
+  const auto b = run_hashed(ssd::VendorModel::kA, ftl::MappingPolicy::kHybridExtent, 5);
+  EXPECT_EQ(a.result, b.result);
+  EXPECT_EQ(a.trace, b.trace);
+}
+
+}  // namespace
+}  // namespace pofi::platform

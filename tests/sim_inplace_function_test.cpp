@@ -1,0 +1,134 @@
+// Unit tests for sim::InplaceFunction: the SBO callable the event kernel
+// stores callbacks in. Move semantics and capture-lifetime behaviour matter
+// here — a leaked or double-destroyed capture in the kernel corrupts every
+// layer above it.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "sim/event_queue.hpp"  // kEventCallbackCapacity
+#include "sim/inplace_function.hpp"
+
+namespace pofi::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Compile-time capture-size contract: fits_inplace_v is the trait the
+// static_assert in InplaceFunction's constructor checks. These are the
+// "capture-size compile checks" — a type that stopped fitting would fail
+// right here with the same verdict the constructor gives.
+// ---------------------------------------------------------------------------
+struct Small {
+  void* p[2];
+  void operator()() const {}
+};
+struct Oversized {
+  unsigned char blob[256];
+  void operator()() const {}
+};
+struct ThrowingMove {
+  ThrowingMove() = default;
+  ThrowingMove(ThrowingMove&&) noexcept(false) {}
+  void operator()() const {}
+};
+
+static_assert(fits_inplace_v<Small, 64>);
+static_assert(!fits_inplace_v<Oversized, 64>, "over-capacity captures must not fit");
+static_assert(fits_inplace_v<Oversized, 256>, "raising Capacity must admit them");
+static_assert(!fits_inplace_v<ThrowingMove, 64>,
+              "throwing-move callables would break queue compaction");
+static_assert(fits_inplace_v<decltype([x = 0]() mutable { ++x; }), kEventCallbackCapacity>,
+              "trivial lambdas must fit the event kernel's budget");
+
+// ---------------------------------------------------------------------------
+// Runtime behaviour.
+// ---------------------------------------------------------------------------
+TEST(InplaceFunction, DefaultIsEmptyAndThrows) {
+  InplaceFunction<int(), 64> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_THROW(f(), std::bad_function_call);
+}
+
+TEST(InplaceFunction, CallsStoredLambdaWithArgsAndResult) {
+  InplaceFunction<int(int, int), 64> f = [](int a, int b) { return a * 10 + b; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(3, 4), 34);
+}
+
+TEST(InplaceFunction, MutableStateLivesInline) {
+  InplaceFunction<int(), 64> counter = [n = 0]() mutable { return ++n; };
+  EXPECT_EQ(counter(), 1);
+  EXPECT_EQ(counter(), 2);
+  EXPECT_EQ(counter(), 3);
+}
+
+TEST(InplaceFunction, MoveTransfersCallableAndEmptiesSource) {
+  InplaceFunction<int(), 64> src = [v = 7] { return v; };
+  InplaceFunction<int(), 64> dst = std::move(src);
+  EXPECT_FALSE(static_cast<bool>(src));
+  ASSERT_TRUE(static_cast<bool>(dst));
+  EXPECT_EQ(dst(), 7);
+}
+
+TEST(InplaceFunction, MoveAssignDestroysPreviousTarget) {
+  auto held = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = held;
+  InplaceFunction<void(), 64> dst = [held] { (void)*held; };
+  held.reset();
+  EXPECT_FALSE(watch.expired());
+  dst = InplaceFunction<void(), 64>([] {});
+  EXPECT_TRUE(watch.expired()) << "old capture must be destroyed on assignment";
+  dst();  // the new callable is installed and callable
+}
+
+TEST(InplaceFunction, MoveOnlyCaptureWorks) {
+  auto p = std::make_unique<int>(99);
+  InplaceFunction<int(), 64> f = [p = std::move(p)] { return *p; };
+  EXPECT_EQ(f(), 99);
+  InplaceFunction<int(), 64> g = std::move(f);
+  EXPECT_EQ(g(), 99);
+}
+
+TEST(InplaceFunction, ResetDestroysCaptureImmediately) {
+  auto held = std::make_shared<int>(5);
+  std::weak_ptr<int> watch = held;
+  InplaceFunction<void(), 64> f = [held] { (void)*held; };
+  held.reset();
+  EXPECT_FALSE(watch.expired());
+  f.reset();
+  EXPECT_TRUE(watch.expired());
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InplaceFunction, DestructionReleasesCapture) {
+  auto held = std::make_shared<int>(5);
+  std::weak_ptr<int> watch = held;
+  {
+    InplaceFunction<void(), 64> f = [held] { (void)*held; };
+    held.reset();
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InplaceFunction, SelfContainedAfterSourceScopeEnds) {
+  InplaceFunction<int(), 64> f;
+  {
+    const int local = 123;
+    f = InplaceFunction<int(), 64>([local] { return local; });
+  }
+  EXPECT_EQ(f(), 123) << "capture must be stored by value inside the buffer";
+}
+
+TEST(InplaceFunction, MovedFromIsReusable) {
+  InplaceFunction<int(), 64> a = [] { return 1; };
+  InplaceFunction<int(), 64> b = std::move(a);
+  a = [] { return 2; };
+  EXPECT_EQ(a(), 2);
+  EXPECT_EQ(b(), 1);
+}
+
+}  // namespace
+}  // namespace pofi::sim

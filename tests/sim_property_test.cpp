@@ -62,6 +62,134 @@ TEST_P(EventQueueTorture, MatchesReferenceModel) {
 INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueTorture, ::testing::Values(7, 77, 777));
 
 // ---------------------------------------------------------------------------
+// Large-scale fuzz against a naive reference: ≥10k interleaved schedule /
+// cancel / pop operations per seed, with pops checked *during* the run (not
+// just at drain time) so heap-invariant breakage surfaces at the op that
+// caused it. The reference is an unsorted vector scanned linearly for the
+// (time, insertion-order) minimum — slow but obviously correct.
+// ---------------------------------------------------------------------------
+class EventQueueFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueFuzz, TenThousandOpsMatchNaiveReference) {
+  struct RefEvent {
+    std::int64_t t = 0;
+    std::uint64_t order = 0;  ///< insertion counter: tie-break contract
+    int value = 0;
+    bool alive = false;
+  };
+
+  Rng rng(GetParam());
+  EventQueue queue;
+  std::vector<RefEvent> reference;  // index == payload value
+  std::vector<EventId> ids;
+  std::uint64_t order = 0;
+  std::int64_t clock_ns = 0;  // pops advance it; schedules land at/after it
+
+  const auto ref_min = [&reference]() {
+    std::size_t best = reference.size();
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      if (!reference[i].alive) continue;
+      if (best == reference.size() || reference[i].t < reference[best].t ||
+          (reference[i].t == reference[best].t &&
+           reference[i].order < reference[best].order)) {
+        best = i;
+      }
+    }
+    return best;
+  };
+
+  std::vector<int> fired;
+  const int kOps = 12000;
+  std::size_t live = 0;
+  for (int op = 0; op < kOps; ++op) {
+    const double dice = static_cast<double>(rng.below(100)) / 100.0;
+    if (dice < 0.55 || live == 0) {
+      const std::int64_t t = clock_ns + rng.range(0, 10000);
+      const int value = static_cast<int>(reference.size());
+      ids.push_back(queue.schedule_at(TimePoint::from_ns(t),
+                                      [&fired, value] { fired.push_back(value); }));
+      reference.push_back(RefEvent{t, order++, value, true});
+      ++live;
+    } else if (dice < 0.75) {
+      const auto idx = static_cast<std::size_t>(rng.below(ids.size()));
+      const bool cancelled = queue.cancel(ids[idx]);
+      ASSERT_EQ(cancelled, reference[idx].alive) << "op " << op;
+      if (reference[idx].alive) {
+        reference[idx].alive = false;
+        --live;
+      }
+      // Double-cancel through the same handle must stay a no-op.
+      ASSERT_FALSE(queue.cancel(ids[idx]));
+    } else {
+      const std::size_t expect = ref_min();
+      ASSERT_LT(expect, reference.size()) << "op " << op;
+      fired.clear();
+      auto ev = queue.pop();
+      ev.cb();
+      ASSERT_EQ(fired, std::vector<int>{reference[expect].value}) << "op " << op;
+      ASSERT_EQ(ev.time.count_ns(), reference[expect].t) << "op " << op;
+      clock_ns = reference[expect].t;
+      reference[expect].alive = false;
+      --live;
+      // A fired event's handle must be dead too.
+      ASSERT_FALSE(queue.cancel(ids[static_cast<std::size_t>(reference[expect].value)]));
+    }
+    ASSERT_EQ(queue.size(), live) << "op " << op;
+    ASSERT_EQ(queue.empty(), live == 0) << "op " << op;
+  }
+
+  // Drain: the survivors must come out in exact (time, insertion) order.
+  while (!queue.empty()) {
+    const std::size_t expect = ref_min();
+    ASSERT_LT(expect, reference.size());
+    fired.clear();
+    queue.pop().cb();
+    ASSERT_EQ(fired, std::vector<int>{reference[expect].value});
+    reference[expect].alive = false;
+  }
+  ASSERT_EQ(ref_min(), reference.size()) << "reference retained events the queue lost";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzz,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+// ---------------------------------------------------------------------------
+// clear() invariants: a cleared queue retains nothing — no live events, no
+// tombstones, no callback state (captures are destroyed immediately) — and
+// stays fully usable afterwards.
+// ---------------------------------------------------------------------------
+TEST(EventQueueClear, FreesAllStateAndStaysUsable) {
+  auto alive = std::make_shared<int>(42);  // captured by every callback
+  std::weak_ptr<int> watch = alive;
+
+  EventQueue queue;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 500; ++i) {
+    ids.push_back(
+        queue.schedule_at(TimePoint::from_ns(i), [alive] { (void)*alive; }));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 3) queue.cancel(ids[i]);  // tombstones
+  alive.reset();
+  EXPECT_FALSE(watch.expired()) << "queue must be keeping the captures alive";
+
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.next_time(), TimePoint::max());
+  EXPECT_TRUE(watch.expired()) << "clear() leaked retained callback state";
+  for (const EventId id : ids) {
+    EXPECT_FALSE(queue.cancel(id)) << "pre-clear handle still cancellable";
+  }
+
+  // The queue keeps working, and post-clear events still order correctly.
+  std::vector<int> fired;
+  queue.schedule_at(TimePoint::from_ns(20), [&fired] { fired.push_back(2); });
+  queue.schedule_at(TimePoint::from_ns(10), [&fired] { fired.push_back(1); });
+  while (!queue.empty()) queue.pop().cb();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+// ---------------------------------------------------------------------------
 // Simulator time monotonicity: however events interleave and re-schedule,
 // observed `now()` never decreases and equals each event's scheduled time.
 // ---------------------------------------------------------------------------

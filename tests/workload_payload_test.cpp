@@ -95,5 +95,18 @@ TEST_P(PayloadEquivalence, TagComparisonEqualsChecksumComparison) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PayloadEquivalence, ::testing::Values(1, 2, 3));
 
+// page_crc is memoized in a small direct-mapped cache; hammering far more
+// tags than the cache has slots (forcing every slot to collide and be
+// overwritten repeatedly) must never change an answer — each query is checked
+// against a fresh, cache-cold codec.
+TEST(PayloadCodec, CrcMemoSurvivesCollisionsAndEviction) {
+  PayloadCodec codec(2048);
+  sim::Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t tag = rng.below(512);  // revisit tags: mix hits + misses
+    EXPECT_EQ(codec.page_crc(tag), PayloadCodec(2048).page_crc(tag)) << "tag " << tag;
+  }
+}
+
 }  // namespace
 }  // namespace pofi::workload
