@@ -18,6 +18,8 @@
 #include "platform/test_platform.hpp"
 #include "runner/progress.hpp"
 #include "runner/runner_config.hpp"
+#include "spec/campaign.hpp"
+#include "spec/version.hpp"
 #include "stats/csv.hpp"
 #include "ssd/presets.hpp"
 #include "stats/summary.hpp"
@@ -72,6 +74,30 @@ inline std::vector<platform::CampaignSuite::Row> run_campaigns(
 inline std::vector<platform::CampaignSuite::Row> run_campaigns(
     const std::vector<QueuedCampaign>& campaigns) {
   return run_campaigns(campaigns, bench_threads());
+}
+
+/// Path of a committed campaign spec: $POFI_SPEC_DIR (runtime) overrides
+/// the compiled-in source-tree `specs/` directory.
+inline std::string spec_path(const char* file) {
+  const char* dir = std::getenv("POFI_SPEC_DIR");
+  return std::string(dir == nullptr ? POFI_SPEC_DIR : dir) + "/" + file;
+}
+
+/// Load a figure bench's committed spec; POFI_THREADS (when set) overrides
+/// the spec's runner thread count, matching the pre-spec bench behaviour.
+inline spec::CampaignSpec load_spec(const char* file) {
+  spec::CampaignSpec campaign = spec::load_campaign_file(spec_path(file));
+  if (std::getenv("POFI_THREADS") != nullptr) {
+    campaign.runner.threads = bench_threads();
+  }
+  return campaign;
+}
+
+/// Provenance comments for exported CSV: the campaign's canonical content
+/// hash plus the build that produced the series.
+inline void stamp_provenance(stats::CsvWriter& csv, const spec::CampaignSpec& campaign) {
+  csv.add_comment("spec: " + spec::hash_string(campaign.hash));
+  csv.add_comment(std::string("build: ") + spec::pofi_version());
 }
 
 /// Wall-clock seconds spent in `fn`.

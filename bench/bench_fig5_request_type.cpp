@@ -6,39 +6,22 @@
 // as the read share grows, reaching zero for a fully-read workload; IO
 // errors persist at every mix (disk unavailability does not care about
 // request type).
+//
+// The campaign itself lives in specs/fig5_request_type.json; this driver
+// only renders the series.
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.hpp"
 
-int main() {
+int main() try {
   using namespace pofi;
   stats::print_banner("Fig. 5: impact of request type on data failures");
   std::printf("paper scale: >300 faults / 24000 requests; bench scale: 100 faults / 8000\n\n");
 
-  const auto drive = bench::study_drive();
+  const auto campaign = bench::load_spec("fig5_request_type.json");
   const std::vector<int> read_pcts{0, 20, 50, 80, 100};
-
-  std::vector<bench::QueuedCampaign> campaigns;
-  for (const int read_pct : read_pcts) {
-    workload::WorkloadConfig wl;
-    wl.name = "fig5";
-    wl.wss_pages = bench::wss_pages_for_gib(drive, 16.0);
-    bench::paper_size_range(wl, drive);
-    wl.write_fraction = 1.0 - read_pct / 100.0;
-
-    platform::ExperimentSpec spec;
-    spec.name = "fig5-read" + std::to_string(read_pct);
-    spec.workload = wl;
-    spec.total_requests = 8000;
-    spec.faults = 100;
-    spec.pace_iops = 4.0;
-    spec.seed = 500 + read_pct;
-
-    campaigns.push_back(bench::QueuedCampaign{spec.name, drive, spec});
-  }
-
-  const auto rows = bench::run_campaigns(campaigns);
+  const auto rows = spec::run_campaign_rows(campaign);
 
   std::vector<double> xs, data_failures, fwa, io_errors, per_fault;
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -54,6 +37,7 @@ int main() {
   }
 
   stats::CsvWriter csv({"read_pct", "data_failures_total", "fwa", "io_errors", "per_fault"});
+  bench::stamp_provenance(csv, campaign);
   for (std::size_t i = 0; i < xs.size(); ++i) {
     csv.add_row({stats::Table::fmt(xs[i], 0), stats::Table::fmt(data_failures[i], 0),
                  stats::Table::fmt(fwa[i], 0), stats::Table::fmt(io_errors[i], 0),
@@ -72,4 +56,7 @@ int main() {
   std::printf("shape checks: failures fall with read%%; zero data loss at 100%% read; "
               "IO errors present at every mix.\n");
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

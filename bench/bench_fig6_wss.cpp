@@ -4,38 +4,22 @@
 // random writes, >200 faults over 16 000 requests. Expected shape: flat —
 // WSS has no significant impact on the failure ratio (vulnerability lives
 // in the volatile cache/journal, whose occupancy depends on rate, not WSS).
+//
+// The campaign itself lives in specs/fig6_wss.json; this driver only
+// renders the series.
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.hpp"
 
-int main() {
+int main() try {
   using namespace pofi;
   stats::print_banner("Fig. 6: impact of workload working set size on data failure");
   std::printf("paper scale: >200 faults / 16000 requests; bench scale: 60 faults / 4800 per point\n\n");
 
-  const auto drive = bench::study_drive();
+  const auto campaign = bench::load_spec("fig6_wss.json");
   const std::vector<double> wss_gb{1, 10, 20, 30, 40, 50, 60, 70, 80, 90};
-
-  std::vector<bench::QueuedCampaign> campaigns;
-  for (const double gb : wss_gb) {
-    workload::WorkloadConfig wl;
-    wl.name = "fig6";
-    wl.wss_pages = bench::wss_pages_for_gib(drive, gb);
-    bench::paper_size_range(wl, drive);
-    wl.write_fraction = 1.0;
-
-    platform::ExperimentSpec spec;
-    spec.name = "fig6-wss" + std::to_string(static_cast<int>(gb));
-    spec.workload = wl;
-    spec.total_requests = 4800;
-    spec.faults = 60;
-    spec.pace_iops = 4.0;
-    spec.seed = 600 + static_cast<std::uint64_t>(gb);
-
-    campaigns.push_back(bench::QueuedCampaign{spec.name, drive, spec});
-  }
-  const auto rows = bench::run_campaigns(campaigns);
+  const auto rows = spec::run_campaign_rows(campaign);
 
   std::vector<double> xs, data_failures, per_fault;
   stats::RunningStat across_wss;
@@ -60,4 +44,7 @@ int main() {
       across_wss.mean(), across_wss.stddev(),
       across_wss.mean() > 0 ? across_wss.stddev() / across_wss.mean() : 0.0);
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

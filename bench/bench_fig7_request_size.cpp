@@ -9,47 +9,23 @@
 // flash work starts).
 //
 // To reproduce "equal time interval", every size point pushes the same byte
-// rate, so the request rate — and with it the number of requests exposed in
-// the volatile window — scales inversely with size.
+// rate (4 MiB/s), so the request rate — and with it the number of requests
+// exposed in the volatile window — scales inversely with size. The
+// campaign itself lives in specs/fig7_request_size.json.
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.hpp"
 
-int main() {
+int main() try {
   using namespace pofi;
   stats::print_banner("Fig. 7: impact of request size on data failure");
   std::printf("paper scale: >800 faults / >64000 requests total; bench: 60 faults per size\n");
   std::printf("constant ingest of 4 MiB/s across sizes (equal-time-interval reproduction)\n\n");
 
-  const auto drive = bench::study_drive();
+  const auto campaign = bench::load_spec("fig7_request_size.json");
   const std::vector<int> sizes_kb{4, 16, 64, 256, 1024};
-  const double bytes_per_sec = 4.0 * 1024 * 1024;
-
-  std::vector<bench::QueuedCampaign> campaigns;
-  for (const int kb : sizes_kb) {
-    const std::uint32_t pages =
-        std::max(1u, static_cast<std::uint32_t>(kb * 1024u / drive.chip.geometry.page_size_bytes));
-    workload::WorkloadConfig wl;
-    wl.name = "fig7";
-    wl.wss_pages = bench::wss_pages_for_gib(drive, 16.0);
-    wl.min_pages = pages;
-    wl.max_pages = pages;
-    wl.write_fraction = 1.0;
-
-    const double iops = bytes_per_sec / (kb * 1024.0);
-    platform::ExperimentSpec spec;
-    spec.name = "fig7-" + std::to_string(kb) + "KB";
-    spec.workload = wl;
-    spec.faults = 60;
-    // Per-cycle budget sized so each cycle spans ~1.2 s of ingest.
-    spec.total_requests = static_cast<std::uint64_t>(iops * 1.2 * spec.faults);
-    spec.pace_iops = iops;
-    spec.seed = 700 + kb;
-
-    campaigns.push_back(bench::QueuedCampaign{spec.name, drive, spec});
-  }
-  const auto rows = bench::run_campaigns(campaigns);
+  const auto rows = spec::run_campaign_rows(campaign);
 
   std::vector<double> xs, data_failures, fwa, per_fault;
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -62,6 +38,7 @@ int main() {
   }
 
   stats::CsvWriter csv({"size_kb", "data_failures_total", "fwa", "per_fault"});
+  bench::stamp_provenance(csv, campaign);
   for (std::size_t i = 0; i < xs.size(); ++i) {
     csv.add_row({stats::Table::fmt(xs[i], 0), stats::Table::fmt(data_failures[i], 0),
                  stats::Table::fmt(fwa[i], 0), stats::Table::fmt(per_fault[i], 3)});
@@ -79,4 +56,7 @@ int main() {
               "(FWA share there: %.0f%%)\n",
               data_failures[0] > 0 ? fwa[0] / data_failures[0] * 100.0 : 0.0);
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

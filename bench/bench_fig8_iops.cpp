@@ -7,42 +7,22 @@
 // fault can only hurt requests the device actually absorbed.
 //
 // Our simulated drive saturates at its own (configuration-determined) level;
-// the bench reports both curves so the crossover shape can be compared.
+// the bench reports both curves so the crossover shape can be compared. The
+// campaign itself lives in specs/fig8_iops.json.
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.hpp"
 
-int main() {
+int main() try {
   using namespace pofi;
   stats::print_banner("Fig. 8: impact of requested IOPS on responded IOPS / data failures");
   std::printf("paper scale: >600 faults; bench: 12 faults per rate point\n");
   std::printf("request sizes 4..64 KiB (paper: 4 KiB..1 MiB; reduced to bound memory)\n\n");
 
-  const auto drive = bench::study_drive();
+  const auto campaign = bench::load_spec("fig8_iops.json");
   const std::vector<double> rates{1200, 2400, 6000, 12000, 20000, 25000, 30000};
-
-  std::vector<bench::QueuedCampaign> campaigns;
-  for (const double rate : rates) {
-    workload::WorkloadConfig wl;
-    wl.name = "fig8";
-    wl.wss_pages = bench::wss_pages_for_gib(drive, 16.0);
-    wl.min_pages = 1;
-    wl.max_pages = 16;  // 4..64 KiB
-    wl.write_fraction = 1.0;
-    wl.target_iops = rate;
-
-    platform::ExperimentSpec spec;
-    spec.name = "fig8-" + std::to_string(static_cast<int>(rate));
-    spec.workload = wl;
-    spec.faults = 12;
-    // Each cycle ingests ~0.3 s at the requested rate.
-    spec.total_requests = static_cast<std::uint64_t>(rate * 0.3 * spec.faults);
-    spec.seed = 800 + static_cast<std::uint64_t>(rate);
-
-    campaigns.push_back(bench::QueuedCampaign{spec.name, drive, spec});
-  }
-  const auto rows = bench::run_campaigns(campaigns);
+  const auto rows = spec::run_campaign_rows(campaign);
 
   std::vector<double> xs, responded, failures;
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -57,6 +37,7 @@ int main() {
   }
 
   stats::CsvWriter csv({"requested_iops", "responded_iops", "data_loss"});
+  bench::stamp_provenance(csv, campaign);
   for (std::size_t i = 0; i < xs.size(); ++i) {
     csv.add_row({stats::Table::fmt(xs[i], 0), stats::Table::fmt(responded[i], 1),
                  stats::Table::fmt(failures[i], 0)});
@@ -72,4 +53,7 @@ int main() {
   std::printf("shape checks: responded IOPS saturates (paper: ~6900 on their SSD); data "
               "failures rise with requested IOPS then flatten past saturation.\n");
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

@@ -5,46 +5,27 @@
 // the most data failures (two writes, and the fault can kill both the new
 // data and the previously written data at that address); WAR and RAW see
 // failures plus considerable FWA; RAR is failure-free apart from IO errors.
+//
+// The campaign itself lives in specs/fig9_sequences.json; this driver only
+// renders the series.
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.hpp"
 
-int main() {
+int main() try {
   using namespace pofi;
   stats::print_banner("Fig. 9: impact of sequence of the accesses on data failure");
   std::printf("paper scale: per-sequence campaigns, hundreds of faults; bench: 100 faults each\n\n");
 
-  const auto drive = bench::study_drive();
-  const std::vector<workload::SequenceMode> modes{
-      workload::SequenceMode::kRAW, workload::SequenceMode::kWAR,
-      workload::SequenceMode::kRAR, workload::SequenceMode::kWAW};
-
-  std::vector<bench::QueuedCampaign> campaigns;
-  int idx = 0;
-  for (const auto mode : modes) {
-    workload::WorkloadConfig wl;
-    wl.name = std::string("fig9-") + to_string(mode);
-    wl.wss_pages = bench::wss_pages_for_gib(drive, 16.0);
-    bench::paper_size_range(wl, drive);
-    wl.sequence = mode;
-
-    platform::ExperimentSpec spec;
-    spec.name = wl.name;
-    spec.workload = wl;
-    spec.total_requests = 8000;
-    spec.faults = 100;
-    spec.pace_iops = 4.0;
-    spec.seed = 900 + idx++;
-
-    campaigns.push_back(bench::QueuedCampaign{to_string(mode), drive, spec});
-  }
-  const auto rows = bench::run_campaigns(campaigns);
+  const auto campaign = bench::load_spec("fig9_sequences.json");
+  const std::vector<const char*> mode_names{"RAW", "WAR", "RAR", "WAW"};
+  const auto rows = spec::run_campaign_rows(campaign);
 
   std::vector<double> xs, data_failures, fwa, io_errors, per_fault;
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i].result;
-    bench::print_result_row(r, rows[i].label.c_str());
+    bench::print_result_row(r, mode_names[i]);
     xs.push_back(static_cast<double>(i));
     // FWA is a subtype of data failure (SecIII-B); headline series = total.
     data_failures.push_back(static_cast<double>(r.total_data_loss()));
@@ -64,4 +45,7 @@ int main() {
   std::printf("shape checks: WAW >> WAR ~ RAW >> RAR (RAR: no data loss, IO errors only); "
               "WAR/WAW/RAW all show FWA.\n");
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

@@ -7,6 +7,9 @@
 // write-pending data lives in the drive's volatile DRAM — and the same
 // phenomenon persists (with a shorter horizon) when the internal cache is
 // disabled, implicating the mapping journal and paired-page physics too.
+//
+// The campaign lives in specs/secIVA_post_ack_interval.json: first the
+// cache-enabled sweep, then the same delays with the cache disabled.
 #include <cstdio>
 #include <vector>
 
@@ -14,33 +17,20 @@
 
 namespace {
 
-std::vector<double> sweep(const pofi::ssd::SsdConfig& drive, const char* label,
-                          const std::vector<int>& delays_ms) {
-  using namespace pofi;
+std::vector<double> report(const std::vector<pofi::platform::CampaignSuite::Row>& rows,
+                           const char* label, const std::vector<int>& delays_ms,
+                           std::size_t first) {
   std::vector<double> loss_probability;
   std::printf("%s:\n", label);
-  for (const int ms : delays_ms) {
-    workload::WorkloadConfig wl;
-    wl.name = "secIVA";
-    wl.wss_pages = bench::wss_pages_for_gib(drive, 8.0);
-    bench::paper_size_range(wl, drive);
-    wl.write_fraction = 1.0;
-
-    platform::ExperimentSpec spec;
-    spec.name = "ivA-" + std::to_string(ms) + "ms";
-    spec.workload = wl;
-    spec.mode = platform::FaultMode::kFixedDelayAfterAck;
-    spec.post_ack_delay = sim::Duration::ms(ms);
-    spec.faults = 40;
-    spec.seed = 400 + ms;
-
-    const auto r = bench::run_campaign(drive, spec);
+  for (std::size_t i = 0; i < delays_ms.size(); ++i) {
+    const auto& r = rows[first + i].result;
     const double p = r.faults_injected > 0
                          ? static_cast<double>(r.total_data_loss()) / r.faults_injected
                          : 0.0;
     loss_probability.push_back(p);
-    std::printf("  dt=%-5dms faults=%-3u dataFail=%-3llu FWA=%-3llu lossProb=%.2f\n", ms,
-                r.faults_injected, static_cast<unsigned long long>(r.data_failures),
+    std::printf("  dt=%-5dms faults=%-3u dataFail=%-3llu FWA=%-3llu lossProb=%.2f\n",
+                delays_ms[i], r.faults_injected,
+                static_cast<unsigned long long>(r.data_failures),
                 static_cast<unsigned long long>(r.fwa_failures), p);
   }
   return loss_probability;
@@ -48,21 +38,19 @@ std::vector<double> sweep(const pofi::ssd::SsdConfig& drive, const char* label,
 
 }  // namespace
 
-int main() {
+int main() try {
   using namespace pofi;
   stats::print_banner("SecIV-A: corruption vs interval between ACK and power outage");
   std::printf("paper: corruption observed up to ~700 ms after the ACK; persists with\n");
   std::printf("the internal cache disabled. bench: 40 faults per interval point.\n\n");
 
   const std::vector<int> delays{0, 100, 200, 300, 400, 500, 600, 700, 800, 1000};
+  const auto campaign = bench::load_spec("secIVA_post_ack_interval.json");
+  const auto rows = spec::run_campaign_rows(campaign);
 
-  const auto cached = bench::study_drive();
-  const auto with_cache = sweep(cached, "internal DRAM cache enabled", delays);
-
-  ssd::PresetOptions no_cache_opts;
-  no_cache_opts.cache_enabled = false;
-  const auto uncached = bench::study_drive(no_cache_opts);
-  const auto without_cache = sweep(uncached, "internal DRAM cache disabled", delays);
+  const auto with_cache = report(rows, "internal DRAM cache enabled", delays, 0);
+  const auto without_cache =
+      report(rows, "internal DRAM cache disabled", delays, delays.size());
 
   std::vector<double> xs(delays.begin(), delays.end());
   std::printf("\n");
@@ -81,4 +69,7 @@ int main() {
               "(paper: failures persist)\n",
               horizon_cached, horizon_uncached);
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

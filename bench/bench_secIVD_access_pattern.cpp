@@ -5,37 +5,22 @@
 // fails ~14% more than the random one, because the FTL coalesces sequential
 // runs into single mapping entries ("only keeps the first address"), and a
 // lost volatile extent takes the whole run with it.
+//
+// The campaign lives in specs/secIVD_access_pattern.json (random first,
+// then sequential).
 #include <cstdio>
 
 #include "bench_common.hpp"
 
-int main() {
+int main() try {
   using namespace pofi;
   stats::print_banner("SecIV-D: impact of access pattern (random vs sequential)");
   std::printf("paper scale: >300 faults / 24000 requests; bench: 120 faults / 9600 each\n\n");
 
-  const auto drive = bench::study_drive();
-
-  auto run_pattern = [&](workload::AccessPattern pattern, std::uint64_t seed) {
-    workload::WorkloadConfig wl;
-    wl.name = std::string("secIVD-") + to_string(pattern);
-    wl.wss_pages = bench::wss_pages_for_gib(drive, 64.0);
-    bench::paper_size_range(wl, drive);
-    wl.write_fraction = 1.0;
-    wl.pattern = pattern;
-
-    platform::ExperimentSpec spec;
-    spec.name = wl.name;
-    spec.workload = wl;
-    spec.total_requests = 9600;
-    spec.faults = 120;
-    spec.pace_iops = 4.0;
-    spec.seed = seed;
-    return bench::run_campaign(drive, spec);
-  };
-
-  const auto random = run_pattern(workload::AccessPattern::kUniformRandom, 1040);
-  const auto sequential = run_pattern(workload::AccessPattern::kSequential, 1041);
+  const auto campaign = bench::load_spec("secIVD_access_pattern.json");
+  const auto rows = spec::run_campaign_rows(campaign);
+  const auto& random = rows[0].result;
+  const auto& sequential = rows[1].result;
   bench::print_result_row(random, "random");
   bench::print_result_row(sequential, "sequential");
 
@@ -49,4 +34,7 @@ int main() {
               static_cast<unsigned long long>(random.map_updates_reverted),
               static_cast<unsigned long long>(sequential.map_updates_reverted));
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

@@ -1,45 +1,13 @@
 // Table I of the paper: the SSD fleet under test.
 //
 // Prints the table with our simulated stand-ins and sanity-exercises each
-// preset by powering it up and serving a handful of IOs.
+// preset by powering it up and serving a handful of IOs; the smoke
+// campaigns live in specs/table1_smoke.json.
 #include <cstdio>
 
-#include "platform/test_platform.hpp"
-#include "ssd/presets.hpp"
-#include "stats/table.hpp"
+#include "bench_common.hpp"
 
-namespace {
-
-void exercise(const pofi::ssd::SsdConfig& base) {
-  using namespace pofi;
-  ssd::SsdConfig cfg = base;
-  // Scale the drive for the smoke exercise; Table I reports the real size.
-  ssd::PresetOptions opts;
-  platform::PlatformConfig pc;
-  workload::WorkloadConfig wl;
-  wl.wss_pages = (512ULL << 20) / cfg.chip.geometry.page_size_bytes;
-  wl.min_pages = 1;
-  wl.max_pages = 64;
-
-  platform::ExperimentSpec spec;
-  spec.name = cfg.model;
-  spec.workload = wl;
-  spec.total_requests = 200;
-  spec.faults = 4;
-  spec.seed = 1234;
-
-  platform::TestPlatform tp(cfg, pc, spec.seed);
-  const auto r = tp.run(spec);
-  std::printf("  %-8s smoke: %4llu reqs, %u faults, %llu data failures, %llu FWA, %llu IO err\n",
-              cfg.model.c_str(), static_cast<unsigned long long>(r.requests_submitted),
-              r.faults_injected, static_cast<unsigned long long>(r.data_failures),
-              static_cast<unsigned long long>(r.fwa_failures),
-              static_cast<unsigned long long>(r.io_errors));
-}
-
-}  // namespace
-
-int main() {
+int main() try {
   using namespace pofi;
   stats::print_banner("Table I: information of employed SSDs in the experiments");
   std::printf("%-8s %5s  %-6s %-7s %-9s %-4s %7s %6s\n", "SSD", "Size", "Iface", "Cache?",
@@ -50,10 +18,18 @@ int main() {
   }
 
   std::printf("\nSmoke-exercising each preset (scaled-down capacity):\n");
-  for (const auto model : {ssd::VendorModel::kA, ssd::VendorModel::kB, ssd::VendorModel::kC}) {
-    ssd::PresetOptions opts;
-    opts.capacity_override_gb = 8;
-    exercise(ssd::make_preset(model, opts));
+  const auto campaign = bench::load_spec("table1_smoke.json");
+  const auto rows = spec::run_campaign_rows(campaign);
+  for (const auto& row : rows) {
+    const auto& r = row.result;
+    std::printf("  %-8s smoke: %4llu reqs, %u faults, %llu data failures, %llu FWA, %llu IO err\n",
+                row.label.c_str(), static_cast<unsigned long long>(r.requests_submitted),
+                r.faults_injected, static_cast<unsigned long long>(r.data_failures),
+                static_cast<unsigned long long>(r.fwa_failures),
+                static_cast<unsigned long long>(r.io_errors));
   }
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

@@ -11,19 +11,89 @@
 //                 record followed by a present one breaks recovery).
 //
 // On a commodity cached SSD both properties fail; on a PLP drive both hold.
+// The drive, crash count and scenario matrix are data:
+// specs/acid_torture.json.
 #include <cstdio>
+#include <exception>
 #include <vector>
 
+#include "blk/queue.hpp"
+#include "example_common.hpp"
 #include "platform/shadow_store.hpp"
 #include "psu/atx_control.hpp"
-#include "ssd/presets.hpp"
-#include "blk/queue.hpp"
 #include "sim/simulator.hpp"
+#include "spec/codec.hpp"
+#include "spec/value.hpp"
+#include "ssd/presets.hpp"
 #include "stats/table.hpp"
 
 using namespace pofi;
 
 namespace {
+
+struct TortureParams {
+  std::uint64_t seed = 31337;
+  spec::Value drive_json;
+  std::uint32_t crashes = 8;
+  std::uint32_t record_pages = 4;  // 16 KiB WAL records
+  sim::Duration commit_think = sim::Duration::ms(25);
+  sim::Duration restore_delay = sim::Duration::ms(300);
+  struct Scenario {
+    std::string label;
+    bool plp = false;
+    bool flush_each_commit = false;
+  };
+  std::vector<Scenario> scenarios;
+};
+
+TortureParams::Scenario scenario_from_json(const spec::Value& v) {
+  TortureParams::Scenario s;
+  spec::for_each_member(v, "torture scenario",
+                        [&](const std::string& key, const spec::Value& m) {
+                          if (key == "label") {
+                            s.label = spec::read_string(m, key);
+                          } else if (key == "plp") {
+                            s.plp = spec::read_bool(m, key);
+                          } else if (key == "flush_each_commit") {
+                            s.flush_each_commit = spec::read_bool(m, key);
+                          } else {
+                            return false;
+                          }
+                          return true;
+                        });
+  return s;
+}
+
+TortureParams load_params(const std::string& path) {
+  const spec::Value doc = spec::parse_file(path);
+  TortureParams p;
+  p.drive_json = spec::Value::object();
+  spec::for_each_member(
+      doc, "torture spec", [&](const std::string& key, const spec::Value& m) {
+        if (key == "seed") {
+          p.seed = spec::read_u64(m, key);
+        } else if (key == "drive") {
+          p.drive_json = m;
+        } else if (key == "crashes") {
+          p.crashes = spec::read_u32(m, key, 1);
+        } else if (key == "record_pages") {
+          p.record_pages = spec::read_u32(m, key, 1);
+        } else if (key == "commit_think_ms") {
+          p.commit_think = spec::read_duration_ms(m, key);
+        } else if (key == "restore_delay_ms") {
+          p.restore_delay = spec::read_duration_ms(m, key);
+        } else if (key == "scenarios") {
+          if (!m.is_array() || m.items().empty()) {
+            throw spec::Error("expected a non-empty array of scenarios", m.line, m.col, key);
+          }
+          for (const auto& s : m.items()) p.scenarios.push_back(scenario_from_json(s));
+        } else {
+          return false;
+        }
+        return true;
+      });
+  return p;
+}
 
 struct TortureResult {
   std::uint64_t records_acked = 0;
@@ -32,16 +102,15 @@ struct TortureResult {
   std::uint32_t crashes = 0;
 };
 
-TortureResult torture(bool plp, bool flush_each_commit, std::uint64_t seed) {
-  sim::Simulator sim(seed);
+TortureResult torture(const TortureParams& p, const TortureParams::Scenario& scenario) {
+  sim::Simulator sim(p.seed);
   psu::PowerSupply psu(sim, std::make_unique<psu::PowerLawDischarge>());
   psu::AtxController atx(psu);
   psu::ArduinoBridge bridge(sim, atx);
 
-  ssd::PresetOptions opts;
-  opts.capacity_override_gb = 2;
-  opts.plp = plp;
-  ssd::Ssd drive(sim, ssd::make_preset(ssd::VendorModel::kA, opts));
+  spec::Value drive_doc = p.drive_json;
+  drive_doc.set("plp", scenario.plp);
+  ssd::Ssd drive(sim, spec::drive_from_json(drive_doc));
   psu.attach(drive);
   blk::BlockQueue queue(sim, drive);
 
@@ -55,12 +124,12 @@ TortureResult torture(bool plp, bool flush_each_commit, std::uint64_t seed) {
   ftl::Lpn wal_head = 0;                      // append-only log cursor
   std::vector<std::uint64_t> acked_tags;      // tag per ACKed record
   std::vector<bool> known_lost;               // records already counted lost
-  constexpr std::uint32_t kRecordPages = 4;   // 16 KiB WAL records
+  const std::uint32_t record_pages = p.record_pages;
 
   bridge.send(psu::PowerCommand::kOn);
   run_while([&] { return !drive.ready(); });
 
-  for (result.crashes = 0; result.crashes < 8; ++result.crashes) {
+  for (result.crashes = 0; result.crashes < p.crashes; ++result.crashes) {
     // Append records back-to-back until the scheduled crash point.
     const std::uint64_t crash_after = 20 + rng.below(60);
     bool crashed = false;
@@ -68,7 +137,7 @@ TortureResult torture(bool plp, bool flush_each_commit, std::uint64_t seed) {
     while (!crashed) {
       bool done = false;
       bool ok = false;
-      std::vector<std::uint64_t> tags(kRecordPages);
+      std::vector<std::uint64_t> tags(record_pages);
       for (auto& t : tags) t = next_tag++;
       const auto first = tags[0];
       queue.submit_write(wal_head, std::move(tags),
@@ -77,7 +146,7 @@ TortureResult torture(bool plp, bool flush_each_commit, std::uint64_t seed) {
                            ok = out.status == blk::IoStatus::kOk;
                          });
       run_while([&] { return !done; });
-      if (ok && flush_each_commit) {
+      if (ok && scenario.flush_each_commit) {
         // The engine issues a FLUSH barrier after every commit, the way a
         // database with a correct fsync() path would.
         bool flushed = false;
@@ -90,13 +159,13 @@ TortureResult torture(bool plp, bool flush_each_commit, std::uint64_t seed) {
       if (ok) {
         result.records_acked += 1;
         acked_tags.push_back(first);
-        wal_head += kRecordPages;
+        wal_head += record_pages;
         appended_this_run += 1;
       }
       // The engine does real work between commits (~25 ms per transaction),
       // so older records age past the drive's flush horizon while the tail
       // is still volatile — the interesting regime.
-      sim.run_for(sim::Duration::ms(25));
+      sim.run_for(p.commit_think);
       if (appended_this_run >= crash_after || !ok) {
         bridge.send(psu::PowerCommand::kOff);
         run_while([&] { return psu.state() != psu::PowerSupply::State::kOff; });
@@ -105,7 +174,7 @@ TortureResult torture(bool plp, bool flush_each_commit, std::uint64_t seed) {
     }
 
     // Remount and replay the log.
-    sim.run_for(sim::Duration::ms(300));
+    sim.run_for(p.restore_delay);
     bridge.send(psu::PowerCommand::kOn);
     run_while([&] { return !drive.ready(); });
 
@@ -115,7 +184,7 @@ TortureResult torture(bool plp, bool flush_each_commit, std::uint64_t seed) {
       if (known_lost[rec]) continue;  // counted in an earlier crash
       bool done = false;
       std::uint64_t observed = 0;
-      queue.submit_read(static_cast<ftl::Lpn>(rec) * kRecordPages, 1,
+      queue.submit_read(static_cast<ftl::Lpn>(rec) * record_pages, 1,
                         [&](blk::RequestOutcome out) {
                           done = true;
                           if (out.status == blk::IoStatus::kOk && !out.read_contents.empty()) {
@@ -140,30 +209,26 @@ TortureResult torture(bool plp, bool flush_each_commit, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main() try {
   stats::print_banner("ACID torture: write-ahead log vs power loss (diskchecker-style)");
-  const TortureResult commodity = torture(/*plp=*/false, /*flush=*/false, 31337);
-  const TortureResult with_flush = torture(/*plp=*/false, /*flush=*/true, 31337);
-  const TortureResult enterprise = torture(/*plp=*/true, /*flush=*/false, 31337);
+  const TortureParams params = load_params(examples::spec_file("acid_torture.json"));
 
   stats::Table table(
       {"drive", "crashes", "records ACKed", "durability violations", "log holes"});
-  table.add_row({"commodity (cached)", stats::Table::fmt(std::uint64_t{commodity.crashes}),
-                 stats::Table::fmt(commodity.records_acked),
-                 stats::Table::fmt(commodity.durability_violations),
-                 stats::Table::fmt(commodity.holes)});
-  table.add_row({"commodity + FLUSH", stats::Table::fmt(std::uint64_t{with_flush.crashes}),
-                 stats::Table::fmt(with_flush.records_acked),
-                 stats::Table::fmt(with_flush.durability_violations),
-                 stats::Table::fmt(with_flush.holes)});
-  table.add_row({"enterprise (PLP)", stats::Table::fmt(std::uint64_t{enterprise.crashes}),
-                 stats::Table::fmt(enterprise.records_acked),
-                 stats::Table::fmt(enterprise.durability_violations),
-                 stats::Table::fmt(enterprise.holes)});
+  for (const auto& scenario : params.scenarios) {
+    const TortureResult r = torture(params, scenario);
+    table.add_row({scenario.label, stats::Table::fmt(std::uint64_t{r.crashes}),
+                   stats::Table::fmt(r.records_acked),
+                   stats::Table::fmt(r.durability_violations),
+                   stats::Table::fmt(r.holes)});
+  }
   table.print();
 
   std::printf("\nthe commodity drive ACKs records it later loses (FWA) and can leave holes\n");
   std::printf("in the middle of the log (partial application) - exactly why databases must\n");
   std::printf("FLUSH/FUA through volatile caches, and why the paper's FWA class matters.\n");
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

@@ -1,0 +1,16 @@
+// Shared helper for the examples: locate committed spec files. The build
+// compiles in the source tree's specs/ directory; $POFI_SPEC_DIR overrides
+// at runtime (e.g. for installed trees or experiments on edited copies).
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace pofi::examples {
+
+inline std::string spec_file(const char* name) {
+  const char* dir = std::getenv("POFI_SPEC_DIR");
+  return std::string(dir == nullptr ? POFI_SPEC_DIR : dir) + "/" + name;
+}
+
+}  // namespace pofi::examples

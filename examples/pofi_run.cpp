@@ -3,27 +3,33 @@
 // The downstream-user entry point: pick a drive, describe a workload, choose
 // a fault count, get the paper-style failure report — no code required.
 //
+//   pofi_run --spec specs/quickstart.json
+//   pofi_run --spec specs/fig7_request_size.json --set runner.threads=2
+//   pofi_run --spec specs/quickstart.json --dump-spec
 //   pofi_run --model A --faults 50 --requests 4000 --read-pct 20
 //            --pattern random --wss-gb 8 --seed 42
 //   pofi_run --model B --cache off --faults 30
-//   pofi_run --model A --plp --cutoff instant --faults 30
 //   pofi_run --model A --units 8 --threads 4 --progress jsonl
 //   pofi_run --help
 //
-// --units N runs N statistically independent copies of the campaign (seeds
-// sharded from --seed) on the parallel runner and prints the fleet-style
-// comparison table; results are identical at any --threads value.
+// Every invocation — flag-built or file-loaded — goes through the same
+// declarative campaign spec (src/spec): flags compile to a JSON document,
+// --dump-spec prints it, and the document's canonical content hash is
+// stamped into the report for provenance.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "platform/campaign_suite.hpp"
 #include "platform/report.hpp"
-#include "platform/test_platform.hpp"
 #include "runner/progress.hpp"
+#include "spec/campaign.hpp"
+#include "spec/codec.hpp"
+#include "spec/version.hpp"
 #include "ssd/presets.hpp"
 #include "stats/table.hpp"
 
@@ -32,6 +38,7 @@ using namespace pofi;
 namespace {
 
 struct Options {
+  // Campaign-shaping flags (compiled into a spec document when no --spec).
   ssd::VendorModel model = ssd::VendorModel::kA;
   std::uint32_t faults = 30;
   std::uint64_t requests = 2400;
@@ -51,14 +58,25 @@ struct Options {
   psu::DischargeKind cutoff = psu::DischargeKind::kPowerLaw;
   std::uint64_t seed = 42;
   std::uint32_t units = 1;
+  bool units_set = false;
+  // Execution / spec-layer flags.
   unsigned threads = 0;
+  bool threads_set = false;
   std::string progress = "console";
+  std::string spec_path;
+  bool dump_spec = false;
+  std::vector<std::string> sets;  ///< --set key=value overrides, in order
 };
 
 [[noreturn]] void usage(int code) {
   std::printf(
       "pofi_run - power-outage fault injection campaigns (DATE'18 reproduction)\n\n"
       "usage: pofi_run [options]\n"
+      "  --spec FILE.json     run a declarative campaign spec (see specs/)\n"
+      "  --dump-spec          print the campaign as JSON and exit (round-trips\n"
+      "                       both --spec files and flag-built campaigns)\n"
+      "  --set PATH=VALUE     override a spec key (dotted path, JSON value;\n"
+      "                       e.g. --set experiment.faults=50); repeatable\n"
       "  --model A|B|C        Table I drive preset (default A)\n"
       "  --faults N           power faults to inject (default 30)\n"
       "  --requests N         total request budget (default 2400)\n"
@@ -78,8 +96,8 @@ struct Options {
       "  --cutoff power-law|exponential|instant   rail model (default power-law)\n"
       "  --seed N             campaign seed (default 42)\n"
       "  --units N            independent campaign copies, sharded seeds (default 1)\n"
-      "  --threads N          runner workers for --units; 0 = hardware (default 0)\n"
-      "  --progress console|jsonl|off   progress reporting for --units (default console)\n"
+      "  --threads N          runner worker threads; 0 = hardware (default 0)\n"
+      "  --progress console|jsonl|off   progress reporting (default console)\n"
       "  --help               this text\n");
   std::exit(code);
 }
@@ -97,6 +115,9 @@ Options parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--help" || a == "-h") usage(0);
+    else if (a == "--spec") o.spec_path = next_arg(argc, argv, i);
+    else if (a == "--dump-spec") o.dump_spec = true;
+    else if (a == "--set") o.sets.emplace_back(next_arg(argc, argv, i));
     else if (a == "--model") {
       const std::string v = next_arg(argc, argv, i);
       if (v == "A") o.model = ssd::VendorModel::kA;
@@ -132,9 +153,14 @@ Options parse(int argc, char** argv) {
       else if (v == "instant") o.cutoff = psu::DischargeKind::kInstant;
       else usage(2);
     } else if (a == "--seed") o.seed = static_cast<std::uint64_t>(std::atoll(next_arg(argc, argv, i)));
-    else if (a == "--units") o.units = static_cast<std::uint32_t>(std::atoi(next_arg(argc, argv, i)));
-    else if (a == "--threads") o.threads = static_cast<unsigned>(std::atoi(next_arg(argc, argv, i)));
-    else if (a == "--progress") {
+    else if (a == "--units") {
+      o.units = static_cast<std::uint32_t>(std::atoi(next_arg(argc, argv, i)));
+      o.units_set = true;
+    }
+    else if (a == "--threads") {
+      o.threads = static_cast<unsigned>(std::atoi(next_arg(argc, argv, i)));
+      o.threads_set = true;
+    } else if (a == "--progress") {
       o.progress = next_arg(argc, argv, i);
       if (o.progress != "console" && o.progress != "jsonl" && o.progress != "off") usage(2);
     } else {
@@ -149,87 +175,144 @@ Options parse(int argc, char** argv) {
   return o;
 }
 
+/// Compile the command-line flags into the equivalent campaign document —
+/// the same IR a specs/*.json file parses to.
+spec::Value build_doc(const Options& o) {
+  // The preset is materialised once here purely to learn the page size the
+  // GiB/KiB flags scale against.
+  ssd::PresetOptions preset;
+  preset.capacity_override_gb = o.capacity_gb;
+  const std::uint32_t page =
+      ssd::make_preset(o.model, preset).chip.geometry.page_size_bytes;
+
+  spec::Value drive = spec::Value::object();
+  drive.set("preset", to_string(o.model));
+  drive.set("cache_enabled", o.cache);
+  drive.set("plp", o.plp);
+  drive.set("por_scan", o.por);
+  if (o.preage != 0) drive.set("preage_pe_cycles", std::uint64_t{o.preage});
+  drive.set("capacity_gb", std::uint64_t{o.capacity_gb});
+
+  spec::Value wl = spec::Value::object();
+  wl.set("name", "pofi_run");
+  wl.set("wss_pages", static_cast<std::uint64_t>(o.wss_gb * (1ULL << 30)) / page);
+  const std::uint32_t min_pages =
+      std::max(1u, static_cast<std::uint32_t>(o.size_min_kb) * 1024 / page);
+  wl.set("min_pages", std::uint64_t{min_pages});
+  wl.set("max_pages",
+         std::uint64_t{std::max(min_pages,
+                                static_cast<std::uint32_t>(o.size_max_kb) * 1024 / page)});
+  wl.set("write_fraction", 1.0 - o.read_pct / 100.0);
+  wl.set("pattern", o.sequential ? "sequential" : "random");
+  wl.set("sequence", to_string(o.sequence));
+  if (o.target_iops > 0.0) wl.set("target_iops", o.target_iops);
+
+  spec::Value experiment = spec::Value::object();
+  experiment.set("name", std::string("pofi_run-") + to_string(o.model));
+  experiment.set("workload", std::move(wl));
+  experiment.set("total_requests", o.requests);
+  experiment.set("faults", std::uint64_t{o.faults});
+  experiment.set("pace_iops", o.pace_iops);
+  // Single campaign: pin the seed (historic behaviour). Fleets leave the
+  // per-entry seed derived from the master so units stay independent.
+  if (o.units == 1) experiment.set("seed", o.seed);
+
+  spec::Value platform = spec::Value::object();
+  platform.set("discharge", to_string(o.cutoff));
+
+  spec::Value doc = spec::Value::object();
+  doc.set("name", "pofi_run");
+  doc.set("seed", o.seed);
+  if (o.units > 1) doc.set("units", std::uint64_t{o.units});
+  doc.set("platform", std::move(platform));
+  doc.set("drive", std::move(drive));
+  doc.set("experiment", std::move(experiment));
+  return doc;
+}
+
+/// --set PATH=VALUE: VALUE parses as JSON when it can (numbers, booleans,
+/// arrays), otherwise it is taken as a bare string ("--set drive.preset=B").
+void apply_set(spec::Value& doc, const std::string& kv) {
+  const auto eq = kv.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    std::fprintf(stderr, "--set expects PATH=VALUE, got \"%s\"\n", kv.c_str());
+    std::exit(2);
+  }
+  const std::string path = kv.substr(0, eq);
+  const std::string raw = kv.substr(eq + 1);
+  spec::Value value;
+  try {
+    value = spec::parse(raw);
+  } catch (const spec::Error&) {
+    value = spec::Value(raw);
+  }
+  doc.set_path(path, std::move(value));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
 
-  ssd::PresetOptions preset;
-  preset.cache_enabled = o.cache;
-  preset.plp = o.plp;
-  preset.por_scan = o.por;
-  preset.preage_pe_cycles = o.preage;
-  preset.capacity_override_gb = o.capacity_gb;
-  const ssd::SsdConfig drive = ssd::make_preset(o.model, preset);
-  const std::uint32_t page = drive.chip.geometry.page_size_bytes;
+  try {
+    spec::Value doc =
+        o.spec_path.empty() ? build_doc(o) : spec::parse_file(o.spec_path);
+    if (o.threads_set) doc.set_path("runner.threads", std::uint64_t{o.threads});
+    // --units overrides spec files too (build_doc already folded it in for
+    // flag-built docs); a spec with a pinned seed then fails load_campaign
+    // loudly instead of the flag being ignored.
+    if (o.units_set && !o.spec_path.empty()) {
+      doc.set_path("units", std::uint64_t{o.units});
+    }
+    for (const auto& kv : o.sets) apply_set(doc, kv);
 
-  workload::WorkloadConfig wl;
-  wl.name = "pofi_run";
-  wl.wss_pages = static_cast<std::uint64_t>(o.wss_gb * (1ULL << 30)) / page;
-  wl.min_pages = std::max(1u, static_cast<std::uint32_t>(o.size_min_kb) * 1024 / page);
-  wl.max_pages = std::max(wl.min_pages,
-                          static_cast<std::uint32_t>(o.size_max_kb) * 1024 / page);
-  wl.write_fraction = 1.0 - o.read_pct / 100.0;
-  wl.pattern = o.sequential ? workload::AccessPattern::kSequential
-                            : workload::AccessPattern::kUniformRandom;
-  wl.sequence = o.sequence;
-  wl.target_iops = o.target_iops;
+    if (o.dump_spec) {
+      std::printf("%s\n", spec::dump(doc).c_str());
+      return 0;
+    }
 
-  platform::ExperimentSpec spec;
-  spec.name = std::string("pofi_run-") + to_string(o.model);
-  spec.workload = wl;
-  spec.total_requests = o.requests;
-  spec.faults = o.faults;
-  spec.pace_iops = o.pace_iops;
-  spec.seed = o.seed;
+    const spec::CampaignSpec campaign = spec::load_campaign(doc);
+    const std::string hash = spec::hash_string(campaign.hash);
 
-  platform::PlatformConfig pc;
-  pc.discharge = o.cutoff;
+    stats::print_banner("pofi_run: " + campaign.name + " | " +
+                        std::to_string(campaign.entries.size()) + " campaign(s) | " +
+                        hash);
 
-  stats::print_banner("pofi_run: " + drive.model + " | " + to_string(o.cutoff) +
-                      " discharge | " + std::to_string(o.faults) + " faults");
-  std::printf("cache=%s plp=%s por=%s preage=%u read%%=%d pattern=%s sequence=%s\n\n",
-              o.cache ? "on" : "off", o.plp ? "yes" : "no", o.por ? "yes" : "no", o.preage,
-              o.read_pct, o.sequential ? "sequential" : "random",
-              to_string(o.sequence));
+    std::unique_ptr<runner::ProgressSink> sink;
+    if (o.progress == "console" && campaign.entries.size() > 1) {
+      sink = std::make_unique<runner::ConsoleProgress>(stderr);
+    } else if (o.progress == "jsonl") {
+      sink = std::make_unique<runner::JsonlProgress>(std::cout);
+    }
+    const auto rows = spec::run_campaign_rows(campaign, sink.get());
 
-  if (o.units == 1) {
-    platform::TestPlatform tp(drive, pc, spec.seed);
-    const auto result = tp.run(spec);
-    std::fputs(platform::format_report(result).c_str(), stdout);
+    if (rows.size() == 1) {
+      platform::ReportOptions ro;
+      ro.spec_hash = hash;
+      ro.version = spec::pofi_version();
+      std::fputs(platform::format_report(rows.front().result, ro).c_str(), stdout);
+      return 0;
+    }
+
+    std::printf("%zu campaigns, %u worker threads\n\n", rows.size(),
+                runner::resolved_threads(campaign.runner));
+    std::fputs(platform::CampaignSuite::summary_table(rows).c_str(), stdout);
+    std::uint64_t total_loss = 0;
+    std::uint32_t total_faults = 0;
+    for (const auto& row : rows) {
+      total_loss += row.result.total_data_loss();
+      total_faults += row.result.faults_injected;
+    }
+    std::printf("\ntotal: %llu acknowledged writes lost over %u faults (%.2f/fault)\n",
+                static_cast<unsigned long long>(total_loss), total_faults,
+                total_faults > 0 ? static_cast<double>(total_loss) / total_faults : 0.0);
+    std::printf("provenance: %s | %s\n", hash.c_str(), spec::pofi_version());
     return 0;
+  } catch (const spec::Error& e) {
+    std::fprintf(stderr, "pofi_run: spec error: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pofi_run: %s\n", e.what());
+    return 1;
   }
-
-  // Multi-unit: N copies of the campaign with seeds sharded from --seed,
-  // fanned out over the parallel runner.
-  platform::CampaignSuite suite(pc, o.seed);
-  for (std::uint32_t u = 0; u < o.units; ++u) {
-    platform::ExperimentSpec unit_spec = spec;
-    unit_spec.name = spec.name + "-u" + std::to_string(u + 1);
-    unit_spec.seed = platform::ExperimentSpec{}.seed;  // let the suite derive it
-    suite.add("unit-" + std::to_string(u + 1), drive, unit_spec);
-  }
-
-  std::unique_ptr<runner::ProgressSink> sink;
-  if (o.progress == "console") {
-    sink = std::make_unique<runner::ConsoleProgress>(stderr);
-  } else if (o.progress == "jsonl") {
-    sink = std::make_unique<runner::JsonlProgress>(std::cout);
-  }
-  runner::RunnerConfig rc;
-  rc.threads = o.threads;
-  const auto rows = suite.run_all(rc, sink.get());
-
-  std::printf("%u units, %u worker threads\n\n", o.units, runner::resolved_threads(rc));
-  std::fputs(platform::CampaignSuite::summary_table(rows).c_str(), stdout);
-  std::uint64_t total_loss = 0;
-  std::uint32_t total_faults = 0;
-  for (const auto& row : rows) {
-    total_loss += row.result.total_data_loss();
-    total_faults += row.result.faults_injected;
-  }
-  std::printf("\nfleet total: %llu acknowledged writes lost over %u faults (%.2f/fault)\n",
-              static_cast<unsigned long long>(total_loss), total_faults,
-              total_faults > 0 ? static_cast<double>(total_loss) / total_faults : 0.0);
-  return 0;
 }

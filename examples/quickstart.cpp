@@ -1,50 +1,42 @@
 // Quickstart: inject 20 realistic power faults into a simulated commodity
 // SSD while it absorbs random writes, then print the failure report.
 //
+// The whole campaign is data: specs/quickstart.json picks the drive
+// (Table I's SSD-A scaled to 16 GB), the 4 KiB..1 MiB uniform-random write
+// workload and the fault schedule. Edit the JSON and rerun — no rebuild.
+//
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
+// or equivalently:  ./build/examples/pofi_run --spec specs/quickstart.json
 #include <cstdio>
+#include <exception>
 
+#include "example_common.hpp"
 #include "platform/report.hpp"
-#include "platform/test_platform.hpp"
-#include "ssd/presets.hpp"
+#include "spec/campaign.hpp"
+#include "spec/version.hpp"
 #include "stats/table.hpp"
 
-int main() {
+int main() try {
   using namespace pofi;
 
-  // 1. Pick a drive. SSD-A is a 256 GB MLC SATA drive with a volatile DRAM
-  //    write cache — the commodity configuration the paper studies. Scaled
-  //    to 16 GB to keep the demo light; Table I reports the real size.
-  ssd::PresetOptions opts;
-  opts.capacity_override_gb = 16;
-  const ssd::SsdConfig drive = ssd::make_preset(ssd::VendorModel::kA, opts);
+  const spec::CampaignSpec campaign =
+      spec::load_campaign_file(examples::spec_file("quickstart.json"));
+  const auto rows = spec::run_campaign_rows(campaign);
 
-  // 2. Describe the workload: 4 KiB..1 MiB uniform-random writes over 2 GiB.
-  workload::WorkloadConfig wl;
-  wl.name = "quickstart-random-writes";
-  wl.wss_pages = (2ULL << 30) / drive.chip.geometry.page_size_bytes;
-  wl.min_pages = 1;
-  wl.max_pages = 256;
-  wl.write_fraction = 1.0;
-
-  // 3. Campaign: 20 power faults across 1600 requests.
-  platform::ExperimentSpec spec;
-  spec.name = "quickstart";
-  spec.workload = wl;
-  spec.total_requests = 1600;
-  spec.faults = 20;
-  spec.seed = 7;
-
-  platform::TestPlatform platform(drive, platform::PlatformConfig{}, spec.seed);
-  const platform::ExperimentResult result = platform.run(spec);
-
-  // 4. Report (the Analyzer's "Report Failures" output).
+  const auto& drive = campaign.entries.front().drive;
   stats::print_banner("pofi quickstart: " + drive.model + " under realistic power faults");
-  std::fputs(platform::format_report(result).c_str(), stdout);
+
+  platform::ReportOptions ro;
+  ro.spec_hash = spec::hash_string(campaign.hash);
+  ro.version = spec::pofi_version();
+  std::fputs(platform::format_report(rows.front().result, ro).c_str(), stdout);
   std::printf(
       "\nnext steps: run the figure benches (build/bench/*) or the other examples\n"
       "(datacenter_outage, acid_torture, vendor_qualification).\n");
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

@@ -2,40 +2,21 @@
 //
 // A storage team evaluating drives for a datacenter wants a one-number
 // answer per model: how much acknowledged data does this drive lose per
-// power fault, and of what kind? This example runs an identical campaign
-// against every Table I preset (plus a PLP variant) and prints a
-// qualification report, the way §IV aggregates per-drive results.
+// power fault, and of what kind? The identical campaign against every
+// Table I preset (plus a PLP variant) is data — specs/
+// vendor_qualification.json — and this driver renders the qualification
+// report, the way §IV aggregates per-drive results.
 #include <cstdio>
-#include <string>
-#include <vector>
+#include <exception>
 
-#include "platform/test_platform.hpp"
-#include "ssd/presets.hpp"
+#include "example_common.hpp"
+#include "spec/campaign.hpp"
+#include "spec/version.hpp"
 #include "stats/table.hpp"
 
 using namespace pofi;
 
 namespace {
-
-platform::ExperimentResult qualify(const ssd::SsdConfig& drive, std::uint64_t seed) {
-  workload::WorkloadConfig wl;
-  wl.name = "qualification";
-  wl.wss_pages = (4ULL << 30) / drive.chip.geometry.page_size_bytes;
-  wl.min_pages = 1;
-  wl.max_pages = 256;  // 4 KiB .. 1 MiB
-  wl.write_fraction = 0.7;
-
-  platform::ExperimentSpec spec;
-  spec.name = "qualify-" + drive.model;
-  spec.workload = wl;
-  spec.total_requests = 2400;
-  spec.faults = 30;
-  spec.pace_iops = 5.0;
-  spec.seed = seed;
-
-  platform::TestPlatform tp(drive, platform::PlatformConfig{}, seed);
-  return tp.run(spec);
-}
 
 std::string verdict(const platform::ExperimentResult& r) {
   if (r.total_data_loss() == 0) return "PASS (no acknowledged data lost)";
@@ -45,28 +26,18 @@ std::string verdict(const platform::ExperimentResult& r) {
 
 }  // namespace
 
-int main() {
+int main() try {
   stats::print_banner("vendor qualification: 30 power faults per drive, 70% write mix");
 
-  std::vector<ssd::SsdConfig> candidates;
-  for (const auto model :
-       {ssd::VendorModel::kA, ssd::VendorModel::kB, ssd::VendorModel::kC}) {
-    ssd::PresetOptions opts;
-    opts.capacity_override_gb = 8;
-    candidates.push_back(ssd::make_preset(model, opts));
-  }
-  ssd::PresetOptions plp_opts;
-  plp_opts.capacity_override_gb = 8;
-  plp_opts.plp = true;
-  auto plp_drive = ssd::make_preset(ssd::VendorModel::kA, plp_opts);
-  plp_drive.model = "SSD-A+PLP";
-  candidates.push_back(std::move(plp_drive));
+  const spec::CampaignSpec campaign =
+      spec::load_campaign_file(examples::spec_file("vendor_qualification.json"));
+  const auto rows = spec::run_campaign_rows(campaign);
 
   stats::Table table({"model", "cell", "ECC", "faults", "data failures", "FWA", "IO err",
                       "loss/fault", "verdict"});
-  std::uint64_t seed = 4200;
-  for (const auto& drive : candidates) {
-    const auto r = qualify(drive, seed++);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& drive = campaign.entries[i].drive;
+    const auto& r = rows[i].result;
     table.add_row({drive.model, nand::to_string(drive.chip.tech),
                    nand::to_string(drive.chip.ecc), stats::Table::fmt(std::uint64_t{r.faults_injected}),
                    stats::Table::fmt(r.data_failures), stats::Table::fmt(r.fwa_failures),
@@ -75,8 +46,13 @@ int main() {
   }
   table.print();
 
+  std::printf("\nprovenance: %s | %s\n", spec::hash_string(campaign.hash).c_str(),
+              spec::pofi_version());
   std::printf("\nreading the report: all commodity drives lose acknowledged writes under\n");
   std::printf("power faults (the paper found 13 of 15 drives failing in the prior study it\n");
   std::printf("builds on); only the supercap-backed configuration rides out the discharge.\n");
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

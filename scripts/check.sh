@@ -17,6 +17,12 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
+# Longer randomized soak of the spec JSON layer than the 200-iteration ctest
+# default: round-trip and mutation fuzzing stay deterministic (fixed seeds),
+# only the iteration count grows.
+echo "==> spec fuzz soak (POFI_FUZZ_ITERS=${POFI_FUZZ_ITERS:-5000})"
+POFI_FUZZ_ITERS="${POFI_FUZZ_ITERS:-5000}" ./build/tests/spec_fuzz_test
+
 if [[ "${FAST}" == "1" ]]; then
   echo "==> fast mode: skipping TSan stage"
   exit 0

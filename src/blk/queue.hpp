@@ -14,6 +14,7 @@
 
 #include "blk/trace.hpp"
 #include "ftl/types.hpp"
+#include "sim/inplace_function.hpp"
 #include "stats/summary.hpp"
 #include "sim/simulator.hpp"
 #include "ssd/ssd.hpp"
@@ -58,7 +59,10 @@ class BlockQueue {
     sim::Duration request_timeout = sim::Duration::sec(30);
   };
 
-  using Completion = std::function<void(RequestOutcome)>;
+  /// Request completion. Inline storage sized for the fattest production
+  /// continuation (TestPlatform's `this` + a moved-in DataPacket, ~136
+  /// bytes); larger captures are a compile error, not a heap allocation.
+  using Completion = sim::InplaceFunction<void(RequestOutcome), 160>;
 
   BlockQueue(sim::Simulator& simulator, ssd::Ssd& device, Config config);
   // NOTE: defined out-of-line. GCC 12 miscompiles `Config{}` NSDMIs when a

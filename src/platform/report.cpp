@@ -88,6 +88,16 @@ std::string format_report(const ExperimentResult& r, const ReportOptions& option
     appendf(out, "  uncorrectable reads (ECC) : %llu\n",
             static_cast<unsigned long long>(r.uncorrectable_reads));
   }
+
+  if (!options.spec_hash.empty() || !options.version.empty()) {
+    out += "\nprovenance\n";
+    if (!options.spec_hash.empty()) {
+      appendf(out, "  spec hash : %s\n", options.spec_hash.c_str());
+    }
+    if (!options.version.empty()) {
+      appendf(out, "  build     : %s\n", options.version.c_str());
+    }
+  }
   return out;
 }
 

@@ -17,6 +17,11 @@ struct ReportOptions {
   double histogram_max_ms = 1000.0;
   std::size_t histogram_bins = 10;
   bool include_mechanisms = true;
+  /// Provenance stamp: the campaign spec's canonical content hash
+  /// ("fnv1a:...") and the pofi build version. Omitted from the report when
+  /// left empty.
+  std::string spec_hash;
+  std::string version;
 };
 
 [[nodiscard]] std::string format_report(const ExperimentResult& result,

@@ -1,0 +1,258 @@
+#include "spec/campaign.hpp"
+
+#include <utility>
+
+#include "sim/rng.hpp"
+#include "spec/codec.hpp"
+
+namespace pofi::spec {
+
+namespace {
+
+// Expansion cap: a sweep that explodes past this is almost certainly a typo
+// (and would never finish), so fail it at load time.
+constexpr std::size_t kMaxEntries = 100'000;
+
+/// Short scalar form for auto-generated entry names ("plp=true").
+std::string name_form(const Value& v) {
+  if (v.is_string()) return v.as_string();
+  return canonical(v);
+}
+
+/// Last segment of a dotted sweep path ("experiment.workload.max_pages" ->
+/// "max_pages").
+std::string_view last_segment(std::string_view path) {
+  const auto dot = path.rfind('.');
+  return dot == std::string_view::npos ? path : path.substr(dot + 1);
+}
+
+/// The three merge roots an overlay or sweep axis may target.
+bool known_section(std::string_view path) {
+  const auto dot = path.find('.');
+  const auto head = dot == std::string_view::npos ? path : path.substr(0, dot);
+  return head == "platform" || head == "drive" || head == "experiment";
+}
+
+/// Base {platform, drive, experiment} document: clone the three sections
+/// (empty objects when absent) so merging never touches the source.
+Value base_doc(const Value& doc) {
+  Value base = Value::object();
+  for (const char* section : {"platform", "drive", "experiment"}) {
+    const Value* v = doc.find(section);
+    if (v != nullptr && !v->is_object()) {
+      throw Error("expected an object", v->line, v->col, section);
+    }
+    base.set(section, v != nullptr ? *v : Value::object());
+  }
+  return base;
+}
+
+/// Cartesian expansion of the "sweep" object: file-order axes, first axis
+/// outermost. Each combination also names its entry unless the sweep itself
+/// sets experiment.name.
+std::vector<Value> expand_sweep(const Value& doc, const Value& sweep) {
+  if (!sweep.is_object()) {
+    throw Error("expected an object of {path: [values...]} axes", sweep.line, sweep.col,
+                "sweep");
+  }
+  for (const auto& [path, axis] : sweep.members()) {
+    if (!known_section(path)) {
+      throw Error(
+          "sweep paths must start with \"platform.\", \"drive.\" or \"experiment.\"",
+          axis.line, axis.col, path);
+    }
+    if (!axis.is_array() || axis.items().empty()) {
+      throw Error("expected a non-empty array of values", axis.line, axis.col, path);
+    }
+  }
+
+  const Value base = base_doc(doc);
+  const std::string base_name = [&] {
+    const Value* n = base.find_path("experiment.name");
+    return n != nullptr && n->is_string() ? n->as_string()
+                                          : platform::ExperimentSpec{}.name;
+  }();
+
+  std::vector<Value> out;
+  // Odometer over the axes; index 0 (the first axis in the file) rolls last,
+  // making it the outermost loop.
+  const auto& axes = sweep.members();
+  std::vector<std::size_t> idx(axes.size(), 0);
+  for (;;) {
+    Value merged = base;
+    bool name_swept = false;
+    std::string suffix;
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      const auto& [path, axis] = axes[a];
+      const Value& v = axis.items()[idx[a]];
+      merged.set_path(path, v);
+      if (path == "experiment.name") {
+        name_swept = true;
+      } else {
+        suffix += suffix.empty() ? "[" : " ";
+        suffix += std::string(last_segment(path)) + "=" + name_form(v);
+      }
+    }
+    if (!name_swept && !suffix.empty()) {
+      merged.set_path("experiment.name", base_name + suffix + "]");
+    }
+    out.push_back(std::move(merged));
+    if (out.size() > kMaxEntries) {
+      throw Error("sweep expands to more than " + std::to_string(kMaxEntries) + " entries",
+                  sweep.line, sweep.col, "sweep");
+    }
+
+    // Advance the odometer, last axis fastest.
+    std::size_t a = axes.size();
+    while (a > 0) {
+      --a;
+      if (++idx[a] < axes[a].second.items().size()) break;
+      idx[a] = 0;
+      if (a == 0) return out;
+    }
+  }
+}
+
+std::vector<Value> expand_entries(const Value& doc, const Value& entries) {
+  if (!entries.is_array() || entries.items().empty()) {
+    throw Error("expected a non-empty array of overlay objects", entries.line, entries.col,
+                "entries");
+  }
+  const Value base = base_doc(doc);
+  std::vector<Value> out;
+  out.reserve(entries.items().size());
+  for (const auto& overlay : entries.items()) {
+    if (!overlay.is_object()) {
+      throw Error("expected an overlay object", overlay.line, overlay.col, "entries");
+    }
+    for (const auto& [key, m] : overlay.members()) {
+      if (!known_section(key)) {
+        throw Error("unknown key in campaign entry (expected \"platform\", \"drive\" or "
+                    "\"experiment\")",
+                    m.line, m.col, key);
+      }
+    }
+    Value merged = base;
+    merged.merge_from(overlay);
+    out.push_back(std::move(merged));
+  }
+  return out;
+}
+
+}  // namespace
+
+CampaignSpec load_campaign(const Value& doc) {
+  if (!doc.is_object()) {
+    throw Error("campaign spec must be a JSON object", doc.line, doc.col, "campaign");
+  }
+
+  CampaignSpec spec;
+  spec.document = doc;
+  // The provenance hash covers campaign *content* only: "runner" is execution
+  // detail (results are bit-identical at any thread count), so two runs of
+  // the same campaign at different --threads stamp the same hash.
+  Value hashed = Value::object();
+  for (const auto& [key, m] : doc.members()) {
+    if (key != "runner") hashed.set(key, m);
+  }
+  spec.hash = content_hash(hashed);
+
+  const Value* sweep = nullptr;
+  const Value* entries = nullptr;
+  for (const auto& [key, m] : doc.members()) {
+    if (key == "name") {
+      spec.name = read_string(m, key);
+    } else if (key == "seed") {
+      spec.master_seed = read_u64(m, key);
+    } else if (key == "units") {
+      spec.units = read_u32(m, key, 1, 100'000);
+    } else if (key == "runner") {
+      apply_json(spec.runner, m);
+    } else if (key == "platform" || key == "drive" || key == "experiment") {
+      // Consumed by base_doc() below.
+    } else if (key == "sweep") {
+      sweep = &m;
+    } else if (key == "entries") {
+      entries = &m;
+    } else {
+      throw Error("unknown key in campaign spec", m.line, m.col, key);
+    }
+  }
+  if (sweep != nullptr && entries != nullptr) {
+    throw Error("\"sweep\" and \"entries\" are mutually exclusive", sweep->line, sweep->col,
+                "sweep");
+  }
+
+  std::vector<Value> docs;
+  if (sweep != nullptr) {
+    docs = expand_sweep(doc, *sweep);
+  } else if (entries != nullptr) {
+    docs = expand_entries(doc, *entries);
+  } else {
+    docs.push_back(base_doc(doc));
+  }
+
+  std::uint64_t flat_index = 0;
+  for (const Value& merged : docs) {
+    CampaignEntry entry;
+    apply_json(entry.platform, *merged.find("platform"));
+    entry.drive = drive_from_json(*merged.find("drive"));
+    apply_json(entry.experiment, *merged.find("experiment"));
+
+    const bool seed_pinned = merged.find_path("experiment.seed") != nullptr;
+    if (seed_pinned && spec.units > 1) {
+      throw Error("\"units\" replication requires derived seeds; drop the explicit "
+                  "experiment seed or set units to 1",
+                  doc.line, doc.col, "units");
+    }
+
+    for (std::uint32_t u = 0; u < spec.units; ++u) {
+      CampaignEntry copy = entry;
+      if (spec.units > 1) {
+        copy.experiment.name += "-u" + std::to_string(u + 1);
+        copy.label = "unit-" + std::to_string(u + 1);
+      } else {
+        copy.label = copy.experiment.name;
+      }
+      if (!seed_pinned) {
+        copy.experiment.seed = sim::derive_seed(spec.master_seed, flat_index);
+      }
+      ++flat_index;
+      spec.entries.push_back(std::move(copy));
+    }
+  }
+  return spec;
+}
+
+CampaignSpec load_campaign_file(const std::string& path) {
+  return load_campaign(parse_file(path));
+}
+
+std::vector<runner::CampaignRunner::Outcome> run_campaign(const CampaignSpec& spec,
+                                                          runner::ProgressSink* sink) {
+  runner::CampaignRunner rn(spec.runner, sink);
+  for (const CampaignEntry& entry : spec.entries) {
+    rn.add(entry.label, [&entry] {
+      platform::TestPlatform tp(entry.drive, entry.platform, entry.experiment.seed);
+      return tp.run(entry.experiment);
+    });
+  }
+  return rn.run();
+}
+
+std::vector<platform::CampaignSuite::Row> run_campaign_rows(const CampaignSpec& spec,
+                                                            runner::ProgressSink* sink) {
+  auto outcomes = run_campaign(spec, sink);
+  std::vector<platform::CampaignSuite::Row> rows;
+  rows.reserve(outcomes.size());
+  for (auto& out : outcomes) {
+    if (out.status == runner::CampaignStatus::kFailed) {
+      throw std::runtime_error("campaign \"" + out.label + "\" failed: " + out.error);
+    }
+    if (out.status == runner::CampaignStatus::kSkipped) continue;
+    rows.push_back({std::move(out.label), std::move(out.result)});
+  }
+  return rows;
+}
+
+}  // namespace pofi::spec

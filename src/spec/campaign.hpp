@@ -1,0 +1,82 @@
+// CampaignSpec: the declarative IR between a JSON campaign file and the
+// runner.
+//
+// A campaign document has the shape
+//
+//   {
+//     "name": "fig7-request-size",
+//     "seed": 42,                  // master seed for derived per-entry seeds
+//     "units": 1,                  // statistically independent copies
+//     "runner": {"threads": 0},
+//     "platform": { ... },         // platform::PlatformConfig overrides
+//     "drive": {"preset": "A", "capacity_gb": 16},
+//     "experiment": { ... },       // platform::ExperimentSpec overrides
+//     "sweep": {"experiment.workload.max_pages": [1, 4, 32]},
+//     "entries": [ {"experiment": { ... }}, ... ]
+//   }
+//
+// Exactly one of "sweep"/"entries" may appear (neither = one entry).
+// Expansion happens on the raw JSON: each sweep combination (cartesian
+// product, file-order axes, first axis outermost) or entry overlay
+// (deep-merged) produces a complete {platform, drive, experiment} document,
+// which is then parsed through the strict codecs. Because merging precedes
+// parsing, any key — preset choice included — can be swept.
+//
+// Seed policy (the anti-footgun rule): an entry whose merged document spells
+// out "experiment.seed" keeps it verbatim; every other entry gets
+// sim::derive_seed(master_seed, flat_index), so omitting seeds yields
+// independent campaigns, never N copies of seed 42.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/campaign_suite.hpp"
+#include "platform/experiment.hpp"
+#include "platform/test_platform.hpp"
+#include "runner/campaign_runner.hpp"
+#include "spec/value.hpp"
+#include "ssd/ssd.hpp"
+
+namespace pofi::spec {
+
+/// One fully resolved experiment: everything TestPlatform needs.
+struct CampaignEntry {
+  std::string label;  ///< summary-table row name (defaults to experiment.name)
+  platform::ExperimentSpec experiment;  ///< seed already resolved
+  ssd::SsdConfig drive;
+  platform::PlatformConfig platform;
+};
+
+struct CampaignSpec {
+  std::string name = "campaign";
+  std::uint64_t master_seed = 42;
+  std::uint32_t units = 1;
+  runner::RunnerConfig runner;
+  /// The source document (after any --set overrides) and its canonical
+  /// FNV-1a content hash — the provenance stamp for every result artifact.
+  /// The hash excludes the "runner" section: execution config does not change
+  /// results (bit-identical at any thread count), so it must not change the
+  /// stamp either.
+  Value document;
+  std::uint64_t hash = 0;
+  std::vector<CampaignEntry> entries;
+};
+
+/// Validate and expand a campaign document. Throws spec::Error naming the
+/// offending key and line on any problem.
+[[nodiscard]] CampaignSpec load_campaign(const Value& doc);
+[[nodiscard]] CampaignSpec load_campaign_file(const std::string& path);
+
+/// Execute every entry on runner::CampaignRunner per spec.runner. Outcomes
+/// come back in entry order, bit-identical at any thread count.
+[[nodiscard]] std::vector<runner::CampaignRunner::Outcome> run_campaign(
+    const CampaignSpec& spec, runner::ProgressSink* sink = nullptr);
+
+/// run_campaign + failure check: throws std::runtime_error on the first
+/// failed entry, otherwise returns summary-table rows in entry order.
+[[nodiscard]] std::vector<platform::CampaignSuite::Row> run_campaign_rows(
+    const CampaignSpec& spec, runner::ProgressSink* sink = nullptr);
+
+}  // namespace pofi::spec

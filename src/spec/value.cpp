@@ -1,0 +1,561 @@
+#include "spec/value.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+
+namespace pofi::spec {
+
+std::string Error::format(const std::string& message, int line, int col,
+                          const std::string& where) {
+  std::string out;
+  if (line > 0) {
+    out = "line " + std::to_string(line) + ":" + std::to_string(col) + ": ";
+  }
+  if (!where.empty()) out += "'" + where + "': ";
+  out += message;
+  return out;
+}
+
+const char* Value::kind_name() const {
+  switch (kind_) {
+    case Kind::kNull: return "null";
+    case Kind::kBool: return "bool";
+    case Kind::kUInt:
+    case Kind::kInt: return "integer";
+    case Kind::kDouble: return "number";
+    case Kind::kString: return "string";
+    case Kind::kArray: return "array";
+    case Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+double Value::as_double() const {
+  switch (kind_) {
+    case Kind::kUInt: return static_cast<double>(uint_);
+    case Kind::kInt: return static_cast<double>(int_);
+    default: return double_;
+  }
+}
+
+const Value* Value::find(std::string_view key) const {
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Value* Value::find(std::string_view key) {
+  for (auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Value& Value::set(std::string_view key, Value v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  if (Value* existing = find(key)) {
+    *existing = std::move(v);
+    return *existing;
+  }
+  object_.emplace_back(std::string(key), std::move(v));
+  return object_.back().second;
+}
+
+Value& Value::push_back(Value v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  array_.push_back(std::move(v));
+  return array_.back();
+}
+
+const Value* Value::find_path(std::string_view path) const {
+  const Value* cur = this;
+  while (!path.empty()) {
+    const auto dot = path.find('.');
+    const std::string_view head = path.substr(0, dot);
+    if (!cur->is_object()) return nullptr;
+    cur = cur->find(head);
+    if (cur == nullptr) return nullptr;
+    if (dot == std::string_view::npos) break;
+    path.remove_prefix(dot + 1);
+  }
+  return cur;
+}
+
+void Value::set_path(std::string_view path, Value v) {
+  Value* cur = this;
+  while (true) {
+    const auto dot = path.find('.');
+    const std::string_view head = path.substr(0, dot);
+    if (dot == std::string_view::npos) {
+      cur->set(head, std::move(v));
+      return;
+    }
+    Value* next = cur->find(head);
+    if (next == nullptr || !next->is_object()) {
+      next = &cur->set(head, Value::object());
+    }
+    cur = next;
+    path.remove_prefix(dot + 1);
+  }
+}
+
+void Value::merge_from(const Value& over) {
+  if (!over.is_object() || !is_object()) {
+    *this = over;
+    return;
+  }
+  for (const auto& [k, v] : over.members()) {
+    Value* mine = find(k);
+    if (mine != nullptr && mine->is_object() && v.is_object()) {
+      mine->merge_from(v);
+    } else {
+      set(k, v);
+    }
+  }
+}
+
+bool Value::operator==(const Value& other) const {
+  if (kind_ != other.kind_) {
+    // Integer literals compare across signedness only when both non-negative
+    // (never happens: non-negative is always kUInt).
+    return false;
+  }
+  switch (kind_) {
+    case Kind::kNull: return true;
+    case Kind::kBool: return bool_ == other.bool_;
+    case Kind::kUInt: return uint_ == other.uint_;
+    case Kind::kInt: return int_ == other.int_;
+    case Kind::kDouble: return double_ == other.double_;
+    case Kind::kString: return string_ == other.string_;
+    case Kind::kArray: return array_ == other.array_;
+    case Kind::kObject: return object_ == other.object_;
+  }
+  return false;
+}
+
+// ----------------------------------------------------------------- parsing
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ < text_.size()) {
+      fail("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw Error(message, line_, static_cast<int>(pos_ - line_start_) + 1);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        line_start_ = pos_;
+      } else if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+        // Line comments make committed spec files self-documenting.
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void expect(char c, const char* what) {
+    if (peek() != c) {
+      fail(std::string("expected ") + what + ", got " +
+           (pos_ < text_.size() ? "'" + std::string(1, text_[pos_]) + "'"
+                                : "end of input"));
+    }
+    ++pos_;
+  }
+
+  void mark(Value& v) const {
+    v.line = line_;
+    v.col = static_cast<int>(pos_ - line_start_) + 1;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    const int line = line_;
+    const int col = static_cast<int>(pos_ - line_start_) + 1;
+    Value v;
+    switch (text_[pos_]) {
+      case '{': v = parse_object(); break;
+      case '[': v = parse_array(); break;
+      case '"': v = Value(parse_string()); break;
+      case 't':
+      case 'f': v = Value(parse_keyword()); break;
+      case 'n': parse_null(); break;  // v stays kNull
+      default: v = parse_number(); break;
+    }
+    // The assignments above replace v wholesale (and with it any position the
+    // helpers recorded), so stamp the token start last — scalars included.
+    v.line = line;
+    v.col = col;
+    return v;
+  }
+
+  Value parse_object() {
+    Value v = Value::object();
+    mark(v);
+    expect('{', "'{'");
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key string");
+      const int key_line = line_;
+      const int key_col = static_cast<int>(pos_ - line_start_) + 1;
+      std::string key = parse_string();
+      if (v.find(key) != nullptr) {
+        throw Error("duplicate object key", key_line, key_col, key);
+      }
+      skip_ws();
+      expect(':', "':' after object key");
+      Value member = parse_value();
+      v.set(key, std::move(member));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}', "',' or '}' in object");
+      return v;
+    }
+  }
+
+  Value parse_array() {
+    Value v = Value::array();
+    mark(v);
+    expect('[', "'['");
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']', "',' or ']' in array");
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"', "'\"'");
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\n') fail("raw newline in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape sequence");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid hex digit in \\u escape");
+          }
+          // UTF-8 encode (BMP only; surrogate pairs are rejected — config
+          // files have no business containing them).
+          if (code >= 0xD800 && code <= 0xDFFF) fail("surrogate \\u escapes unsupported");
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail(std::string("invalid escape '\\") + esc + "'");
+      }
+    }
+  }
+
+  bool parse_keyword() {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return false;
+    }
+    fail("invalid literal");
+  }
+
+  void parse_null() {
+    if (text_.compare(pos_, 4, "null") != 0) fail("invalid literal");
+    pos_ += 4;
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("invalid number");
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    bool is_double = false;
+    if (peek() == '.') {
+      is_double = true;
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("digits required after '.'");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      is_double = true;
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("digits required in exponent");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    const char* first = tok.data();
+    const char* last = tok.data() + tok.size();
+    if (!is_double) {
+      if (tok[0] == '-') {
+        std::int64_t i = 0;
+        const auto [p, ec] = std::from_chars(first, last, i);
+        if (ec == std::errc() && p == last) return Value(i);
+      } else {
+        std::uint64_t u = 0;
+        const auto [p, ec] = std::from_chars(first, last, u);
+        if (ec == std::errc() && p == last) return Value(u);
+      }
+      // Integer literal out of 64-bit range: fall through to double.
+    }
+    double d = 0.0;
+    const auto [p, ec] = std::from_chars(first, last, d);
+    if (ec != std::errc() || p != last) fail("unparseable number");
+    return Value(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  std::size_t line_start_ = 0;
+};
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, const Value& v) {
+  char buf[32];
+  switch (v.kind()) {
+    case Value::Kind::kUInt: {
+      const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v.as_uint());
+      out.append(buf, p);
+      return;
+    }
+    case Value::Kind::kInt: {
+      const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v.as_int());
+      out.append(buf, p);
+      return;
+    }
+    default: {
+      // Shortest round-trip form; integral doubles keep a ".0" so the kind
+      // survives a parse→dump cycle (canonical stability).
+      const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v.as_double());
+      std::string_view s(buf, static_cast<std::size_t>(p - buf));
+      out += s;
+      if (s.find('.') == std::string_view::npos &&
+          s.find('e') == std::string_view::npos &&
+          s.find("inf") == std::string_view::npos &&
+          s.find("nan") == std::string_view::npos) {
+        out += ".0";
+      }
+      return;
+    }
+  }
+}
+
+void dump_rec(std::string& out, const Value& v, int indent, bool canonical_form) {
+  switch (v.kind()) {
+    case Value::Kind::kNull: out += "null"; return;
+    case Value::Kind::kBool: out += v.as_bool() ? "true" : "false"; return;
+    case Value::Kind::kUInt:
+    case Value::Kind::kInt:
+    case Value::Kind::kDouble: append_number(out, v); return;
+    case Value::Kind::kString: append_escaped(out, v.as_string()); return;
+    case Value::Kind::kArray: {
+      if (v.items().empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      bool first = true;
+      for (const Value& item : v.items()) {
+        if (!first) out += canonical_form ? "," : ",";
+        if (!canonical_form) {
+          out += '\n';
+          out.append(static_cast<std::size_t>(indent + 2), ' ');
+        }
+        dump_rec(out, item, indent + 2, canonical_form);
+        first = false;
+      }
+      if (!canonical_form) {
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent), ' ');
+      }
+      out += ']';
+      return;
+    }
+    case Value::Kind::kObject: {
+      if (v.members().empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      std::vector<const Value::Member*> order;
+      order.reserve(v.members().size());
+      for (const auto& m : v.members()) order.push_back(&m);
+      if (canonical_form) {
+        std::sort(order.begin(), order.end(),
+                  [](const auto* a, const auto* b) { return a->first < b->first; });
+      }
+      bool first = true;
+      for (const auto* m : order) {
+        if (!first) out += ',';
+        if (!canonical_form) {
+          out += '\n';
+          out.append(static_cast<std::size_t>(indent + 2), ' ');
+        }
+        append_escaped(out, m->first);
+        out += canonical_form ? ":" : ": ";
+        dump_rec(out, m->second, indent + 2, canonical_form);
+        first = false;
+      }
+      if (!canonical_form) {
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent), ' ');
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+Value parse_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw Error("cannot open spec file: " + path, 0, 0);
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  try {
+    return parse(text);
+  } catch (const Error& e) {
+    throw Error(std::string(e.what()) + " (in " + path + ")", 0, 0);
+  }
+}
+
+std::string dump(const Value& v) {
+  std::string out;
+  dump_rec(out, v, 0, /*canonical_form=*/false);
+  out += '\n';
+  return out;
+}
+
+std::string canonical(const Value& v) {
+  std::string out;
+  dump_rec(out, v, 0, /*canonical_form=*/true);
+  return out;
+}
+
+std::uint64_t content_hash(const Value& v) {
+  const std::string bytes = canonical(v);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string hash_string(std::uint64_t hash) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "fnv1a:%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+}  // namespace pofi::spec

@@ -1,0 +1,187 @@
+// spec::Value — the JSON document model behind the declarative campaign IR.
+//
+// A deliberately small, dependency-free JSON parser/writer. Three properties
+// matter more than generality:
+//
+//   * precise errors: every parse failure (and every later validation
+//     failure) carries the line/column of the offending token, so a broken
+//     campaign file points at itself;
+//   * lossless numbers: unsigned 64-bit integers (seeds, LPN counts) are kept
+//     exact — they never round-trip through double — and doubles are emitted
+//     in shortest round-trip form (std::to_chars);
+//   * canonical form: canonical() emits a byte-stable serialisation (sorted
+//     object keys, no whitespace) whose FNV-1a hash is the campaign's content
+//     hash, stamped into result rows for provenance.
+//
+// Objects preserve insertion order (sweep-axis order follows the file), with
+// canonical() sorting only at emission time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pofi::spec {
+
+/// Parse or validation failure. `where` is empty for pure syntax errors and
+/// names the offending key ("drive.plp") for validation errors.
+class Error : public std::runtime_error {
+ public:
+  Error(std::string message, int line, int col, std::string where = {})
+      : std::runtime_error(format(message, line, col, where)),
+        line_(line),
+        col_(col),
+        where_(std::move(where)) {}
+
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int col() const { return col_; }
+  [[nodiscard]] const std::string& where() const { return where_; }
+
+ private:
+  static std::string format(const std::string& message, int line, int col,
+                            const std::string& where);
+  int line_;
+  int col_;
+  std::string where_;
+};
+
+class Value {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kUInt,    ///< non-negative integer literal (exact up to 2^64-1)
+    kInt,     ///< negative integer literal
+    kDouble,  ///< had a '.', exponent, or overflowed the integer range
+    kString,
+    kArray,
+    kObject,
+  };
+
+  /// Order-preserving key/value store (campaign sweeps follow file order).
+  using Member = std::pair<std::string, Value>;
+  using Object = std::vector<Member>;
+  using Array = std::vector<Value>;
+
+  Value() = default;
+  Value(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}  // NOLINT
+  Value(std::uint64_t u) : kind_(Kind::kUInt), uint_(u) {}  // NOLINT
+  Value(std::int64_t i) {  // NOLINT(google-explicit-constructor)
+    if (i >= 0) {
+      kind_ = Kind::kUInt;
+      uint_ = static_cast<std::uint64_t>(i);
+    } else {
+      kind_ = Kind::kInt;
+      int_ = i;
+    }
+  }
+  Value(int i) : Value(static_cast<std::int64_t>(i)) {}           // NOLINT
+  Value(unsigned u) : Value(static_cast<std::uint64_t>(u)) {}     // NOLINT
+  Value(double d) : kind_(Kind::kDouble), double_(d) {}           // NOLINT
+  Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}  // NOLINT
+  Value(const char* s) : Value(std::string(s)) {}                 // NOLINT
+  Value(std::string_view s) : Value(std::string(s)) {}            // NOLINT
+
+  [[nodiscard]] static Value array() {
+    Value v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  [[nodiscard]] static Value object() {
+    Value v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const {
+    return kind_ == Kind::kUInt || kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+  [[nodiscard]] bool is_integer() const {
+    return kind_ == Kind::kUInt || kind_ == Kind::kInt;
+  }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] const char* kind_name() const;
+
+  // Unchecked accessors (callers hold the kind invariant; the typed getters
+  // in codec.hpp do the checking with proper error messages).
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] std::uint64_t as_uint() const { return uint_; }
+  [[nodiscard]] std::int64_t as_int() const { return int_; }
+  [[nodiscard]] double as_double() const;  ///< any numeric kind, widened
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const Array& items() const { return array_; }
+  [[nodiscard]] Array& items() { return array_; }
+  [[nodiscard]] const Object& members() const { return object_; }
+  [[nodiscard]] Object& members() { return object_; }
+
+  /// Object lookup; nullptr when absent (or when not an object).
+  [[nodiscard]] const Value* find(std::string_view key) const;
+  [[nodiscard]] Value* find(std::string_view key);
+
+  /// Insert-or-assign preserving first-insertion order.
+  Value& set(std::string_view key, Value v);
+
+  /// Array append (kind must be kArray or kNull; kNull promotes).
+  Value& push_back(Value v);
+
+  /// Dotted-path lookup ("experiment.workload.max_pages"); nullptr if any
+  /// segment is missing or a non-object is traversed.
+  [[nodiscard]] const Value* find_path(std::string_view path) const;
+
+  /// Dotted-path insert-or-assign, creating intermediate objects.
+  void set_path(std::string_view path, Value v);
+
+  /// Recursive overlay: object members of `over` merge into *this (scalars
+  /// and arrays replace wholesale); non-object `over` replaces *this.
+  void merge_from(const Value& over);
+
+  bool operator==(const Value& other) const;
+
+  // Source position of the token that produced this value (1-based; 0 for
+  // synthesised values). Validation errors point here.
+  int line = 0;
+  int col = 0;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::uint64_t uint_ = 0;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parse a complete JSON document. Throws spec::Error with line/column on the
+/// first syntax error; trailing non-whitespace is an error.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Read and parse a file. Throws spec::Error (line 0) when unreadable.
+[[nodiscard]] Value parse_file(const std::string& path);
+
+/// Human-oriented serialisation: 2-space indent, insertion order.
+[[nodiscard]] std::string dump(const Value& v);
+
+/// Canonical serialisation: compact, object keys sorted bytewise, shortest
+/// round-trip doubles. parse(canonical(v)) re-canonicalises to the same
+/// bytes, which makes content_hash stable across round trips.
+[[nodiscard]] std::string canonical(const Value& v);
+
+/// FNV-1a 64 over canonical(v) — the campaign content hash.
+[[nodiscard]] std::uint64_t content_hash(const Value& v);
+
+/// "fnv1a:0123456789abcdef" — the form stamped into reports and CSV.
+[[nodiscard]] std::string hash_string(std::uint64_t hash);
+
+}  // namespace pofi::spec

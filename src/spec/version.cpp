@@ -1,0 +1,14 @@
+#include "spec/version.hpp"
+
+#ifndef POFI_VERSION_STRING
+#define POFI_VERSION_STRING "0.0.0"
+#endif
+#ifndef POFI_GIT_REV
+#define POFI_GIT_REV "unreleased"
+#endif
+
+namespace pofi::spec {
+
+const char* pofi_version() { return "pofi " POFI_VERSION_STRING "+" POFI_GIT_REV; }
+
+}  // namespace pofi::spec

@@ -1,0 +1,11 @@
+// Build provenance: the pofi version string stamped (together with the spec
+// content hash) into CSV and report artifacts.
+#pragma once
+
+namespace pofi::spec {
+
+/// "pofi <semver>+<git short rev>" — rev is "unreleased" when the build tree
+/// had no git metadata at configure time.
+[[nodiscard]] const char* pofi_version();
+
+}  // namespace pofi::spec

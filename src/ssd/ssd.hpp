@@ -21,6 +21,7 @@
 #include "ftl/ftl.hpp"
 #include "nand/chip_array.hpp"
 #include "psu/power_supply.hpp"
+#include "sim/inplace_function.hpp"
 #include "sim/simulator.hpp"
 #include "ssd/write_cache.hpp"
 
@@ -51,7 +52,11 @@ struct Command {
   std::vector<std::uint64_t> contents;  ///< writes: one tag per page
   /// Completion. Reads receive one tag per page (garbage tags where the
   /// media was uncorrectable, kErasedContent where never written).
-  std::function<void(DeviceStatus, std::vector<std::uint64_t>)> done;
+  /// Inline-storage callable: one Command per host IO rides the hot path,
+  /// and the block layer's continuations are small (id + sub-range), so the
+  /// completion never touches the heap. Commands are move-only as a result.
+  using DoneFn = sim::InplaceFunction<void(DeviceStatus, std::vector<std::uint64_t>), 64>;
+  DoneFn done;
 };
 
 struct SsdStats {

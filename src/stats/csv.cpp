@@ -12,6 +12,11 @@ CsvWriter& CsvWriter::add_row(std::vector<std::string> cells) {
   return *this;
 }
 
+CsvWriter& CsvWriter::add_comment(std::string line) {
+  comments_.push_back(std::move(line));
+  return *this;
+}
+
 std::string CsvWriter::escape(const std::string& cell) {
   const bool needs_quoting =
       cell.find_first_of(",\"\n\r") != std::string::npos;
@@ -27,6 +32,11 @@ std::string CsvWriter::escape(const std::string& cell) {
 
 std::string CsvWriter::render() const {
   std::string out;
+  for (const auto& comment : comments_) {
+    out += "# ";
+    out += comment;
+    out += '\n';
+  }
   for (std::size_t c = 0; c < columns_.size(); ++c) {
     out += escape(columns_[c]);
     out += (c + 1 < columns_.size()) ? "," : "";

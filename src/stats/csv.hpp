@@ -13,6 +13,11 @@ class CsvWriter {
 
   CsvWriter& add_row(std::vector<std::string> cells);
 
+  /// Provenance comment emitted as a "# ..." line ahead of the header (one
+  /// call per line). Plotting tools skip them; humans and reproduction
+  /// scripts get the spec hash / build version the data came from.
+  CsvWriter& add_comment(std::string line);
+
   [[nodiscard]] std::string render() const;
 
   /// Write render() to `path`; returns false on IO error.
@@ -25,6 +30,7 @@ class CsvWriter {
 
  private:
   std::vector<std::string> columns_;
+  std::vector<std::string> comments_;
   std::vector<std::vector<std::string>> rows_;
 };
 

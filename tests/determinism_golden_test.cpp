@@ -20,6 +20,7 @@
 #include "blk/trace_text.hpp"
 #include "platform/test_platform.hpp"
 #include "psu/power_supply.hpp"
+#include "spec/campaign.hpp"
 #include "ssd/presets.hpp"
 #include "workload/checksum.hpp"
 
@@ -173,6 +174,23 @@ TEST(DeterminismGolden, CampaignRowsAndTracesMatchPreReworkKernel) {
         << "blktrace stream drifted (model=" << static_cast<int>(g.model)
         << " seed=" << g.seed << "); rerun with POFI_PRINT_GOLDEN=1";
   }
+}
+
+// specs/golden.json spells out kGolden[0]'s campaign declaratively. Running
+// it through the whole spec pipeline (parse → expand → runner) must land on
+// the same result hash as the direct TestPlatform construction above — this
+// is the acceptance check that the JSON layer adds no semantics of its own,
+// and the drift gate CI runs over the committed spec files.
+TEST(DeterminismGolden, GoldenSpecFileReproducesGoldenHash) {
+  const char* dir = std::getenv("POFI_SPEC_DIR");
+  const std::string path =
+      std::string(dir == nullptr ? POFI_SPEC_DIR : dir) + "/golden.json";
+  const auto campaign = spec::load_campaign_file(path);
+  ASSERT_EQ(campaign.entries.size(), 1U);
+  const auto rows = spec::run_campaign_rows(campaign);
+  ASSERT_EQ(rows.size(), 1U);
+  EXPECT_EQ(hash_str(canonical(rows[0].result)), kGolden[0].expect.result)
+      << "specs/golden.json drifted from the programmatic golden campaign";
 }
 
 // Same seed, two fresh platforms: rows and traces must be bit-identical.

@@ -12,8 +12,11 @@
 #include <cstdlib>
 #include <new>
 
+#include "blk/queue.hpp"
 #include "ftl/mapping.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/inplace_function.hpp"
+#include "ssd/ssd.hpp"
 
 namespace {
 
@@ -125,6 +128,50 @@ TEST(AllocFree, MappingHotPathsAllocateNothing) {
   EXPECT_EQ(after - before, 0u)
       << "lookup and re-dirty update must not touch the heap";
   EXPECT_GT(acc, 0u);
+}
+
+TEST(AllocFree, IoCompletionCallbacksAllocateNothing) {
+  // The last two std::function callback types on the IO path (ssd::Command's
+  // completion and the block layer's request completion) are now inline-
+  // storage callables. Constructing, moving and invoking them with
+  // production-sized captures must never touch the heap.
+  struct BlkCapture {
+    void* platform;
+    unsigned char packet[136];  // this + moved-in DataPacket, the fattest user
+  };
+  static_assert(sim::fits_inplace_v<BlkCapture, 160>,
+                "blk::BlockQueue::Completion capacity must cover the "
+                "TestPlatform continuation");
+  struct CmdCapture {
+    void* queue;
+    std::uint64_t id, sub_lpn;
+    std::uint32_t sub_index, sub_pages;
+  };
+  static_assert(sim::fits_inplace_v<CmdCapture, 64>,
+                "ssd::Command::DoneFn capacity must cover the block layer's "
+                "sub-request continuation");
+
+  std::uint64_t hits = 0;
+  const std::uint64_t before = allocs_now();
+  for (int i = 0; i < 1024; ++i) {
+    const CmdCapture cc{&hits, static_cast<std::uint64_t>(i), 7, 0, 1};
+    ssd::Command::DoneFn done =
+        [cc, &hits](ssd::DeviceStatus, std::vector<std::uint64_t>) { hits += cc.sub_pages; };
+    ssd::Command::DoneFn moved = std::move(done);
+    moved(ssd::DeviceStatus::kOk, {});
+
+    BlkCapture bc{};
+    bc.platform = &hits;
+    blk::BlockQueue::Completion completion = [bc, &hits](blk::RequestOutcome) {
+      hits += bc.platform != nullptr;
+    };
+    blk::BlockQueue::Completion moved_completion = std::move(completion);
+    moved_completion(blk::RequestOutcome{});
+  }
+  const std::uint64_t after = allocs_now();
+  EXPECT_EQ(after - before, 0u)
+      << "IO completion callables must not touch the heap";
+  EXPECT_EQ(hits, 2048u);
 }
 
 TEST(AllocFree, CountersActuallyCount) {

@@ -1,0 +1,242 @@
+// CampaignSpec expansion semantics plus round-trip goldens over every
+// committed specs/*.json file.
+//
+// The committed-spec half enforces two invariants the CLI and CI rely on:
+//   * canonical() is a fixed point — parse(canonical(doc)) re-canonicalises
+//     to the same bytes, so the content hash stamped into results is stable
+//     across dump/--dump-spec round trips;
+//   * every committed file is known here: campaign docs must load and
+//     expand, params docs (manual-orchestration examples) must parse. A new
+//     spec file fails the test until it is categorised.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "sim/rng.hpp"
+#include "spec/campaign.hpp"
+#include "spec/codec.hpp"
+#include "spec/value.hpp"
+
+namespace pofi::spec {
+namespace {
+
+std::string spec_dir() {
+  const char* dir = std::getenv("POFI_SPEC_DIR");
+  return dir == nullptr ? POFI_SPEC_DIR : dir;
+}
+
+// --- expansion semantics ----------------------------------------------------
+
+TEST(SpecCampaign, MinimalDocYieldsOneDerivedEntry) {
+  const CampaignSpec spec = load_campaign(parse("{}"));
+  ASSERT_EQ(spec.entries.size(), 1U);
+  EXPECT_EQ(spec.name, "campaign");
+  EXPECT_EQ(spec.master_seed, 42U);
+  EXPECT_EQ(spec.entries[0].label, platform::ExperimentSpec{}.name);
+  // Omitted seed derives, never copies the master: the seed-42 footgun.
+  EXPECT_EQ(spec.entries[0].experiment.seed, sim::derive_seed(42, 0));
+}
+
+TEST(SpecCampaign, PinnedSeedIsKeptVerbatim) {
+  const CampaignSpec spec = load_campaign(parse(R"({"experiment": {"seed": 7}})"));
+  ASSERT_EQ(spec.entries.size(), 1U);
+  EXPECT_EQ(spec.entries[0].experiment.seed, 7U);
+}
+
+TEST(SpecCampaign, SweepIsCartesianFirstAxisOutermost) {
+  const CampaignSpec spec = load_campaign(parse(R"({
+    "seed": 100,
+    "experiment": {"name": "s"},
+    "sweep": {
+      "experiment.faults": [1, 2],
+      "experiment.workload.max_pages": [4, 8]
+    }
+  })"));
+  ASSERT_EQ(spec.entries.size(), 4U);
+  const std::uint32_t want_faults[] = {1, 1, 2, 2};
+  const std::uint32_t want_pages[] = {4, 8, 4, 8};
+  for (std::size_t i = 0; i < 4; ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(spec.entries[i].experiment.faults, want_faults[i]);
+    EXPECT_EQ(spec.entries[i].experiment.workload.max_pages, want_pages[i]);
+    // Per-entry seeds derive from the flat index in expansion order.
+    EXPECT_EQ(spec.entries[i].experiment.seed, sim::derive_seed(100, i));
+  }
+  // Auto-naming: base name + [axis=value ...] in file order.
+  EXPECT_EQ(spec.entries[0].label, "s[faults=1 max_pages=4]");
+  EXPECT_EQ(spec.entries[3].label, "s[faults=2 max_pages=8]");
+}
+
+TEST(SpecCampaign, SweptNameSuppressesAutoNaming) {
+  const CampaignSpec spec = load_campaign(parse(R"({
+    "sweep": {"experiment.name": ["alpha", "beta"]}
+  })"));
+  ASSERT_EQ(spec.entries.size(), 2U);
+  EXPECT_EQ(spec.entries[0].label, "alpha");
+  EXPECT_EQ(spec.entries[1].label, "beta");
+}
+
+TEST(SpecCampaign, SweepCanChangeDrivePreset) {
+  // Merging precedes parsing, so even the preset choice is sweepable.
+  const CampaignSpec spec = load_campaign(parse(R"({
+    "drive": {"capacity_gb": 1},
+    "sweep": {"drive.preset": ["A", "B"]}
+  })"));
+  ASSERT_EQ(spec.entries.size(), 2U);
+  EXPECT_NE(spec.entries[0].drive.model, spec.entries[1].drive.model);
+}
+
+TEST(SpecCampaign, EntriesDeepMergeOntoBase) {
+  const CampaignSpec spec = load_campaign(parse(R"({
+    "drive": {"preset": "A", "capacity_gb": 1},
+    "experiment": {"name": "q", "workload": {"max_pages": 16}},
+    "entries": [
+      {"experiment": {"name": "q-a", "seed": 11}},
+      {"drive": {"plp": true}, "experiment": {"name": "q-b", "seed": 12}}
+    ]
+  })"));
+  ASSERT_EQ(spec.entries.size(), 2U);
+  EXPECT_EQ(spec.entries[0].label, "q-a");
+  EXPECT_EQ(spec.entries[0].experiment.seed, 11U);
+  // Base workload survives the overlay (deep merge, not replace).
+  EXPECT_EQ(spec.entries[1].experiment.workload.max_pages, 16U);
+  EXPECT_EQ(spec.entries[1].experiment.seed, 12U);
+}
+
+TEST(SpecCampaign, UnitsReplicateWithIndependentSeeds) {
+  const CampaignSpec spec = load_campaign(parse(R"({"seed": 9, "units": 3})"));
+  ASSERT_EQ(spec.entries.size(), 3U);
+  std::set<std::uint64_t> seeds;
+  for (std::size_t u = 0; u < 3; ++u) {
+    EXPECT_EQ(spec.entries[u].label, "unit-" + std::to_string(u + 1));
+    EXPECT_EQ(spec.entries[u].experiment.seed, sim::derive_seed(9, u));
+    seeds.insert(spec.entries[u].experiment.seed);
+  }
+  EXPECT_EQ(seeds.size(), 3U);  // statistically independent copies
+}
+
+TEST(SpecCampaign, UnitsRejectPinnedSeed) {
+  try {
+    (void)load_campaign(parse(R"({"units": 2, "experiment": {"seed": 5}})"));
+    FAIL() << "expected spec::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.where(), "units");
+  }
+}
+
+TEST(SpecCampaign, SweepAndEntriesAreMutuallyExclusive) {
+  EXPECT_THROW((void)load_campaign(parse(
+                   R"({"sweep": {"experiment.faults": [1]}, "entries": [{}]})")),
+               Error);
+}
+
+TEST(SpecCampaign, UnknownRootAndEntryKeysAreNamed) {
+  try {
+    (void)load_campaign(parse("{\n  \"bogus\": 1\n}"));
+    FAIL() << "expected spec::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.where(), "bogus");
+    EXPECT_EQ(e.line(), 2);
+  }
+  try {
+    (void)load_campaign(parse(R"({"entries": [{"workload": {}}]})"));
+    FAIL() << "expected spec::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.where(), "workload");  // overlays may only touch the 3 roots
+  }
+}
+
+TEST(SpecCampaign, SweepPathMustTargetKnownSection) {
+  try {
+    (void)load_campaign(parse(R"({"sweep": {"runner.threads": [1, 2]}})"));
+    FAIL() << "expected spec::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.where(), "runner.threads");
+  }
+}
+
+TEST(SpecCampaign, HashMatchesDocumentContentHash) {
+  const Value doc = parse(R"({"name": "h", "experiment": {"faults": 3}})");
+  const CampaignSpec spec = load_campaign(doc);
+  EXPECT_EQ(spec.hash, content_hash(doc));
+}
+
+TEST(SpecCampaign, HashIgnoresRunnerConfig) {
+  // Results are bit-identical at any thread count, so execution config must
+  // not perturb the provenance stamp (pofi_run --threads N included).
+  const CampaignSpec base = load_campaign(parse(R"({"name": "h"})"));
+  const CampaignSpec t1 =
+      load_campaign(parse(R"({"name": "h", "runner": {"threads": 1}})"));
+  const CampaignSpec t8 =
+      load_campaign(parse(R"({"name": "h", "runner": {"threads": 8}})"));
+  EXPECT_EQ(t1.hash, base.hash);
+  EXPECT_EQ(t8.hash, base.hash);
+  EXPECT_EQ(t8.runner.threads, 8U);  // still applied, just not hashed
+}
+
+// --- committed specs --------------------------------------------------------
+
+// Campaign documents (load_campaign) vs params documents (examples that
+// orchestrate the simulator manually and only borrow the parser/codecs).
+const char* const kCampaignSpecs[] = {
+    "quickstart.json",       "vendor_qualification.json",
+    "fig5_request_type.json", "fig6_wss.json",
+    "fig7_request_size.json", "fig8_iops.json",
+    "fig9_sequences.json",    "secIVA_post_ack_interval.json",
+    "secIVD_access_pattern.json", "table1_smoke.json",
+    "golden.json",
+};
+const char* const kParamsSpecs[] = {
+    "datacenter_outage.json",
+    "acid_torture.json",
+};
+
+TEST(SpecCampaign, EveryCommittedSpecIsCategorised) {
+  std::set<std::string> known;
+  for (const char* f : kCampaignSpecs) known.insert(f);
+  for (const char* f : kParamsSpecs) known.insert(f);
+
+  std::size_t seen = 0;
+  for (const auto& e : std::filesystem::directory_iterator(spec_dir())) {
+    if (e.path().extension() != ".json") continue;
+    ++seen;
+    EXPECT_TRUE(known.count(e.path().filename().string()))
+        << e.path() << " is committed but not categorised in this test";
+  }
+  EXPECT_EQ(seen, known.size()) << "a categorised spec file is missing on disk";
+}
+
+TEST(SpecCampaign, CommittedSpecsRoundTripCanonically) {
+  for (const auto& e : std::filesystem::directory_iterator(spec_dir())) {
+    if (e.path().extension() != ".json") continue;
+    SCOPED_TRACE(e.path().string());
+    const Value doc = parse_file(e.path().string());
+    // dump() → parse() is lossless...
+    EXPECT_TRUE(parse(dump(doc)) == doc);
+    // ...and canonical() is a fixed point, so the content hash is stable.
+    const std::string c = canonical(doc);
+    EXPECT_EQ(canonical(parse(c)), c);
+    EXPECT_EQ(content_hash(parse(dump(doc))), content_hash(doc));
+  }
+}
+
+TEST(SpecCampaign, CommittedCampaignSpecsLoadAndExpand) {
+  for (const char* file : kCampaignSpecs) {
+    SCOPED_TRACE(file);
+    const CampaignSpec spec = load_campaign_file(spec_dir() + "/" + file);
+    EXPECT_FALSE(spec.entries.empty());
+    // Rows come back in entry order and consumers index positionally, so
+    // labels need not be unique (secIVA reuses per-delay names across its
+    // cached/uncached halves) — but every entry must be nameable and built.
+    for (const auto& entry : spec.entries) {
+      EXPECT_FALSE(entry.label.empty());
+      EXPECT_FALSE(entry.drive.model.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pofi::spec

@@ -1,0 +1,166 @@
+// spec::Value — parser, serialiser and document-model unit tests.
+//
+// The malformed-input matrix pins the error contract: every syntax failure
+// carries the 1-based line of the offending token, and semantic failures
+// (duplicate keys) additionally name the key in Error::where().
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "spec/value.hpp"
+
+namespace pofi::spec {
+namespace {
+
+TEST(SpecValue, ParsesEveryScalarKind) {
+  const Value doc = parse(R"({
+    "null": null,
+    "t": true,
+    "f": false,
+    "u": 18446744073709551615,
+    "i": -42,
+    "d": 2.5,
+    "s": "hi\n\"there\"A"
+  })");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_TRUE(doc.find("null")->is_null());
+  EXPECT_EQ(doc.find("t")->as_bool(), true);
+  EXPECT_EQ(doc.find("f")->as_bool(), false);
+  // 2^64-1 survives exactly: it never round-trips through double.
+  EXPECT_EQ(doc.find("u")->kind(), Value::Kind::kUInt);
+  EXPECT_EQ(doc.find("u")->as_uint(), 18446744073709551615ULL);
+  EXPECT_EQ(doc.find("i")->kind(), Value::Kind::kInt);
+  EXPECT_EQ(doc.find("i")->as_int(), -42);
+  EXPECT_EQ(doc.find("d")->kind(), Value::Kind::kDouble);
+  EXPECT_DOUBLE_EQ(doc.find("d")->as_double(), 2.5);
+  EXPECT_EQ(doc.find("s")->as_string(), "hi\n\"there\"A");
+}
+
+TEST(SpecValue, LineCommentsAreWhitespace) {
+  const Value doc = parse(
+      "// campaign header comment\n"
+      "{\n"
+      "  // axis comment\n"
+      "  \"a\": 1, // trailing comment\n"
+      "  \"b\": [2, // in-array\n"
+      "         3]\n"
+      "}\n");
+  EXPECT_EQ(doc.find("a")->as_uint(), 1U);
+  EXPECT_EQ(doc.find("b")->items().size(), 2U);
+}
+
+TEST(SpecValue, TokensCarrySourcePosition) {
+  const Value doc = parse("{\n  \"a\": 1,\n  \"b\": {\"c\": true}\n}");
+  EXPECT_EQ(doc.line, 1);
+  EXPECT_EQ(doc.find("a")->line, 2);
+  EXPECT_EQ(doc.find_path("b.c")->line, 3);
+}
+
+TEST(SpecValue, ObjectsPreserveInsertionOrder) {
+  const Value doc = parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(doc.members().size(), 3U);
+  EXPECT_EQ(doc.members()[0].first, "z");
+  EXPECT_EQ(doc.members()[1].first, "a");
+  EXPECT_EQ(doc.members()[2].first, "m");
+}
+
+TEST(SpecValue, FindPathAndSetPath) {
+  Value doc = Value::object();
+  doc.set_path("experiment.workload.max_pages", 64);
+  const Value* v = doc.find_path("experiment.workload.max_pages");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->as_uint(), 64U);
+  EXPECT_EQ(doc.find_path("experiment.missing"), nullptr);
+  EXPECT_EQ(doc.find_path("experiment.workload.max_pages.deeper"), nullptr);
+
+  doc.set_path("experiment.workload.max_pages", 128);  // assign, not append
+  EXPECT_EQ(doc.find_path("experiment.workload.max_pages")->as_uint(), 128U);
+  EXPECT_EQ(doc.find("experiment")->find("workload")->members().size(), 1U);
+}
+
+TEST(SpecValue, MergeFromDeepMergesObjectsAndReplacesScalars) {
+  Value base = parse(R"({"drive": {"preset": "A", "plp": false}, "n": 1})");
+  const Value over = parse(R"({"drive": {"plp": true}, "n": 2, "extra": [1]})");
+  base.merge_from(over);
+  EXPECT_EQ(base.find_path("drive.preset")->as_string(), "A");
+  EXPECT_EQ(base.find_path("drive.plp")->as_bool(), true);
+  EXPECT_EQ(base.find("n")->as_uint(), 2U);
+  EXPECT_EQ(base.find("extra")->items().size(), 1U);
+}
+
+TEST(SpecValue, DumpParseRoundTripPreservesValueAndKind) {
+  const Value doc = parse(
+      R"({"u": 9007199254740993, "neg": -7, "d": 4.0, "half": 0.5,)"
+      R"( "arr": [true, null, "s"], "obj": {"k": 1}})");
+  const Value again = parse(dump(doc));
+  EXPECT_TRUE(doc == again);
+  // Integral doubles keep their ".0" so the kind survives the trip.
+  EXPECT_EQ(again.find("d")->kind(), Value::Kind::kDouble);
+  EXPECT_EQ(again.find("u")->kind(), Value::Kind::kUInt);
+}
+
+TEST(SpecValue, CanonicalSortsKeysAndIsStable) {
+  const Value doc = parse(R"({"b": 1, "a": {"z": 2, "y": 3}})");
+  const std::string c1 = canonical(doc);
+  EXPECT_EQ(c1, R"({"a":{"y":3,"z":2},"b":1})");
+  // Re-canonicalising the canonical text is byte-identical (hash stability).
+  EXPECT_EQ(canonical(parse(c1)), c1);
+  EXPECT_EQ(content_hash(parse(c1)), content_hash(doc));
+}
+
+TEST(SpecValue, KeyOrderDoesNotAffectContentHash) {
+  EXPECT_EQ(content_hash(parse(R"({"a": 1, "b": 2})")),
+            content_hash(parse(R"({"b": 2, "a": 1})")));
+  EXPECT_NE(content_hash(parse(R"({"a": 1})")), content_hash(parse(R"({"a": 2})")));
+}
+
+TEST(SpecValue, HashStringFormat) {
+  EXPECT_EQ(hash_string(0x0123456789ABCDEFULL), "fnv1a:0123456789abcdef");
+}
+
+// --- malformed-input matrix -------------------------------------------------
+
+struct BadCase {
+  const char* text;
+  int want_line;
+  const char* want_substr;  ///< must appear in Error::what()
+  const char* want_where;   ///< expected Error::where(), "" for syntax errors
+};
+
+TEST(SpecValue, MalformedInputsNameLineAndKey) {
+  const BadCase cases[] = {
+      {"", 1, "unexpected end of input", ""},
+      {"{\"a\": 1", 1, "end of input", ""},
+      {"{\n  \"a\" 1\n}", 2, "expected", ""},
+      {"{\n  \"a\": tru\n}", 2, "invalid literal", ""},
+      {"{\"a\": \"unterminated", 1, "unterminated string", ""},
+      {"{\"a\": \"bad\\q\"}", 1, "invalid escape", ""},
+      {"{\"a\": 1.}", 1, "digits required after '.'", ""},
+      {"{\"a\": 1e}", 1, "digits required in exponent", ""},
+      {"[1, 2] extra", 1, "trailing characters", ""},
+      {"{\n  \"dup\": 1,\n  \"dup\": 2\n}", 3, "duplicate object key", "dup"},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.text);
+    try {
+      (void)parse(c.text);
+      FAIL() << "expected spec::Error";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.line(), c.want_line);
+      EXPECT_NE(std::string(e.what()).find(c.want_substr), std::string::npos)
+          << "what() = " << e.what();
+      EXPECT_EQ(e.where(), c.want_where);
+      // The formatted message itself must carry the position, so a bare
+      // e.what() in a CLI error path still points at the file location.
+      EXPECT_NE(std::string(e.what()).find(std::to_string(c.want_line)),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(SpecValue, UnreadableFileThrows) {
+  EXPECT_THROW((void)parse_file("/nonexistent/campaign.json"), Error);
+}
+
+}  // namespace
+}  // namespace pofi::spec
