@@ -93,11 +93,72 @@ inline spec::CampaignSpec load_spec(const char* file) {
   return campaign;
 }
 
+/// Result of a spec-driven bench campaign: summary rows plus the outcome
+/// taxonomy of the run that produced them (for CSV provenance comments).
+struct SpecRun {
+  std::vector<platform::CampaignSuite::Row> rows;
+  std::size_t ok = 0;
+  std::size_t retried = 0;
+  std::size_t timed_out = 0;
+  std::size_t restored = 0;  ///< spliced in from the checkpoint (--resume)
+  std::string checkpoint_path;  ///< empty when checkpointing is off
+};
+
+/// Run a figure bench's campaign through the resilient spec runner. When
+/// POFI_CHECKPOINT_DIR is set, the bench checkpoints every finished entry to
+/// <dir>/<name>.checkpoint.jsonl and resumes from it — a killed multi-hour
+/// figure sweep restarts where it stopped, with bit-identical series. A
+/// failed or quarantined entry throws: a figure with silently missing points
+/// is worse than no figure.
+inline SpecRun run_spec_campaign(const spec::CampaignSpec& campaign, const char* name,
+                                 runner::ProgressSink* sink = nullptr) {
+  spec::RunCampaignOptions options;
+  options.sink = sink;
+  if (const char* dir = std::getenv("POFI_CHECKPOINT_DIR")) {
+    options.checkpoint_path = std::string(dir) + "/" + name + ".checkpoint.jsonl";
+    options.resume = true;
+  }
+  SpecRun run;
+  run.checkpoint_path = options.checkpoint_path;
+  auto outcomes = spec::run_campaign(campaign, options);
+  for (auto& out : outcomes) {
+    switch (out.status) {
+      case runner::CampaignStatus::kOk: ++run.ok; break;
+      case runner::CampaignStatus::kRetriedOk: ++run.retried; break;
+      case runner::CampaignStatus::kTimedOut: ++run.timed_out; break;
+      case runner::CampaignStatus::kSkippedCached: ++run.restored; break;
+      case runner::CampaignStatus::kFailed:
+        throw std::runtime_error("campaign \"" + out.label + "\" failed: " + out.error);
+      case runner::CampaignStatus::kQuarantined:
+        throw std::runtime_error("campaign \"" + out.label + "\" quarantined after " +
+                                 std::to_string(out.attempts) + " attempt(s): " + out.error);
+      default: continue;  // skipped / cancelled / pending: no row
+    }
+    run.rows.push_back({std::move(out.label), std::move(out.result)});
+  }
+  return run;
+}
+
 /// Provenance comments for exported CSV: the campaign's canonical content
 /// hash plus the build that produced the series.
 inline void stamp_provenance(stats::CsvWriter& csv, const spec::CampaignSpec& campaign) {
   csv.add_comment("spec: " + spec::hash_string(campaign.hash));
   csv.add_comment(std::string("build: ") + spec::pofi_version());
+}
+
+/// Provenance + outcome taxonomy: how each series point was obtained (fresh,
+/// retried, over budget, restored from a checkpoint), so a CSV consumer can
+/// tell a clean sweep from a degraded or resumed one.
+inline void stamp_provenance(stats::CsvWriter& csv, const spec::CampaignSpec& campaign,
+                             const SpecRun& run) {
+  stamp_provenance(csv, campaign);
+  csv.add_comment("entries: ok=" + std::to_string(run.ok) +
+                  " retried-ok=" + std::to_string(run.retried) +
+                  " timed-out=" + std::to_string(run.timed_out) +
+                  " restored=" + std::to_string(run.restored));
+  if (!run.checkpoint_path.empty()) {
+    csv.add_comment("checkpoint: " + run.checkpoint_path);
+  }
 }
 
 /// Wall-clock seconds spent in `fn`.

@@ -21,7 +21,8 @@ int main() try {
 
   const auto campaign = bench::load_spec("fig5_request_type.json");
   const std::vector<int> read_pcts{0, 20, 50, 80, 100};
-  const auto rows = spec::run_campaign_rows(campaign);
+  const auto run = bench::run_spec_campaign(campaign, "fig5_request_type");
+  const auto& rows = run.rows;
 
   std::vector<double> xs, data_failures, fwa, io_errors, per_fault;
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -37,7 +38,7 @@ int main() try {
   }
 
   stats::CsvWriter csv({"read_pct", "data_failures_total", "fwa", "io_errors", "per_fault"});
-  bench::stamp_provenance(csv, campaign);
+  bench::stamp_provenance(csv, campaign, run);
   for (std::size_t i = 0; i < xs.size(); ++i) {
     csv.add_row({stats::Table::fmt(xs[i], 0), stats::Table::fmt(data_failures[i], 0),
                  stats::Table::fmt(fwa[i], 0), stats::Table::fmt(io_errors[i], 0),

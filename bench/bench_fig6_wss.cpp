@@ -19,7 +19,8 @@ int main() try {
 
   const auto campaign = bench::load_spec("fig6_wss.json");
   const std::vector<double> wss_gb{1, 10, 20, 30, 40, 50, 60, 70, 80, 90};
-  const auto rows = spec::run_campaign_rows(campaign);
+  const auto run = bench::run_spec_campaign(campaign, "fig6_wss");
+  const auto& rows = run.rows;
 
   std::vector<double> xs, data_failures, per_fault;
   stats::RunningStat across_wss;

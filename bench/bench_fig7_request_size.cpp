@@ -25,7 +25,8 @@ int main() try {
 
   const auto campaign = bench::load_spec("fig7_request_size.json");
   const std::vector<int> sizes_kb{4, 16, 64, 256, 1024};
-  const auto rows = spec::run_campaign_rows(campaign);
+  const auto run = bench::run_spec_campaign(campaign, "fig7_request_size");
+  const auto& rows = run.rows;
 
   std::vector<double> xs, data_failures, fwa, per_fault;
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -38,7 +39,7 @@ int main() try {
   }
 
   stats::CsvWriter csv({"size_kb", "data_failures_total", "fwa", "per_fault"});
-  bench::stamp_provenance(csv, campaign);
+  bench::stamp_provenance(csv, campaign, run);
   for (std::size_t i = 0; i < xs.size(); ++i) {
     csv.add_row({stats::Table::fmt(xs[i], 0), stats::Table::fmt(data_failures[i], 0),
                  stats::Table::fmt(fwa[i], 0), stats::Table::fmt(per_fault[i], 3)});

@@ -22,7 +22,8 @@ int main() try {
 
   const auto campaign = bench::load_spec("fig8_iops.json");
   const std::vector<double> rates{1200, 2400, 6000, 12000, 20000, 25000, 30000};
-  const auto rows = spec::run_campaign_rows(campaign);
+  const auto run = bench::run_spec_campaign(campaign, "fig8_iops");
+  const auto& rows = run.rows;
 
   std::vector<double> xs, responded, failures;
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -37,7 +38,7 @@ int main() try {
   }
 
   stats::CsvWriter csv({"requested_iops", "responded_iops", "data_loss"});
-  bench::stamp_provenance(csv, campaign);
+  bench::stamp_provenance(csv, campaign, run);
   for (std::size_t i = 0; i < xs.size(); ++i) {
     csv.add_row({stats::Table::fmt(xs[i], 0), stats::Table::fmt(responded[i], 1),
                  stats::Table::fmt(failures[i], 0)});

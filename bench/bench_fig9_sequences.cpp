@@ -20,7 +20,8 @@ int main() try {
 
   const auto campaign = bench::load_spec("fig9_sequences.json");
   const std::vector<const char*> mode_names{"RAW", "WAR", "RAR", "WAW"};
-  const auto rows = spec::run_campaign_rows(campaign);
+  const auto run = bench::run_spec_campaign(campaign, "fig9_sequences");
+  const auto& rows = run.rows;
 
   std::vector<double> xs, data_failures, fwa, io_errors, per_fault;
   for (std::size_t i = 0; i < rows.size(); ++i) {

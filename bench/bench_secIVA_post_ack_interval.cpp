@@ -46,7 +46,8 @@ int main() try {
 
   const std::vector<int> delays{0, 100, 200, 300, 400, 500, 600, 700, 800, 1000};
   const auto campaign = bench::load_spec("secIVA_post_ack_interval.json");
-  const auto rows = spec::run_campaign_rows(campaign);
+  const auto run = bench::run_spec_campaign(campaign, "secIVA_post_ack_interval");
+  const auto& rows = run.rows;
 
   const auto with_cache = report(rows, "internal DRAM cache enabled", delays, 0);
   const auto without_cache =

@@ -18,7 +18,8 @@ int main() try {
   std::printf("paper scale: >300 faults / 24000 requests; bench: 120 faults / 9600 each\n\n");
 
   const auto campaign = bench::load_spec("secIVD_access_pattern.json");
-  const auto rows = spec::run_campaign_rows(campaign);
+  const auto run = bench::run_spec_campaign(campaign, "secIVD_access_pattern");
+  const auto& rows = run.rows;
   const auto& random = rows[0].result;
   const auto& sequential = rows[1].result;
   bench::print_result_row(random, "random");

@@ -19,7 +19,8 @@ int main() try {
 
   std::printf("\nSmoke-exercising each preset (scaled-down capacity):\n");
   const auto campaign = bench::load_spec("table1_smoke.json");
-  const auto rows = spec::run_campaign_rows(campaign);
+  const auto run = bench::run_spec_campaign(campaign, "table1_ssds");
+  const auto& rows = run.rows;
   for (const auto& row : rows) {
     const auto& r = row.result;
     std::printf("  %-8s smoke: %4llu reqs, %u faults, %llu data failures, %llu FWA, %llu IO err\n",

@@ -16,6 +16,8 @@
 // declarative campaign spec (src/spec): flags compile to a JSON document,
 // --dump-spec prints it, and the document's canonical content hash is
 // stamped into the report for provenance.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +38,23 @@
 using namespace pofi;
 
 namespace {
+
+// Exit codes (documented in --help; keep the table and this enum in sync).
+enum ExitCode : int {
+  kExitOk = 0,          ///< every campaign completed successfully
+  kExitRuntime = 1,     ///< runtime failure (fail-fast campaign failure, IO)
+  kExitUsage = 2,       ///< invalid usage or campaign spec
+  kExitDegraded = 3,    ///< quarantined and/or over-budget campaigns
+  kExitCancelled = 4,   ///< run cancelled by SIGINT/SIGTERM
+};
+
+/// Cooperative cancellation flag, shared by the signal handler, the runner
+/// and every entry's simulator. Setting it is the only thing the handler
+/// does (async-signal-safe); in-flight entries unwind at their next event
+/// boundary and the checkpoint keeps every already-finished row.
+std::atomic<bool> g_cancel{false};
+
+extern "C" void handle_signal(int) { g_cancel.store(true, std::memory_order_relaxed); }
 
 struct Options {
   // Campaign-shaping flags (compiled into a spec document when no --spec).
@@ -64,6 +83,8 @@ struct Options {
   bool threads_set = false;
   std::string progress = "console";
   std::string spec_path;
+  std::string checkpoint_path;
+  bool resume = false;
   bool dump_spec = false;
   std::vector<std::string> sets;  ///< --set key=value overrides, in order
 };
@@ -98,7 +119,25 @@ struct Options {
       "  --units N            independent campaign copies, sharded seeds (default 1)\n"
       "  --threads N          runner worker threads; 0 = hardware (default 0)\n"
       "  --progress console|jsonl|off   progress reporting (default console)\n"
-      "  --help               this text\n");
+      "  --checkpoint FILE    append each finished campaign to a durable JSONL\n"
+      "                       checkpoint (crash-safe; see --resume)\n"
+      "  --resume             skip campaigns already recorded in --checkpoint\n"
+      "                       FILE; merged results are bit-identical to an\n"
+      "                       uninterrupted run of the same spec\n"
+      "  --help               this text\n"
+      "\n"
+      "resilience (spec \"runner\" section, or --set runner.KEY=VALUE):\n"
+      "  retry_limit N            retries per campaign before quarantine (default 0)\n"
+      "  retry_backoff_ms MS      exponential backoff base; deterministic jitter\n"
+      "  campaign_timeout_seconds S   per-campaign wall-clock budget\n"
+      "  (platform.max_sim_events caps simulator events per campaign)\n"
+      "\n"
+      "exit status:\n"
+      "  0  every campaign completed successfully\n"
+      "  1  runtime failure (fail-fast campaign failure, IO error)\n"
+      "  2  invalid usage or campaign spec\n"
+      "  3  quarantined and/or over-budget campaigns (suite still completed)\n"
+      "  4  cancelled by SIGINT/SIGTERM (checkpointed rows were kept)\n");
   std::exit(code);
 }
 
@@ -116,6 +155,8 @@ Options parse(int argc, char** argv) {
     const std::string a = argv[i];
     if (a == "--help" || a == "-h") usage(0);
     else if (a == "--spec") o.spec_path = next_arg(argc, argv, i);
+    else if (a == "--checkpoint") o.checkpoint_path = next_arg(argc, argv, i);
+    else if (a == "--resume") o.resume = true;
     else if (a == "--dump-spec") o.dump_spec = true;
     else if (a == "--set") o.sets.emplace_back(next_arg(argc, argv, i));
     else if (a == "--model") {
@@ -170,6 +211,10 @@ Options parse(int argc, char** argv) {
   }
   if (o.read_pct < 0 || o.read_pct > 100 || o.size_min_kb < 4 ||
       o.size_max_kb < o.size_min_kb || o.faults == 0 || o.units == 0) {
+    usage(2);
+  }
+  if (o.resume && o.checkpoint_path.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint FILE\n");
     usage(2);
   }
   return o;
@@ -253,6 +298,8 @@ void apply_set(spec::Value& doc, const std::string& kv) {
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
 
   try {
     spec::Value doc =
@@ -284,18 +331,59 @@ int main(int argc, char** argv) {
     } else if (o.progress == "jsonl") {
       sink = std::make_unique<runner::JsonlProgress>(std::cout);
     }
-    const auto rows = spec::run_campaign_rows(campaign, sink.get());
 
-    if (rows.size() == 1) {
+    spec::RunCampaignOptions run_options;
+    run_options.sink = sink.get();
+    run_options.checkpoint_path = o.checkpoint_path;
+    run_options.resume = o.resume;
+    run_options.cancel = &g_cancel;
+    const auto outcomes = spec::run_campaign(campaign, run_options);
+
+    // Fold the outcome taxonomy into rows + exit status. is_success covers
+    // ok / retried-ok / timed-out / skipped-cached; everything else either
+    // degrades the exit code or (fail-fast, cancel) truncated the suite.
+    std::vector<platform::CampaignSuite::Row> rows;
+    std::vector<const runner::CampaignRunner::Outcome*> degraded;
+    bool any_failed = false;
+    bool any_quarantined = false;
+    bool any_timed_out = false;
+    bool cancelled = g_cancel.load();
+    for (const auto& out : outcomes) {
+      switch (out.status) {
+        case runner::CampaignStatus::kTimedOut:
+          any_timed_out = true;
+          degraded.push_back(&out);
+          break;
+        case runner::CampaignStatus::kQuarantined:
+          any_quarantined = true;
+          degraded.push_back(&out);
+          break;
+        case runner::CampaignStatus::kFailed:
+          any_failed = true;
+          degraded.push_back(&out);
+          break;
+        case runner::CampaignStatus::kCancelled:
+          cancelled = true;
+          break;
+        default:
+          break;
+      }
+      if (runner::is_success(out.status)) {
+        rows.push_back({out.label, out.result});
+      }
+    }
+
+    if (rows.size() == 1 && outcomes.size() == 1 && degraded.empty() && !cancelled) {
       platform::ReportOptions ro;
       ro.spec_hash = hash;
       ro.version = spec::pofi_version();
       std::fputs(platform::format_report(rows.front().result, ro).c_str(), stdout);
-      return 0;
+      return kExitOk;
     }
 
-    std::printf("%zu campaigns, %u worker threads\n\n", rows.size(),
-                runner::resolved_threads(campaign.runner));
+    std::printf("%zu/%zu campaigns completed, %u worker threads%s\n\n", rows.size(),
+                outcomes.size(), runner::resolved_threads(campaign.runner),
+                cancelled ? "  [cancelled]" : "");
     std::fputs(platform::CampaignSuite::summary_table(rows).c_str(), stdout);
     std::uint64_t total_loss = 0;
     std::uint32_t total_faults = 0;
@@ -306,13 +394,34 @@ int main(int argc, char** argv) {
     std::printf("\ntotal: %llu acknowledged writes lost over %u faults (%.2f/fault)\n",
                 static_cast<unsigned long long>(total_loss), total_faults,
                 total_faults > 0 ? static_cast<double>(total_loss) / total_faults : 0.0);
+
+    if (!degraded.empty()) {
+      std::printf("\ndegraded campaigns:\n");
+      for (const auto* out : degraded) {
+        std::printf("  %-12s %s (%u attempt%s)%s%s\n", to_string(out->status),
+                    out->label.c_str(), out->attempts, out->attempts == 1 ? "" : "s",
+                    out->error.empty() ? "" : ": ", out->error.c_str());
+      }
+    }
+    if (cancelled) {
+      std::printf("\ncancelled: suite stopped by signal; %s\n",
+                  o.checkpoint_path.empty()
+                      ? "no checkpoint (finished rows are lost)"
+                      : ("finished rows checkpointed in " + o.checkpoint_path +
+                         " (rerun with --resume)")
+                            .c_str());
+    }
     std::printf("provenance: %s | %s\n", hash.c_str(), spec::pofi_version());
-    return 0;
+
+    if (cancelled) return kExitCancelled;
+    if (any_failed) return kExitRuntime;
+    if (any_quarantined || any_timed_out) return kExitDegraded;
+    return kExitOk;
   } catch (const spec::Error& e) {
     std::fprintf(stderr, "pofi_run: spec error: %s\n", e.what());
-    return 2;
+    return kExitUsage;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pofi_run: %s\n", e.what());
-    return 1;
+    return kExitRuntime;
   }
 }

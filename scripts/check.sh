@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Mechanical gate for the repo: tier-1 build + full ctest, then a
-# ThreadSanitizer build of the concurrent runner code and its tests.
+# ThreadSanitizer build of the concurrent runner code and its tests, then a
+# UBSan build of the resilience layer (retry/checkpoint/resume) and its tests.
 #
-#   scripts/check.sh          # tier-1 + TSan runner tests
+#   scripts/check.sh          # tier-1 + TSan runner tests + UBSan resilience tests
 #   scripts/check.sh --fast   # tier-1 only
 #   JOBS=4 scripts/check.sh   # override parallelism
 set -euo pipefail
@@ -37,11 +38,24 @@ fi
 # documents the single-thread-per-queue contract.
 echo "==> TSan: configure + build runner + event-kernel tests (build-tsan/, -DPOFI_SANITIZE=thread)"
 cmake -B build-tsan -S . -DPOFI_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "${JOBS}" --target runner_test platform_suite_test sim_property_test
+cmake --build build-tsan -j "${JOBS}" --target runner_test runner_resilience_test platform_suite_test sim_property_test
 
-echo "==> TSan: ctest (runner + suite + event-kernel fuzz)"
+echo "==> TSan: ctest (runner + resilience + suite + event-kernel fuzz)"
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-        -R 'CampaignRunner|RunnerDeterminism|JsonlProgressSink|CampaignSuite|EventQueueFuzz|EventQueueClear'
+        -R 'CampaignRunner|RunnerDeterminism|RunnerResilience|JsonlProgressSink|CampaignSuite|EventQueueFuzz|EventQueueClear'
+
+# The resilience layer leans on exactly the constructs UBSan polices: integer
+# backoff arithmetic, enum round-trips from untrusted JSONL, and strtoull
+# parsing of checkpoint hashes. Build just the retry/checkpoint/resume tests
+# under -fsanitize=undefined and run them plus the golden resume gate.
+echo "==> UBSan: configure + build resilience tests (build-ubsan/, -DPOFI_SANITIZE=undefined)"
+cmake -B build-ubsan -S . -DPOFI_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j "${JOBS}" --target runner_resilience_test spec_checkpoint_test determinism_golden_test
+
+echo "==> UBSan: ctest (retry + checkpoint + resume determinism)"
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+  ctest --test-dir build-ubsan --output-on-failure -j "${JOBS}" \
+        -R 'RunnerResilience|CampaignStatusTaxonomy|JsonlProgressSink|Checkpoint|DeterminismGolden'
 
 echo "==> all checks passed"

@@ -42,14 +42,20 @@ std::vector<CampaignSuite::Row> CampaignSuite::run_all(const runner::RunnerConfi
   for (auto& o : outcomes) {
     switch (o.status) {
       case runner::CampaignStatus::kOk:
+      case runner::CampaignStatus::kRetriedOk:
       case runner::CampaignStatus::kTimedOut:
+      case runner::CampaignStatus::kSkippedCached:
         rows.push_back(Row{std::move(o.label), std::move(o.result)});
         break;
       case runner::CampaignStatus::kFailed:
         throw std::runtime_error("campaign '" + o.label + "' failed: " + o.error);
+      case runner::CampaignStatus::kQuarantined:
+        throw std::runtime_error("campaign '" + o.label + "' quarantined after " +
+                                 std::to_string(o.attempts) + " attempt(s): " + o.error);
+      case runner::CampaignStatus::kCancelled:
       case runner::CampaignStatus::kSkipped:
       case runner::CampaignStatus::kPending:
-        break;  // fail-fast cancelled it before it ran
+        break;  // fail-fast or cancellation stopped it before it finished
     }
   }
   return rows;

@@ -18,6 +18,8 @@ TestPlatform::TestPlatform(ssd::SsdConfig ssd_config, PlatformConfig platform_co
       ssd_config_(std::move(ssd_config)),
       config_(platform_config),
       rng_(sim_.fork_rng("platform")) {
+  sim_.set_step_limit(config_.max_sim_events);
+  sim_.set_cancel_token(config_.cancel);
   psu_ = std::make_unique<psu::PowerSupply>(sim_, psu::make_discharge_model(config_.discharge),
                                             config_.psu);
   atx_ = std::make_unique<psu::AtxController>(*psu_);

@@ -9,6 +9,7 @@
 // the campaign logic linear and the event graph free of control-flow knots.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 
@@ -39,6 +40,16 @@ struct PlatformConfig {
   sim::Duration think_time = sim::Duration::us(50);
   /// Record blktrace events (tests); benches keep it off to bound memory.
   bool trace_enabled = false;
+  /// Watchdog step budget: abort the campaign (sim::AbortError, kStepLimit)
+  /// once the simulator has fired this many events. 0 disables. Counted in
+  /// simulation events, so a pathological config trips at the same point on
+  /// every machine and at any thread count — the campaign runner then
+  /// retries or quarantines the entry instead of hanging the pool.
+  std::uint64_t max_sim_events = 0;
+  /// Cooperative cancellation token threaded into the simulator (see
+  /// sim::Simulator::set_cancel_token). Runtime wiring, not a spec key: the
+  /// suite driver shares one flag across all entries and its signal handler.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 class TestPlatform {

@@ -1,28 +1,37 @@
 #include "runner/campaign_runner.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <utility>
 
+#include "sim/simulator.hpp"
+
 namespace pofi::runner {
 
 std::size_t CampaignRunner::add(std::string label, CampaignFn fn) {
-  jobs_.push_back(Job{std::move(label), std::move(fn)});
+  jobs_.push_back(Job{std::move(label), std::move(fn), false, {}});
+  return jobs_.size() - 1;
+}
+
+std::size_t CampaignRunner::add_completed(std::string label,
+                                          platform::ExperimentResult result) {
+  jobs_.push_back(Job{std::move(label), nullptr, true, std::move(result)});
   return jobs_.size() - 1;
 }
 
 std::vector<CampaignRunner::Outcome> CampaignRunner::run() {
-  const std::vector<Job> jobs = std::move(jobs_);
+  std::vector<Job> jobs = std::move(jobs_);
   jobs_.clear();
   const std::size_t n = jobs.size();
 
   std::vector<Outcome> outcomes(n);
   for (std::size_t i = 0; i < n; ++i) outcomes[i].label = jobs[i].label;
 
-  // Shared state; every access (including sink calls) is under `mu`.
+  // Shared state; every access (including sink and hook calls) is under `mu`.
   std::mutex mu;
   std::deque<std::size_t> pending;
   bool cancelled = false;
@@ -35,9 +44,24 @@ std::vector<CampaignRunner::Outcome> CampaignRunner::run() {
     ev.suite_data_loss = suite_data_loss;
     if (sink_ != nullptr) sink_->on_event(ev);
   };
+  const auto call_hook = [&](std::size_t idx) {
+    if (!hook_) return;
+    try {
+      hook_(idx, outcomes[idx]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[runner] result hook failed for \"%s\": %s\n",
+                   outcomes[idx].label.c_str(), e.what());
+    } catch (...) {
+      std::fprintf(stderr, "[runner] result hook failed for \"%s\"\n",
+                   outcomes[idx].label.c_str());
+    }
+  };
+  const auto externally_cancelled = [&] {
+    return config_.cancel != nullptr && config_.cancel->load(std::memory_order_relaxed);
+  };
 
   for (std::size_t i = 0; i < n; ++i) {
-    pending.push_back(i);
+    if (!jobs[i].cached) pending.push_back(i);
     ProgressEvent ev;
     ev.phase = CampaignPhase::kQueued;
     ev.index = i;
@@ -46,12 +70,35 @@ std::vector<CampaignRunner::Outcome> CampaignRunner::run() {
   }
   if (n == 0) return outcomes;
 
+  // Checkpoint-restored entries resolve up front, before any worker starts:
+  // deterministic event order, and the finished counter / suite totals count
+  // them exactly as an uninterrupted run would have.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!jobs[i].cached) continue;
+    Outcome& out = outcomes[i];
+    out.status = CampaignStatus::kSkippedCached;
+    out.result = std::move(jobs[i].cached_result);
+    ++finished;
+    suite_data_loss += out.result.total_data_loss();
+    ProgressEvent ev;
+    ev.phase = CampaignPhase::kFinished;
+    ev.index = i;
+    ev.label = out.label;
+    ev.status = out.status;
+    ev.faults_injected = out.result.faults_injected;
+    ev.requests_submitted = out.result.requests_submitted;
+    ev.data_failures = out.result.data_failures;
+    ev.fwa_failures = out.result.fwa_failures;
+    ev.io_errors = out.result.io_errors;
+    emit(ev);
+  }
+
   const auto worker = [&] {
     for (;;) {
       std::size_t idx = 0;
       {
         std::lock_guard<std::mutex> lock(mu);
-        if (cancelled || pending.empty()) return;
+        if (cancelled || externally_cancelled() || pending.empty()) return;
         idx = pending.front();
         pending.pop_front();
         ProgressEvent ev;
@@ -63,19 +110,63 @@ std::vector<CampaignRunner::Outcome> CampaignRunner::run() {
 
       Outcome& out = outcomes[idx];
       const auto t0 = std::chrono::steady_clock::now();
-      try {
-        out.result = jobs[idx].fn();
-        out.status = CampaignStatus::kOk;
-      } catch (const std::exception& e) {
-        out.status = CampaignStatus::kFailed;
-        out.error = e.what();
-      } catch (...) {
-        out.status = CampaignStatus::kFailed;
-        out.error = "unknown exception";
+
+      // Exception firewall + retry loop. Every attempt runs the same pure
+      // closure, so a retry after a transient host-side failure (OOM, flaky
+      // dependency) reproduces the campaign exactly.
+      std::uint32_t attempt = 0;
+      for (;;) {
+        ++attempt;
+        bool ok = false;
+        bool entry_cancelled = false;
+        try {
+          out.result = jobs[idx].fn();
+          ok = true;
+        } catch (const sim::AbortError& e) {
+          out.error = e.what();
+          entry_cancelled = e.reason() == sim::AbortReason::kCancelled;
+        } catch (const std::exception& e) {
+          out.error = e.what();
+        } catch (...) {
+          out.error = "unknown exception";
+        }
+        if (ok) {
+          out.status = attempt > 1 ? CampaignStatus::kRetriedOk : CampaignStatus::kOk;
+          out.error.clear();
+          break;
+        }
+        if (entry_cancelled || externally_cancelled()) {
+          out.status = CampaignStatus::kCancelled;
+          break;
+        }
+        if (attempt > config_.retry_limit) {
+          // Budget exhausted: quarantine the entry so the rest of the suite
+          // still completes (fail-fast restores stop-the-world semantics).
+          out.status =
+              config_.fail_fast ? CampaignStatus::kFailed : CampaignStatus::kQuarantined;
+          break;
+        }
+        const double delay_ms = backoff_delay_ms(config_, idx, attempt);
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          ProgressEvent ev;
+          ev.phase = CampaignPhase::kRetry;
+          ev.index = idx;
+          ev.label = out.label;
+          ev.attempt = attempt;
+          ev.error = out.error;
+          ev.backoff_ms = delay_ms;
+          emit(ev);
+        }
+        if (delay_ms > 0.0) {
+          std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
+        }
       }
+      out.attempts = attempt;
       out.wall_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-      if (out.status == CampaignStatus::kOk && config_.campaign_timeout_seconds > 0.0 &&
+      if ((out.status == CampaignStatus::kOk || out.status == CampaignStatus::kRetriedOk) &&
+          config_.campaign_timeout_seconds > 0.0 &&
           out.wall_seconds > config_.campaign_timeout_seconds) {
         out.status = CampaignStatus::kTimedOut;
       }
@@ -83,7 +174,7 @@ std::vector<CampaignRunner::Outcome> CampaignRunner::run() {
       {
         std::lock_guard<std::mutex> lock(mu);
         ++finished;
-        if (out.status != CampaignStatus::kFailed) {
+        if (is_success(out.status)) {
           suite_data_loss += out.result.total_data_loss();
         }
         ProgressEvent ev;
@@ -91,6 +182,7 @@ std::vector<CampaignRunner::Outcome> CampaignRunner::run() {
         ev.index = idx;
         ev.label = out.label;
         ev.status = out.status;
+        ev.attempt = out.attempts;
         ev.faults_injected = out.result.faults_injected;
         ev.requests_submitted = out.result.requests_submitted;
         ev.data_failures = out.result.data_failures;
@@ -99,7 +191,12 @@ std::vector<CampaignRunner::Outcome> CampaignRunner::run() {
         ev.wall_seconds = out.wall_seconds;
         ev.error = out.error;
         emit(ev);
-        if (config_.fail_fast && out.status != CampaignStatus::kOk) cancelled = true;
+        call_hook(idx);
+        if (config_.fail_fast && out.status != CampaignStatus::kOk &&
+            out.status != CampaignStatus::kRetriedOk) {
+          cancelled = true;
+        }
+        if (out.status == CampaignStatus::kCancelled) cancelled = true;
       }
     }
   };
@@ -116,7 +213,8 @@ std::vector<CampaignRunner::Outcome> CampaignRunner::run() {
     // jthreads join on destruction.
   }
 
-  // Anything fail-fast left in the queue resolves as kSkipped, in order.
+  // Anything fail-fast/cancellation left in the queue resolves as kSkipped,
+  // in order.
   for (std::size_t i = 0; i < n; ++i) {
     if (outcomes[i].status != CampaignStatus::kSkipped) continue;
     ++finished;

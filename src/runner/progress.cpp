@@ -4,6 +4,20 @@
 
 namespace pofi::runner {
 
+bool status_from_string(std::string_view name, CampaignStatus& out) {
+  for (const CampaignStatus s :
+       {CampaignStatus::kPending, CampaignStatus::kOk, CampaignStatus::kRetriedOk,
+        CampaignStatus::kFailed, CampaignStatus::kTimedOut, CampaignStatus::kQuarantined,
+        CampaignStatus::kCancelled, CampaignStatus::kSkipped,
+        CampaignStatus::kSkippedCached}) {
+    if (name == to_string(s)) {
+      out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
 void ConsoleProgress::on_event(const ProgressEvent& e) {
   switch (e.phase) {
     case CampaignPhase::kQueued:
@@ -15,18 +29,30 @@ void ConsoleProgress::on_event(const ProgressEvent& e) {
     case CampaignPhase::kStarted:
       std::fprintf(out_, "[runner] started  %s\n", e.label.c_str());
       break;
+    case CampaignPhase::kRetry:
+      std::fprintf(out_, "[runner] retry    %s: attempt %" PRIu32 " failed (%s); next in %.0f ms\n",
+                   e.label.c_str(), e.attempt, e.error.c_str(), e.backoff_ms);
+      std::fflush(out_);
+      break;
     case CampaignPhase::kFinished:
       if (e.status == CampaignStatus::kSkipped) {
-        std::fprintf(out_, "[runner] skipped  %s (fail-fast)\n", e.label.c_str());
-      } else if (e.status == CampaignStatus::kFailed) {
-        std::fprintf(out_, "[runner] FAILED   %s: %s\n", e.label.c_str(), e.error.c_str());
+        std::fprintf(out_, "[runner] skipped  %s (fail-fast/cancelled)\n", e.label.c_str());
+      } else if (e.status == CampaignStatus::kSkippedCached) {
+        std::fprintf(out_, "[runner] cached   %zu/%zu %s (restored from checkpoint)\n",
+                     e.finished, e.total, e.label.c_str());
+      } else if (e.status == CampaignStatus::kFailed ||
+                 e.status == CampaignStatus::kQuarantined ||
+                 e.status == CampaignStatus::kCancelled) {
+        std::fprintf(out_, "[runner] %-8s %s: %s (attempt %" PRIu32 ")\n",
+                     to_string(e.status), e.label.c_str(), e.error.c_str(), e.attempt);
       } else {
         std::fprintf(out_,
-                     "[runner] finished %zu/%zu %s%s: faults=%" PRIu32 " reqs=%" PRIu64
+                     "[runner] finished %zu/%zu %s%s%s: faults=%" PRIu32 " reqs=%" PRIu64
                      " dataFail=%" PRIu64 " fwa=%" PRIu64 " ioErr=%" PRIu64
                      " (%.2fs, suite loss %" PRIu64 ")\n",
                      e.finished, e.total, e.label.c_str(),
                      e.status == CampaignStatus::kTimedOut ? " [over budget]" : "",
+                     e.status == CampaignStatus::kRetriedOk ? " [retried]" : "",
                      e.faults_injected, e.requests_submitted, e.data_failures,
                      e.fwa_failures, e.io_errors, e.wall_seconds, e.suite_data_loss);
       }
@@ -35,22 +61,51 @@ void ConsoleProgress::on_event(const ProgressEvent& e) {
   }
 }
 
-void JsonlProgress::on_event(const ProgressEvent& e) {
-  out_ << "{\"event\":\"" << to_string(e.phase) << "\""
-       << ",\"index\":" << e.index << ",\"label\":\"" << json_escape(e.label) << "\"";
+std::string to_jsonl(const ProgressEvent& e) {
+  std::string out;
+  out.reserve(192);
+  out += "{\"event\":\"";
+  out += to_string(e.phase);
+  out += "\",\"index\":" + std::to_string(e.index);
+  out += ",\"label\":\"" + json_escape(e.label) + "\"";
+  if (e.phase == CampaignPhase::kRetry) {
+    out += ",\"attempt\":" + std::to_string(e.attempt);
+    out += ",\"error\":\"" + json_escape(e.error) + "\"";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", e.backoff_ms);
+    out += ",\"backoff_ms\":";
+    out += buf;
+  }
   if (e.phase == CampaignPhase::kFinished) {
-    out_ << ",\"status\":\"" << to_string(e.status) << "\"";
-    if (e.status == CampaignStatus::kFailed) {
-      out_ << ",\"error\":\"" << json_escape(e.error) << "\"";
-    } else if (e.status != CampaignStatus::kSkipped) {
-      out_ << ",\"faults\":" << e.faults_injected
-           << ",\"requests\":" << e.requests_submitted
-           << ",\"data_failures\":" << e.data_failures << ",\"fwa\":" << e.fwa_failures
-           << ",\"io_errors\":" << e.io_errors << ",\"wall_seconds\":" << e.wall_seconds;
+    out += ",\"status\":\"";
+    out += to_string(e.status);
+    out += "\"";
+    if (e.attempt > 1) out += ",\"attempts\":" + std::to_string(e.attempt);
+    if (!e.error.empty()) out += ",\"error\":\"" + json_escape(e.error) + "\"";
+    if (is_success(e.status)) {
+      char buf[64];
+      out += ",\"faults\":" + std::to_string(e.faults_injected);
+      out += ",\"requests\":" + std::to_string(e.requests_submitted);
+      out += ",\"data_failures\":" + std::to_string(e.data_failures);
+      out += ",\"fwa\":" + std::to_string(e.fwa_failures);
+      out += ",\"io_errors\":" + std::to_string(e.io_errors);
+      std::snprintf(buf, sizeof buf, "%g", e.wall_seconds);
+      out += ",\"wall_seconds\":";
+      out += buf;
     }
   }
-  out_ << ",\"finished\":" << e.finished << ",\"total\":" << e.total
-       << ",\"suite_data_loss\":" << e.suite_data_loss << "}\n";
+  out += ",\"finished\":" + std::to_string(e.finished);
+  out += ",\"total\":" + std::to_string(e.total);
+  out += ",\"suite_data_loss\":" + std::to_string(e.suite_data_loss);
+  out += "}";
+  return out;
+}
+
+void JsonlProgress::on_event(const ProgressEvent& e) {
+  // One write() of the whole line, then flush: a kill can truncate the final
+  // line but never interleave or split records across buffer boundaries.
+  const std::string line = to_jsonl(e) + "\n";
+  out_.write(line.data(), static_cast<std::streamsize>(line.size()));
   out_.flush();
 }
 

@@ -1,35 +1,45 @@
 // Live progress reporting for parallel campaign execution.
 //
 // The runner emits one ProgressEvent per campaign lifecycle transition
-// (queued -> started -> finished/skipped). Events are serialized: the runner
-// holds its own lock around every on_event call, so no two calls overlap and
-// sink implementations need no locking of their own. Event order is
-// guaranteed per campaign (queued before started before finished) and the
-// `finished` counter is monotone across the whole run; started/finished
-// events of *different* campaigns interleave freely under parallelism.
+// (queued -> started -> [retry...] -> finished/skipped). Events are
+// serialized: the runner holds its own lock around every on_event call, so no
+// two calls overlap and sink implementations need no locking of their own.
+// Event order is guaranteed per campaign (queued before started before
+// finished) and the `finished` counter is monotone across the whole run;
+// started/finished events of *different* campaigns interleave freely under
+// parallelism.
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
 #include <ostream>
 #include <string>
+#include <string_view>
 
 namespace pofi::runner {
 
-enum class CampaignPhase : std::uint8_t { kQueued, kStarted, kFinished };
+enum class CampaignPhase : std::uint8_t { kQueued, kStarted, kRetry, kFinished };
 
+/// Terminal (and pending) states of one campaign entry — the error taxonomy
+/// carried through progress events, checkpoint records, CSV comments and the
+/// suite summary. is_success() below partitions it for callers.
 enum class CampaignStatus : std::uint8_t {
-  kPending,   ///< not finished yet (queued/started events)
-  kOk,        ///< campaign completed within budget
-  kFailed,    ///< campaign threw; Outcome::error holds the message
-  kTimedOut,  ///< completed, but over the wall-clock budget
-  kSkipped,   ///< never ran (fail-fast cancelled the queue)
+  kPending,       ///< not finished yet (queued/started/retry events)
+  kOk,            ///< first attempt completed within budget
+  kRetriedOk,     ///< completed after >= 1 retry
+  kFailed,        ///< threw under fail-fast; Outcome::error holds the message
+  kTimedOut,      ///< completed, but over the wall-clock budget
+  kQuarantined,   ///< exhausted its retry budget; the suite continued without it
+  kCancelled,     ///< stopped mid-run by cooperative cancellation
+  kSkipped,       ///< never ran (fail-fast or cancellation emptied the queue)
+  kSkippedCached, ///< resume: result restored from a checkpoint, not re-run
 };
 
 [[nodiscard]] constexpr const char* to_string(CampaignPhase p) {
   switch (p) {
     case CampaignPhase::kQueued: return "queued";
     case CampaignPhase::kStarted: return "started";
+    case CampaignPhase::kRetry: return "retry";
     case CampaignPhase::kFinished: return "finished";
   }
   return "?";
@@ -39,11 +49,26 @@ enum class CampaignStatus : std::uint8_t {
   switch (s) {
     case CampaignStatus::kPending: return "pending";
     case CampaignStatus::kOk: return "ok";
+    case CampaignStatus::kRetriedOk: return "retried-ok";
     case CampaignStatus::kFailed: return "failed";
     case CampaignStatus::kTimedOut: return "timed-out";
+    case CampaignStatus::kQuarantined: return "quarantined";
+    case CampaignStatus::kCancelled: return "cancelled";
     case CampaignStatus::kSkipped: return "skipped";
+    case CampaignStatus::kSkippedCached: return "skipped-cached";
   }
   return "?";
+}
+
+/// Parse a to_string(CampaignStatus) form back; returns false on unknown
+/// names (checkpoint files from other builds degrade gracefully).
+[[nodiscard]] bool status_from_string(std::string_view name, CampaignStatus& out);
+
+/// States whose ExperimentResult is complete and trustworthy. kTimedOut
+/// counts: the campaign finished, it just blew its wall-clock budget.
+[[nodiscard]] constexpr bool is_success(CampaignStatus s) {
+  return s == CampaignStatus::kOk || s == CampaignStatus::kRetriedOk ||
+         s == CampaignStatus::kTimedOut || s == CampaignStatus::kSkippedCached;
 }
 
 struct ProgressEvent {
@@ -52,6 +77,12 @@ struct ProgressEvent {
   std::string label;
   CampaignStatus status = CampaignStatus::kPending;  ///< set on kFinished
 
+  // Retry bookkeeping. `attempt` is the attempt that just ran (1-based, set
+  // on kRetry and kFinished); `backoff_ms` is the delay before the *next*
+  // attempt (kRetry only).
+  std::uint32_t attempt = 1;
+  double backoff_ms = 0.0;
+
   // Per-campaign aggregates, populated on kFinished when the campaign ran.
   std::uint32_t faults_injected = 0;
   std::uint64_t requests_submitted = 0;
@@ -59,7 +90,7 @@ struct ProgressEvent {
   std::uint64_t fwa_failures = 0;
   std::uint64_t io_errors = 0;
   double wall_seconds = 0.0;
-  std::string error;  ///< kFailed: what the campaign threw
+  std::string error;  ///< kRetry/kFailed/kQuarantined/kCancelled: what it threw
 
   // Suite-level running totals at the instant of the event.
   std::size_t finished = 0;           ///< campaigns finished so far
@@ -76,7 +107,7 @@ class ProgressSink {
 };
 
 /// Human-oriented one-line-per-event reporter. Quiet by default: only
-/// started/finished lines; `verbose` adds the queued burst.
+/// started/retry/finished lines; `verbose` adds the queued burst.
 class ConsoleProgress final : public ProgressSink {
  public:
   explicit ConsoleProgress(std::FILE* out = stderr, bool verbose = false)
@@ -90,7 +121,10 @@ class ConsoleProgress final : public ProgressSink {
 
 /// Machine-readable reporter: one JSON object per line (JSONL), schema
 /// documented in README.md ("Parallel execution"). Every event phase is
-/// emitted, including the initial queued burst.
+/// emitted, including the initial queued burst. Each record is rendered
+/// into a buffer and handed to the stream as a single write, then flushed —
+/// a run killed mid-event can leave at most one truncated final line, never
+/// an interleaved one, so checkpoint/JSONL consumers stay parseable.
 class JsonlProgress final : public ProgressSink {
  public:
   explicit JsonlProgress(std::ostream& out) : out_(out) {}
@@ -102,5 +136,10 @@ class JsonlProgress final : public ProgressSink {
 
 /// Escape a string for embedding in a JSON value (exposed for tests).
 [[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Render one progress event as its JSONL record (no trailing newline is
+/// *included* — the sink appends it; exposed for tests and the checkpoint
+/// writer).
+[[nodiscard]] std::string to_jsonl(const ProgressEvent& event);
 
 }  // namespace pofi::runner

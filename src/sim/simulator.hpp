@@ -5,16 +5,59 @@
 // strictly single-threaded; "threads" in the paper's software part (fault
 // scheduler vs IO generator) become interleaved event streams, which keeps
 // every run deterministic.
+//
+// Two cooperative abort channels protect long campaigns from pathological
+// configs and let an external supervisor (the campaign runner, a signal
+// handler) stop a simulation without killing the process:
+//
+//   * step budget  — set_step_limit(n): the run loops throw AbortError
+//     (kStepLimit) once the lifetime event count exceeds n. Deterministic:
+//     the same campaign aborts at the same event at any thread count.
+//   * cancel token — set_cancel_token(flag): a shared atomic polled between
+//     events; when another thread sets it, the run loops throw AbortError
+//     (kCancelled) at the next event boundary.
+//
+// Both throw *between* callbacks, never inside one, so component state is
+// always at an event boundary when the exception unwinds.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 
 namespace pofi::sim {
+
+/// Why a simulation was aborted between event callbacks.
+enum class AbortReason : std::uint8_t {
+  kStepLimit,  ///< lifetime event count exceeded the configured budget
+  kCancelled,  ///< the cancel token was set by a supervisor
+};
+
+[[nodiscard]] constexpr const char* to_string(AbortReason r) {
+  switch (r) {
+    case AbortReason::kStepLimit: return "step-limit";
+    case AbortReason::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+/// Thrown by the run loops when the step budget is exhausted or the cancel
+/// token fires. Carries the reason so supervisors can tell a stuck campaign
+/// (quarantine it) from an operator interrupt (stop the suite).
+class AbortError : public std::runtime_error {
+ public:
+  AbortError(AbortReason reason, const std::string& message)
+      : std::runtime_error(message), reason_(reason) {}
+  [[nodiscard]] AbortReason reason() const { return reason_; }
+
+ private:
+  AbortReason reason_;
+};
 
 class Simulator {
  public:
@@ -53,15 +96,34 @@ class Simulator {
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t events_fired() const { return events_fired_; }
 
+  /// Lifetime event budget: once events_fired() exceeds `max_events`, the run
+  /// loops throw AbortError(kStepLimit) at the next event boundary. 0 (the
+  /// default) disables the check. The budget is in simulation events, so it
+  /// trips at the same point of the same campaign on every machine.
+  void set_step_limit(std::uint64_t max_events) { step_limit_ = max_events; }
+  [[nodiscard]] std::uint64_t step_limit() const { return step_limit_; }
+
+  /// Cooperative cancellation: `token` (owned by the caller, may be shared by
+  /// a supervisor thread or a signal handler) is polled between events; when
+  /// it reads true the run loops throw AbortError(kCancelled). nullptr (the
+  /// default) disables the check.
+  void set_cancel_token(const std::atomic<bool>* token) { cancel_ = token; }
+
   /// Master RNG: fork children from it, one per component.
   [[nodiscard]] Rng& rng() { return master_rng_; }
   [[nodiscard]] Rng fork_rng(std::string_view label) const { return master_rng_.fork(label); }
 
  private:
+  /// Throws AbortError when the step budget is spent or the cancel token is
+  /// set; called once per event, before the callback fires.
+  void check_abort() const;
+
   TimePoint now_ = TimePoint::zero();
   EventQueue queue_;
   Rng master_rng_;
   std::uint64_t events_fired_ = 0;
+  std::uint64_t step_limit_ = 0;
+  const std::atomic<bool>* cancel_ = nullptr;
 };
 
 }  // namespace pofi::sim

@@ -1,8 +1,11 @@
 #include "spec/campaign.hpp"
 
+#include <memory>
+#include <unordered_map>
 #include <utility>
 
 #include "sim/rng.hpp"
+#include "spec/checkpoint.hpp"
 #include "spec/codec.hpp"
 
 namespace pofi::spec {
@@ -230,12 +233,65 @@ CampaignSpec load_campaign_file(const std::string& path) {
 
 std::vector<runner::CampaignRunner::Outcome> run_campaign(const CampaignSpec& spec,
                                                           runner::ProgressSink* sink) {
-  runner::CampaignRunner rn(spec.runner, sink);
-  for (const CampaignEntry& entry : spec.entries) {
-    rn.add(entry.label, [&entry] {
-      platform::TestPlatform tp(entry.drive, entry.platform, entry.experiment.seed);
+  RunCampaignOptions options;
+  options.sink = sink;
+  return run_campaign(spec, options);
+}
+
+std::vector<runner::CampaignRunner::Outcome> run_campaign(const CampaignSpec& spec,
+                                                          const RunCampaignOptions& options) {
+  runner::RunnerConfig config = spec.runner;
+  if (options.cancel != nullptr) config.cancel = options.cancel;
+  runner::CampaignRunner rn(config, options.sink);
+
+  // Resume: index the checkpoint's reusable records by entry index. A record
+  // is reusable only when the content hash, the flat entry index and the
+  // resolved seed all still match this spec, and its status is a success —
+  // anything else (edited spec, quarantined attempt, foreign campaign) is
+  // ignored and the entry simply re-runs. Later duplicates win: if a resumed
+  // run was itself interrupted, the freshest record is authoritative.
+  std::unordered_map<std::size_t, CheckpointRecord> cached;
+  if (options.resume && !options.checkpoint_path.empty()) {
+    CheckpointFile file = load_checkpoint(options.checkpoint_path);
+    for (CheckpointRecord& rec : file.records) {
+      if (rec.spec_hash != spec.hash || !runner::is_success(rec.status)) continue;
+      if (rec.entry_index >= spec.entries.size()) continue;
+      if (spec.entries[rec.entry_index].experiment.seed != rec.seed) continue;
+      cached.insert_or_assign(static_cast<std::size_t>(rec.entry_index), std::move(rec));
+    }
+  }
+
+  for (std::size_t i = 0; i < spec.entries.size(); ++i) {
+    const CampaignEntry& entry = spec.entries[i];
+    if (auto it = cached.find(i); it != cached.end()) {
+      rn.add_completed(entry.label, std::move(it->second.result));
+      continue;
+    }
+    rn.add(entry.label, [&entry, cancel = options.cancel] {
+      platform::PlatformConfig pc = entry.platform;
+      pc.cancel = cancel;
+      platform::TestPlatform tp(entry.drive, pc, entry.experiment.seed);
       return tp.run(entry.experiment);
     });
+  }
+
+  std::unique_ptr<CheckpointWriter> writer;
+  if (!options.checkpoint_path.empty()) {
+    writer = std::make_unique<CheckpointWriter>(options.checkpoint_path);
+    rn.set_result_hook(
+        [&spec, w = writer.get()](std::size_t idx, const runner::CampaignRunner::Outcome& out) {
+          if (!runner::is_success(out.status)) return;  // re-run failures next time
+          CheckpointRecord rec;
+          rec.spec_hash = spec.hash;
+          rec.entry_index = idx;
+          rec.seed = spec.entries[idx].experiment.seed;
+          rec.label = out.label;
+          rec.status = out.status;
+          rec.attempts = out.attempts;
+          rec.wall_seconds = out.wall_seconds;
+          rec.result = out.result;
+          w->append(rec);
+        });
   }
   return rn.run();
 }
@@ -249,7 +305,11 @@ std::vector<platform::CampaignSuite::Row> run_campaign_rows(const CampaignSpec& 
     if (out.status == runner::CampaignStatus::kFailed) {
       throw std::runtime_error("campaign \"" + out.label + "\" failed: " + out.error);
     }
-    if (out.status == runner::CampaignStatus::kSkipped) continue;
+    if (out.status == runner::CampaignStatus::kQuarantined) {
+      throw std::runtime_error("campaign \"" + out.label + "\" quarantined after " +
+                               std::to_string(out.attempts) + " attempt(s): " + out.error);
+    }
+    if (!runner::is_success(out.status)) continue;  // skipped / cancelled / pending
     rows.push_back({std::move(out.label), std::move(out.result)});
   }
   return rows;

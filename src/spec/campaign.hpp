@@ -28,6 +28,7 @@
 // independent campaigns, never N copies of seed 42.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -69,10 +70,32 @@ struct CampaignSpec {
 [[nodiscard]] CampaignSpec load_campaign(const Value& doc);
 [[nodiscard]] CampaignSpec load_campaign_file(const std::string& path);
 
+/// Execution options for the resilient run_campaign overload.
+struct RunCampaignOptions {
+  runner::ProgressSink* sink = nullptr;
+  /// JSONL checkpoint file (see spec/checkpoint.hpp). Empty disables
+  /// checkpointing; otherwise every successfully finished entry is appended.
+  std::string checkpoint_path;
+  /// Load `checkpoint_path` first and splice every matching successful
+  /// record back in as a skipped-cached entry instead of re-running it.
+  /// Records are matched by (content hash, entry index, seed); stale records
+  /// from an edited spec are ignored.
+  bool resume = false;
+  /// Cooperative cancellation token (signal handler, watchdog). Threaded
+  /// into the runner *and* every entry's simulator.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
 /// Execute every entry on runner::CampaignRunner per spec.runner. Outcomes
 /// come back in entry order, bit-identical at any thread count.
 [[nodiscard]] std::vector<runner::CampaignRunner::Outcome> run_campaign(
     const CampaignSpec& spec, runner::ProgressSink* sink = nullptr);
+
+/// Resilient variant: checkpoint/resume + cancellation. With both a
+/// checkpoint path and resume set, the merged outcome sequence is
+/// bit-identical to an uninterrupted run of the same spec.
+[[nodiscard]] std::vector<runner::CampaignRunner::Outcome> run_campaign(
+    const CampaignSpec& spec, const RunCampaignOptions& options);
 
 /// run_campaign + failure check: throws std::runtime_error on the first
 /// failed entry, otherwise returns summary-table rows in entry order.

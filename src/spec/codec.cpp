@@ -550,6 +550,7 @@ Value to_json(const platform::PlatformConfig& cfg) {
   v.set("closed_loop_depth", std::uint64_t{cfg.closed_loop_depth});
   v.set("think_time_us", duration_to_us(cfg.think_time));
   v.set("trace_enabled", cfg.trace_enabled);
+  v.set("max_sim_events", cfg.max_sim_events);
   return v;
 }
 
@@ -575,6 +576,8 @@ void apply_json(platform::PlatformConfig& cfg, const Value& v) {
       cfg.think_time = read_duration_us(m, key);
     } else if (key == "trace_enabled") {
       cfg.trace_enabled = read_bool(m, key);
+    } else if (key == "max_sim_events") {
+      cfg.max_sim_events = read_u64(m, key);
     } else {
       return false;
     }
@@ -637,6 +640,10 @@ Value to_json(const runner::RunnerConfig& cfg) {
   v.set("threads", std::uint64_t{cfg.threads});
   v.set("fail_fast", cfg.fail_fast);
   v.set("campaign_timeout_seconds", cfg.campaign_timeout_seconds);
+  v.set("retry_limit", std::uint64_t{cfg.retry_limit});
+  v.set("retry_backoff_ms", cfg.retry_backoff_ms);
+  v.set("retry_backoff_max_ms", cfg.retry_backoff_max_ms);
+  v.set("retry_jitter_seed", cfg.retry_jitter_seed);
   return v;
 }
 
@@ -648,6 +655,14 @@ void apply_json(runner::RunnerConfig& cfg, const Value& v) {
       cfg.fail_fast = read_bool(m, key);
     } else if (key == "campaign_timeout_seconds") {
       cfg.campaign_timeout_seconds = read_double(m, key, 0.0, 1e9);
+    } else if (key == "retry_limit") {
+      cfg.retry_limit = read_u32(m, key, 0, 1000);
+    } else if (key == "retry_backoff_ms") {
+      cfg.retry_backoff_ms = read_double(m, key, 0.0, 1e9);
+    } else if (key == "retry_backoff_max_ms") {
+      cfg.retry_backoff_max_ms = read_double(m, key, 0.0, 1e9);
+    } else if (key == "retry_jitter_seed") {
+      cfg.retry_jitter_seed = read_u64(m, key);
     } else {
       return false;
     }

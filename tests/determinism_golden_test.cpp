@@ -21,6 +21,7 @@
 #include "platform/test_platform.hpp"
 #include "psu/power_supply.hpp"
 #include "spec/campaign.hpp"
+#include "spec/checkpoint.hpp"
 #include "ssd/presets.hpp"
 #include "workload/checksum.hpp"
 
@@ -191,6 +192,34 @@ TEST(DeterminismGolden, GoldenSpecFileReproducesGoldenHash) {
   ASSERT_EQ(rows.size(), 1U);
   EXPECT_EQ(hash_str(canonical(rows[0].result)), kGolden[0].expect.result)
       << "specs/golden.json drifted from the programmatic golden campaign";
+}
+
+// The resilience acceptance check: run the golden campaign with a checkpoint,
+// then run it again from the checkpoint alone (--resume). The restored result
+// travelled disk → JSONL → disk, so this only passes if every field — doubles
+// included — round-trips bit-exactly and the resume splice changes nothing.
+TEST(DeterminismGolden, CheckpointResumeReproducesGoldenHash) {
+  const char* dir = std::getenv("POFI_SPEC_DIR");
+  const std::string path =
+      std::string(dir == nullptr ? POFI_SPEC_DIR : dir) + "/golden.json";
+  const std::string checkpoint = "/tmp/pofi_golden_checkpoint.jsonl";
+  std::remove(checkpoint.c_str());
+
+  const auto campaign = spec::load_campaign_file(path);
+  spec::RunCampaignOptions options;
+  options.checkpoint_path = checkpoint;
+  const auto fresh = spec::run_campaign(campaign, options);
+  ASSERT_EQ(fresh.size(), 1U);
+  ASSERT_EQ(fresh[0].status, runner::CampaignStatus::kOk);
+  EXPECT_EQ(hash_str(canonical(fresh[0].result)), kGolden[0].expect.result);
+
+  options.resume = true;
+  const auto resumed = spec::run_campaign(campaign, options);
+  ASSERT_EQ(resumed.size(), 1U);
+  EXPECT_EQ(resumed[0].status, runner::CampaignStatus::kSkippedCached);
+  EXPECT_EQ(hash_str(canonical(resumed[0].result)), kGolden[0].expect.result)
+      << "checkpoint round-trip is not lossless: the restored result hashes "
+         "differently from the one the campaign produced";
 }
 
 // Same seed, two fresh platforms: rows and traces must be bit-identical.

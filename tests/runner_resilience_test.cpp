@@ -1,0 +1,357 @@
+// Resilience tests for the campaign runner: retry-with-backoff, quarantine,
+// step-budget watchdog aborts, cooperative cancellation, checkpoint-restored
+// entries, the result hook, and the JSONL taxonomy records.
+//
+// Synthetic jobs throughout — the runner is generic over what a campaign
+// runs, so injected failures are plain lambdas that throw on command. The
+// checkpoint/resume integration against the real platform stack lives in
+// spec_checkpoint_test.cpp and determinism_golden_test.cpp.
+#include "runner/campaign_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "runner/progress.hpp"
+#include "sim/simulator.hpp"
+
+namespace pofi::runner {
+namespace {
+
+platform::ExperimentResult synthetic_result(std::uint64_t tag) {
+  platform::ExperimentResult r;
+  r.requests_submitted = tag;
+  r.data_failures = tag * 3;
+  r.mean_latency_us = 0.1 * static_cast<double>(tag);
+  return r;
+}
+
+class RecordingSink final : public ProgressSink {
+ public:
+  void on_event(const ProgressEvent& event) override { events_.push_back(event); }
+  [[nodiscard]] const std::vector<ProgressEvent>& events() const { return events_; }
+
+ private:
+  std::vector<ProgressEvent> events_;
+};
+
+/// A job that throws `failures` times, then succeeds. Each *suite run* gets
+/// fresh counters, so retries within one run are what is being counted.
+struct FlakyJob {
+  std::shared_ptr<std::atomic<std::uint32_t>> calls;
+  std::uint32_t failures;
+  std::uint64_t tag;
+
+  FlakyJob(std::uint32_t failures_in, std::uint64_t tag_in)
+      : calls(std::make_shared<std::atomic<std::uint32_t>>(0)),
+        failures(failures_in),
+        tag(tag_in) {}
+
+  platform::ExperimentResult operator()() const {
+    if (calls->fetch_add(1) < failures) {
+      throw std::runtime_error("transient fault #" + std::to_string(calls->load()));
+    }
+    return synthetic_result(tag);
+  }
+};
+
+TEST(RunnerResilience, FlakyJobRetriesThenSucceeds) {
+  RecordingSink sink;
+  RunnerConfig config;
+  config.threads = 1;
+  config.retry_limit = 3;
+  CampaignRunner runner(config, &sink);
+  runner.add("flaky", FlakyJob(/*failures=*/2, /*tag=*/7));
+
+  const auto outcomes = runner.run();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].status, CampaignStatus::kRetriedOk);
+  EXPECT_EQ(outcomes[0].attempts, 3u);
+  EXPECT_TRUE(outcomes[0].error.empty());  // the *last* attempt succeeded
+  EXPECT_EQ(outcomes[0].result.requests_submitted, 7u);
+
+  // Two retry events, attempt-numbered, each carrying the thrown message.
+  std::vector<const ProgressEvent*> retries;
+  for (const auto& ev : sink.events()) {
+    if (ev.phase == CampaignPhase::kRetry) retries.push_back(&ev);
+  }
+  ASSERT_EQ(retries.size(), 2u);
+  EXPECT_EQ(retries[0]->attempt, 1u);
+  EXPECT_EQ(retries[1]->attempt, 2u);
+  EXPECT_NE(retries[0]->error.find("transient fault"), std::string::npos);
+  EXPECT_EQ(sink.events().back().status, CampaignStatus::kRetriedOk);
+  EXPECT_EQ(sink.events().back().attempt, 3u);
+}
+
+TEST(RunnerResilience, RetriedResultsAreIdenticalAtAnyThreadCount) {
+  const auto run_suite = [](unsigned threads) {
+    RunnerConfig config;
+    config.threads = threads;
+    config.retry_limit = 2;
+    CampaignRunner runner(config);
+    for (std::uint64_t i = 0; i < 6; ++i) {
+      runner.add("f-" + std::to_string(i),
+                 FlakyJob(/*failures=*/static_cast<std::uint32_t>(i % 3), /*tag=*/i));
+    }
+    return runner.run();
+  };
+  const auto seq = run_suite(1);
+  const auto two = run_suite(2);
+  const auto four = run_suite(4);
+  ASSERT_EQ(seq.size(), 6u);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].status, i % 3 == 0 ? CampaignStatus::kOk : CampaignStatus::kRetriedOk);
+    EXPECT_EQ(seq[i].attempts, i % 3 + 1);
+    for (const auto* other : {&two, &four}) {
+      EXPECT_EQ(seq[i].status, (*other)[i].status);
+      EXPECT_EQ(seq[i].attempts, (*other)[i].attempts);
+      EXPECT_EQ(seq[i].result.requests_submitted, (*other)[i].result.requests_submitted);
+      EXPECT_EQ(seq[i].result.mean_latency_us, (*other)[i].result.mean_latency_us);
+    }
+  }
+}
+
+TEST(RunnerResilience, QuarantineIsolatesThePoisonEntry) {
+  RecordingSink sink;
+  RunnerConfig config;
+  config.threads = 2;
+  config.retry_limit = 1;
+  CampaignRunner runner(config, &sink);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    if (i == 2) {
+      runner.add("poison", []() -> platform::ExperimentResult {
+        throw std::runtime_error("always broken");
+      });
+    } else {
+      runner.add("ok-" + std::to_string(i), [i] { return synthetic_result(i); });
+    }
+  }
+  const auto outcomes = runner.run();
+  ASSERT_EQ(outcomes.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (i == 2) {
+      EXPECT_EQ(outcomes[i].status, CampaignStatus::kQuarantined);
+      EXPECT_EQ(outcomes[i].attempts, 2u);  // first try + one retry
+      EXPECT_EQ(outcomes[i].error, "always broken");
+    } else {
+      EXPECT_EQ(outcomes[i].status, CampaignStatus::kOk);
+      EXPECT_EQ(outcomes[i].result.requests_submitted, i);
+    }
+  }
+  // The suite ran to completion: every campaign resolved through the sink.
+  EXPECT_EQ(sink.events().back().finished, 6u);
+}
+
+TEST(RunnerResilience, StepLimitAbortIsRetriedThenQuarantined) {
+  // A simulator that trips its step budget throws AbortError(kStepLimit);
+  // the runner treats that like any failed attempt (a deterministic rerun of
+  // a pathological config will trip again, but a mis-set budget is a config
+  // problem, not a reason to kill the suite).
+  RunnerConfig config;
+  config.threads = 1;
+  config.retry_limit = 2;
+  CampaignRunner runner(config);
+  runner.add("stuck", []() -> platform::ExperimentResult {
+    throw sim::AbortError(sim::AbortReason::kStepLimit,
+                          "simulation step budget exceeded (100 events)");
+  });
+  runner.add("fine", [] { return synthetic_result(9); });
+
+  const auto outcomes = runner.run();
+  EXPECT_EQ(outcomes[0].status, CampaignStatus::kQuarantined);
+  EXPECT_EQ(outcomes[0].attempts, 3u);
+  EXPECT_NE(outcomes[0].error.find("step budget"), std::string::npos);
+  EXPECT_EQ(outcomes[1].status, CampaignStatus::kOk);
+}
+
+TEST(RunnerResilience, CancelTokenStopsDequeuingAndSkipsTheRest) {
+  std::atomic<bool> cancel{false};
+  RunnerConfig config;
+  config.threads = 1;
+  config.cancel = &cancel;
+  CampaignRunner runner(config);
+  runner.add("first", [&cancel] {
+    cancel.store(true);  // operator hits Ctrl-C while this entry runs
+    return synthetic_result(1);
+  });
+  runner.add("never-a", [] { return synthetic_result(2); });
+  runner.add("never-b", [] { return synthetic_result(3); });
+
+  const auto outcomes = runner.run();
+  // The in-flight entry completed (it returned before the token was polled);
+  // everything still queued resolves kSkipped.
+  EXPECT_EQ(outcomes[0].status, CampaignStatus::kOk);
+  EXPECT_EQ(outcomes[1].status, CampaignStatus::kSkipped);
+  EXPECT_EQ(outcomes[2].status, CampaignStatus::kSkipped);
+}
+
+TEST(RunnerResilience, SimulatorCancelAbortResolvesEntryAsCancelled) {
+  // An entry unwinding with AbortError(kCancelled) — its simulator observed
+  // the shared token mid-run — must not be retried: the operator asked for a
+  // stop, so the entry resolves kCancelled and the suite drains.
+  RunnerConfig config;
+  config.threads = 1;
+  config.retry_limit = 5;  // must NOT be consumed
+  CampaignRunner runner(config);
+  runner.add("interrupted", []() -> platform::ExperimentResult {
+    throw sim::AbortError(sim::AbortReason::kCancelled, "simulation cancelled");
+  });
+  runner.add("queued", [] { return synthetic_result(4); });
+
+  const auto outcomes = runner.run();
+  EXPECT_EQ(outcomes[0].status, CampaignStatus::kCancelled);
+  EXPECT_EQ(outcomes[0].attempts, 1u);
+  EXPECT_EQ(outcomes[1].status, CampaignStatus::kSkipped);
+}
+
+TEST(RunnerResilience, CachedEntriesResolveUpFrontAndKeepSuiteTotals) {
+  RecordingSink sink;
+  RunnerConfig config;
+  config.threads = 2;
+  CampaignRunner runner(config, &sink);
+  EXPECT_EQ(runner.add_completed("cached-0", synthetic_result(10)), 0u);
+  EXPECT_EQ(runner.add("live-1", [] { return synthetic_result(11); }), 1u);
+  EXPECT_EQ(runner.add_completed("cached-2", synthetic_result(12)), 2u);
+  EXPECT_EQ(runner.add("live-3", [] { return synthetic_result(13); }), 3u);
+
+  const auto outcomes = runner.run();
+  ASSERT_EQ(outcomes.size(), 4u);
+  EXPECT_EQ(outcomes[0].status, CampaignStatus::kSkippedCached);
+  EXPECT_EQ(outcomes[1].status, CampaignStatus::kOk);
+  EXPECT_EQ(outcomes[2].status, CampaignStatus::kSkippedCached);
+  EXPECT_EQ(outcomes[3].status, CampaignStatus::kOk);
+  EXPECT_EQ(outcomes[0].result.requests_submitted, 10u);
+  EXPECT_EQ(outcomes[2].result.requests_submitted, 12u);
+
+  // Restored entries resolve before any live campaign starts, and the suite
+  // aggregates count them exactly as if they had run.
+  std::size_t first_started = sink.events().size();
+  std::size_t last_cached_finish = 0;
+  for (std::size_t i = 0; i < sink.events().size(); ++i) {
+    const auto& ev = sink.events()[i];
+    if (ev.phase == CampaignPhase::kStarted && i < first_started) first_started = i;
+    if (ev.phase == CampaignPhase::kFinished && ev.status == CampaignStatus::kSkippedCached) {
+      last_cached_finish = i;
+    }
+  }
+  EXPECT_LT(last_cached_finish, first_started);
+  std::uint64_t expected_loss = 0;
+  for (std::uint64_t tag : {10, 11, 12, 13}) {
+    expected_loss += synthetic_result(tag).total_data_loss();
+  }
+  EXPECT_EQ(sink.events().back().suite_data_loss, expected_loss);
+  EXPECT_EQ(sink.events().back().finished, 4u);
+}
+
+TEST(RunnerResilience, ResultHookSeesRanEntriesAndSurvivesThrowing) {
+  RunnerConfig config;
+  config.threads = 1;
+  CampaignRunner runner(config);
+  runner.add_completed("cached", synthetic_result(1));
+  runner.add("live-a", [] { return synthetic_result(2); });
+  runner.add("live-b", [] { return synthetic_result(3); });
+
+  std::vector<std::size_t> hooked;
+  runner.set_result_hook([&hooked](std::size_t index, const CampaignRunner::Outcome& out) {
+    hooked.push_back(index);
+    EXPECT_TRUE(is_success(out.status));
+    throw std::runtime_error("hook exploded");  // must not take down the suite
+  });
+  const auto outcomes = runner.run();
+  ASSERT_EQ(outcomes.size(), 3u);
+  for (const auto& out : outcomes) EXPECT_TRUE(is_success(out.status));
+  // Checkpoint-restored entries are not re-recorded; live ones are, even
+  // though the hook throws every time.
+  EXPECT_EQ(hooked, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(RunnerResilience, BackoffScheduleIsDeterministicAndBounded) {
+  RunnerConfig config;
+  config.retry_backoff_ms = 2.0;
+  config.retry_backoff_max_ms = 10.0;
+
+  EXPECT_EQ(backoff_delay_ms(config, 0, 0), 0.0);  // first attempt never waits
+  for (std::size_t entry = 0; entry < 4; ++entry) {
+    double prev_base = 0.0;
+    for (std::uint32_t attempt = 1; attempt <= 6; ++attempt) {
+      const double d = backoff_delay_ms(config, entry, attempt);
+      const double base = std::min(2.0 * static_cast<double>(1u << (attempt - 1)), 10.0);
+      // Jittered into [base/2, base), monotone caps at max, and bit-exactly
+      // reproducible: the schedule is a pure function, never wall-clock.
+      EXPECT_GE(d, base * 0.5);
+      EXPECT_LT(d, base);
+      EXPECT_EQ(d, backoff_delay_ms(config, entry, attempt));
+      EXPECT_GE(base, prev_base);
+      prev_base = base;
+    }
+  }
+  // Distinct entries retrying at the same attempt decorrelate.
+  EXPECT_NE(backoff_delay_ms(config, 1, 1), backoff_delay_ms(config, 2, 1));
+
+  RunnerConfig no_backoff;
+  no_backoff.retry_backoff_ms = 0.0;
+  EXPECT_EQ(backoff_delay_ms(no_backoff, 0, 3), 0.0);
+}
+
+TEST(JsonlProgressSink, EmitsRetryAndQuarantineRecords) {
+  std::ostringstream out;
+  JsonlProgress sink(out);
+  RunnerConfig config;
+  config.threads = 1;
+  config.retry_limit = 1;
+  config.retry_backoff_ms = 0.5;
+  CampaignRunner runner(config, &sink);
+  runner.add("doomed", []() -> platform::ExperimentResult {
+    throw std::runtime_error("injected");
+  });
+  (void)runner.run();
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"event\":\"retry\""), std::string::npos);
+  EXPECT_NE(text.find("\"attempt\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"backoff_ms\":"), std::string::npos);
+  EXPECT_NE(text.find("\"error\":\"injected\""), std::string::npos);
+  EXPECT_NE(text.find("\"status\":\"quarantined\""), std::string::npos);
+  EXPECT_NE(text.find("\"attempts\":2"), std::string::npos);
+  // Every line is one complete object (single-write flushing is exercised
+  // for real in the checkpoint tests; here the framing must hold).
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+}
+
+TEST(CampaignStatusTaxonomy, StringsRoundTrip) {
+  for (CampaignStatus s :
+       {CampaignStatus::kPending, CampaignStatus::kOk, CampaignStatus::kRetriedOk,
+        CampaignStatus::kFailed, CampaignStatus::kTimedOut, CampaignStatus::kQuarantined,
+        CampaignStatus::kCancelled, CampaignStatus::kSkipped,
+        CampaignStatus::kSkippedCached}) {
+    CampaignStatus parsed{};
+    ASSERT_TRUE(status_from_string(to_string(s), parsed)) << to_string(s);
+    EXPECT_EQ(parsed, s);
+  }
+  CampaignStatus parsed{};
+  EXPECT_FALSE(status_from_string("no-such-status", parsed));
+}
+
+TEST(CampaignStatusTaxonomy, SuccessPredicateMatchesResultValidity) {
+  EXPECT_TRUE(is_success(CampaignStatus::kOk));
+  EXPECT_TRUE(is_success(CampaignStatus::kRetriedOk));
+  EXPECT_TRUE(is_success(CampaignStatus::kTimedOut));  // completed, over budget
+  EXPECT_TRUE(is_success(CampaignStatus::kSkippedCached));
+  EXPECT_FALSE(is_success(CampaignStatus::kPending));
+  EXPECT_FALSE(is_success(CampaignStatus::kFailed));
+  EXPECT_FALSE(is_success(CampaignStatus::kQuarantined));
+  EXPECT_FALSE(is_success(CampaignStatus::kCancelled));
+  EXPECT_FALSE(is_success(CampaignStatus::kSkipped));
+}
+
+}  // namespace
+}  // namespace pofi::runner
