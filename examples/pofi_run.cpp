@@ -21,16 +21,20 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "platform/campaign_suite.hpp"
 #include "platform/report.hpp"
 #include "runner/progress.hpp"
 #include "spec/campaign.hpp"
 #include "spec/codec.hpp"
+#include "spec/obs_json.hpp"
 #include "spec/version.hpp"
 #include "ssd/presets.hpp"
 #include "stats/table.hpp"
@@ -84,6 +88,7 @@ struct Options {
   std::string progress = "console";
   std::string spec_path;
   std::string checkpoint_path;
+  std::string metrics_dir;
   bool resume = false;
   bool dump_spec = false;
   std::vector<std::string> sets;  ///< --set key=value overrides, in order
@@ -124,6 +129,11 @@ struct Options {
       "  --resume             skip campaigns already recorded in --checkpoint\n"
       "                       FILE; merged results are bit-identical to an\n"
       "                       uninterrupted run of the same spec\n"
+      "  --metrics DIR        collect per-experiment telemetry (src/obs) and\n"
+      "                       export one JSON file per entry into DIR, plus a\n"
+      "                       runner.json worker-utilization sidecar; each file\n"
+      "                       is stamped with the spec content hash\n"
+      "  --version            print the build-provenance stamp and exit\n"
       "  --help               this text\n"
       "\n"
       "resilience (spec \"runner\" section, or --set runner.KEY=VALUE):\n"
@@ -154,7 +164,18 @@ Options parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--help" || a == "-h") usage(0);
+    else if (a == "--version") {
+      // The provenance stamp written into reports/CSV/metrics artifacts,
+      // plus enough build detail to reproduce the binary.
+      std::printf("%s\n", spec::pofi_version());
+#if defined(__VERSION__)
+      std::printf("compiler: %s\n", __VERSION__);
+#endif
+      std::printf("observability: %s\n", POFI_OBS_ENABLED ? "compiled in" : "compiled out");
+      std::exit(0);
+    }
     else if (a == "--spec") o.spec_path = next_arg(argc, argv, i);
+    else if (a == "--metrics") o.metrics_dir = next_arg(argc, argv, i);
     else if (a == "--checkpoint") o.checkpoint_path = next_arg(argc, argv, i);
     else if (a == "--resume") o.resume = true;
     else if (a == "--dump-spec") o.dump_spec = true;
@@ -294,6 +315,57 @@ void apply_set(spec::Value& doc, const std::string& kv) {
   doc.set_path(path, std::move(value));
 }
 
+/// --metrics DIR: one JSON telemetry file per successful entry, stamped with
+/// the campaign name, spec content hash, build version, entry index, label
+/// and resolved seed — enough to join any metrics file back to its exact
+/// campaign row. A runner.json sidecar carries worker-utilization counters.
+bool export_metrics_dir(const std::string& dir, const spec::CampaignSpec& campaign,
+                        const std::string& hash,
+                        const std::vector<runner::CampaignRunner::Outcome>& outcomes,
+                        obs::MetricRegistry& runner_registry) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "pofi_run: cannot create metrics dir %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return false;
+  }
+  const auto write_file = [&](const std::string& name, const spec::Value& v) {
+    const std::filesystem::path path = std::filesystem::path(dir) / name;
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << spec::dump(v) << "\n";
+    if (!f.good()) {
+      std::fprintf(stderr, "pofi_run: failed writing %s\n", path.string().c_str());
+      return false;
+    }
+    return true;
+  };
+  bool ok = true;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const auto& out = outcomes[i];
+    if (!runner::is_success(out.status)) continue;
+    spec::Value v = spec::Value::object();
+    v.set("campaign", campaign.name);
+    v.set("spec", hash);
+    v.set("version", spec::pofi_version());
+    v.set("entry", static_cast<std::uint64_t>(i));
+    v.set("label", out.label);
+    v.set("seed", campaign.entries[i].experiment.seed);
+    v.set("status", runner::to_string(out.status));
+    v.set("metrics", spec::to_json(out.result.metrics));
+    char name[32];
+    std::snprintf(name, sizeof name, "entry-%04zu.json", i);
+    ok = write_file(name, v) && ok;
+  }
+  spec::Value sidecar = spec::Value::object();
+  sidecar.set("campaign", campaign.name);
+  sidecar.set("spec", hash);
+  sidecar.set("version", spec::pofi_version());
+  sidecar.set("runner", spec::to_json(runner_registry.snapshot()));
+  ok = write_file("runner.json", sidecar) && ok;
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -337,7 +409,20 @@ int main(int argc, char** argv) {
     run_options.checkpoint_path = o.checkpoint_path;
     run_options.resume = o.resume;
     run_options.cancel = &g_cancel;
+    obs::MetricRegistry runner_registry;
+    if (!o.metrics_dir.empty()) {
+      if (!POFI_OBS_ENABLED) {
+        std::fprintf(stderr,
+                     "pofi_run: warning: observability compiled out (POFI_OBS=OFF); "
+                     "--metrics will export empty per-entry snapshots\n");
+      }
+      run_options.collect_metrics = true;
+      run_options.runner_metrics = &runner_registry;
+    }
     const auto outcomes = spec::run_campaign(campaign, run_options);
+    if (!o.metrics_dir.empty()) {
+      export_metrics_dir(o.metrics_dir, campaign, hash, outcomes, runner_registry);
+    }
 
     // Fold the outcome taxonomy into rows + exit status. is_success covers
     // ok / retried-ok / timed-out / skipped-cached; everything else either

@@ -36,14 +36,14 @@ fi
 # campaigns running on TSan-instrumented workers execute this exact code, so
 # the fuzz under TSan both exercises the instrumented kernel at depth and
 # documents the single-thread-per-queue contract.
-echo "==> TSan: configure + build runner + event-kernel tests (build-tsan/, -DPOFI_SANITIZE=thread)"
+echo "==> TSan: configure + build runner + event-kernel + obs tests (build-tsan/, -DPOFI_SANITIZE=thread)"
 cmake -B build-tsan -S . -DPOFI_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "${JOBS}" --target runner_test runner_resilience_test platform_suite_test sim_property_test
+cmake --build build-tsan -j "${JOBS}" --target runner_test runner_resilience_test platform_suite_test sim_property_test obs_concurrency_test
 
-echo "==> TSan: ctest (runner + resilience + suite + event-kernel fuzz)"
+echo "==> TSan: ctest (runner + resilience + suite + event-kernel fuzz + obs registry)"
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-        -R 'CampaignRunner|RunnerDeterminism|RunnerResilience|JsonlProgressSink|CampaignSuite|EventQueueFuzz|EventQueueClear'
+        -R 'CampaignRunner|RunnerDeterminism|RunnerResilience|JsonlProgressSink|CampaignSuite|EventQueueFuzz|EventQueueClear|ObsConcurrency'
 
 # The resilience layer leans on exactly the constructs UBSan polices: integer
 # backoff arithmetic, enum round-trips from untrusted JSONL, and strtoull
@@ -51,11 +51,11 @@ TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
 # under -fsanitize=undefined and run them plus the golden resume gate.
 echo "==> UBSan: configure + build resilience tests (build-ubsan/, -DPOFI_SANITIZE=undefined)"
 cmake -B build-ubsan -S . -DPOFI_SANITIZE=undefined >/dev/null
-cmake --build build-ubsan -j "${JOBS}" --target runner_resilience_test spec_checkpoint_test determinism_golden_test
+cmake --build build-ubsan -j "${JOBS}" --target runner_resilience_test spec_checkpoint_test determinism_golden_test obs_metrics_test obs_attribution_test
 
-echo "==> UBSan: ctest (retry + checkpoint + resume determinism)"
+echo "==> UBSan: ctest (retry + checkpoint + resume determinism + obs codec)"
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
   ctest --test-dir build-ubsan --output-on-failure -j "${JOBS}" \
-        -R 'RunnerResilience|CampaignStatusTaxonomy|JsonlProgressSink|Checkpoint|DeterminismGolden'
+        -R 'RunnerResilience|CampaignStatusTaxonomy|JsonlProgressSink|Checkpoint|DeterminismGolden|ObsMetrics|ObsTrace|ObsAttribution'
 
 echo "==> all checks passed"

@@ -3,10 +3,23 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+
 namespace pofi::blk {
 
 BlockQueue::BlockQueue(sim::Simulator& simulator, ssd::Ssd& device, Config config)
-    : sim_(simulator), device_(device), config_(config) {}
+    : sim_(simulator), device_(device), config_(config) {
+  if (auto* m = sim_.metrics()) {
+    obs_outstanding_ = m->gauge("blk.queue.outstanding");
+    obs_timeouts_ = m->counter("blk.timeouts");
+    // Sub-requests per host request; >1 means the splitter kicked in.
+    obs_split_fanout_ = m->histogram("blk.split.fanout", {1, 2, 4, 8, 16, 32});
+  }
+}
+
+void BlockQueue::obs_outstanding_gauge() {
+  if (auto* m = sim_.metrics()) m->set(obs_outstanding_, live_.size());
+}
 
 BlockQueue::BlockQueue(sim::Simulator& simulator, ssd::Ssd& device)
     : BlockQueue(simulator, device, Config{}) {}
@@ -36,6 +49,8 @@ std::uint64_t BlockQueue::submit_discard(ftl::Lpn lpn, std::uint32_t pages,
   trace_.record(TraceEvent{sim_.now(), Action::kQueued, id, 0, lpn, pages, true});
   req.timeout_event = sim_.after(config_.request_timeout, [this, id] { fire_timeout(id); });
   live_.emplace(id, std::move(req));
+  obs_outstanding_gauge();
+  if (auto* m = sim_.metrics()) m->record(obs_split_fanout_, 1);
 
   trace_.record(TraceEvent{sim_.now(), Action::kDispatch, id, 0, lpn, pages, true});
   ssd::Command cmd;
@@ -61,6 +76,8 @@ std::uint64_t BlockQueue::submit_flush(Completion done) {
   trace_.record(TraceEvent{sim_.now(), Action::kQueued, id, 0, 0, 0, true});
   req.timeout_event = sim_.after(config_.request_timeout, [this, id] { fire_timeout(id); });
   live_.emplace(id, std::move(req));
+  obs_outstanding_gauge();
+  if (auto* m = sim_.metrics()) m->record(obs_split_fanout_, 1);
 
   trace_.record(TraceEvent{sim_.now(), Action::kDispatch, id, 0, 0, 0, true});
   ssd::Command cmd;
@@ -97,6 +114,8 @@ std::uint64_t BlockQueue::submit(bool is_write, ftl::Lpn lpn, std::uint32_t page
   req.timeout_event =
       sim_.after(config_.request_timeout, [this, id] { fire_timeout(id); });
   live_.emplace(id, std::move(req));
+  obs_outstanding_gauge();
+  if (auto* m = sim_.metrics()) m->record(obs_split_fanout_, n_subs);
 
   for (std::uint32_t s = 0; s < n_subs; ++s) {
     const ftl::Lpn sub_lpn = lpn + static_cast<ftl::Lpn>(s) * max_sub;
@@ -173,6 +192,7 @@ void BlockQueue::maybe_complete(std::uint64_t id) {
   }
   auto done = std::move(req.done);
   live_.erase(it);
+  obs_outstanding_gauge();
   if (done) done(std::move(out));
 }
 
@@ -182,6 +202,7 @@ void BlockQueue::fire_timeout(std::uint64_t id) {
   LiveRequest& req = it->second;
   trace_.record(TraceEvent{sim_.now(), Action::kTimeout, id, 0, req.lpn, req.pages, req.is_write});
   ++stats_.timeouts;
+  if (auto* m = sim_.metrics()) m->add(obs_timeouts_);
 
   RequestOutcome out;
   out.request_id = id;
@@ -190,6 +211,7 @@ void BlockQueue::fire_timeout(std::uint64_t id) {
   out.finished_at = sim_.now();
   auto done = std::move(req.done);
   live_.erase(it);
+  obs_outstanding_gauge();
   if (done) done(std::move(out));
 }
 

@@ -14,6 +14,7 @@
 
 #include "blk/trace.hpp"
 #include "ftl/types.hpp"
+#include "obs/fwd.hpp"
 #include "sim/inplace_function.hpp"
 #include "stats/summary.hpp"
 #include "sim/simulator.hpp"
@@ -116,6 +117,14 @@ class BlockQueue {
   BlockQueueStats stats_;
   std::unordered_map<std::uint64_t, LiveRequest> live_;
   std::uint64_t next_id_ = 1;
+
+  /// Refresh the outstanding-request gauge from live_.
+  void obs_outstanding_gauge();
+
+  // Observability handles (no-ops unless a registry is attached to sim_).
+  obs::MetricId obs_outstanding_ = obs::kNoMetric;
+  obs::MetricId obs_timeouts_ = obs::kNoMetric;
+  obs::MetricId obs_split_fanout_ = obs::kNoMetric;
 };
 
 }  // namespace pofi::blk

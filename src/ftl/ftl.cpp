@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
 #include "sim/log.hpp"
 
 namespace pofi::ftl {
@@ -19,19 +20,39 @@ Ftl::Ftl(sim::Simulator& simulator, nand::ChipArray& chips, Config config)
       map_(config.mapping_policy, config.extent_frame_pages, config.extent_min_fill,
            config.lpn_capacity != 0 ? config.lpn_capacity
                                     : chips.geometry().total_pages()),
-      alloc_(chips.geometry()) {}
+      alloc_(chips.geometry()) {
+  if (auto* m = sim_.metrics()) {
+    obs_gc_invocations_ = m->counter("ftl.gc.invocations");
+    obs_journal_flushes_ = m->counter("ftl.journal.flushes");
+    obs_journal_entries_ = m->counter("ftl.journal.entries_persisted");
+    obs_por_pages_scanned_ = m->counter("ftl.por.pages_scanned");
+    obs_por_recovered_ = m->counter("ftl.por.entries_recovered");
+    obs_map_reverted_ = m->counter("ftl.map.updates_reverted");
+    obs_failed_writes_ = m->counter("ftl.write.failed");
+    obs_badblock_retired_ = m->counter("ftl.badblock.retired");
+    obs_span_gc_ = m->trace().intern("ftl.gc");
+    obs_span_journal_ = m->trace().intern("ftl.journal.flush");
+    obs_span_por_ = m->trace().intern("ftl.por.scan");
+  }
+}
+
+void Ftl::obs_gc_span_end() {
+  if (auto* m = sim_.metrics()) m->trace().end(obs_span_gc_, sim_.now());
+}
 
 // ------------------------------------------------------------- host writes
 
 void Ftl::write(Lpn lpn, std::uint64_t content, WriteCallback cb) {
   if (!powered_) {
     ++stats_.failed_writes;
+    if (auto* m = sim_.metrics()) m->add(obs_failed_writes_);
     cb(false);
     return;
   }
   const auto ppn = alloc_.alloc_page(Stream::kHost);
   if (!ppn.has_value()) {
     ++stats_.failed_writes;
+    if (auto* m = sim_.metrics()) m->add(obs_failed_writes_);
     cb(false);
     return;
   }
@@ -42,7 +63,10 @@ void Ftl::write(Lpn lpn, std::uint64_t content, WriteCallback cb) {
     // the flash program races the next power fault.
     finish_host_write(lpn, *ppn, content);
     chip_.program(*ppn, content, oob, [this, cb = std::move(cb)](nand::OpResult r) {
-      if (!r.ok()) ++stats_.failed_writes;
+      if (!r.ok()) {
+        ++stats_.failed_writes;
+        if (auto* m = sim_.metrics()) m->add(obs_failed_writes_);
+      }
       cb(r.ok());
     });
     return;
@@ -51,6 +75,7 @@ void Ftl::write(Lpn lpn, std::uint64_t content, WriteCallback cb) {
                 [this, lpn, ppn = *ppn, content, cb = std::move(cb)](nand::OpResult r) {
                   if (!r.ok()) {
                     ++stats_.failed_writes;
+                    if (auto* m = sim_.metrics()) m->add(obs_failed_writes_);
                     cb(false);
                     return;
                   }
@@ -146,13 +171,19 @@ void Ftl::persist_batch(std::uint64_t batch) {
   journal_in_flight_ = true;
   const std::size_t entries = map_.batch_size(batch);
   const std::uint64_t cut_seq = write_seq_ - 1;
+  if (auto* m = sim_.metrics()) m->trace().begin(obs_span_journal_, sim_.now());
   chip_.program(*ppn, kJournalTagBase | batch, [this, batch, entries,
                                                 cut_seq](nand::OpResult r) {
     journal_in_flight_ = false;
+    if (auto* m = sim_.metrics()) m->trace().end(obs_span_journal_, sim_.now());
     if (!r.ok()) return;  // batch stays volatile; next tick recuts it
     map_.commit_batch(batch);
     ++stats_.journal_flushes;
     stats_.journal_entries_persisted += entries;
+    if (auto* m = sim_.metrics()) {
+      m->add(obs_journal_flushes_);
+      m->add(obs_journal_entries_, entries);
+    }
     if (map_.volatile_count() == 0) {
       // Full checkpoint: everything stamped up to cut_seq is durable.
       checkpoint_seq_ = cut_seq;
@@ -190,6 +221,10 @@ void Ftl::maybe_start_gc() {
     }
   }
   gc_running_ = true;
+  if (auto* m = sim_.metrics()) {
+    m->add(obs_gc_invocations_);
+    m->trace().begin(obs_span_gc_, sim_.now());
+  }
   alloc_.unseal(victim);
   gc_relocate_next(victim, 0);
 }
@@ -197,6 +232,7 @@ void Ftl::maybe_start_gc() {
 void Ftl::gc_relocate_next(BlockId victim, std::uint32_t page_index) {
   if (!powered_) {
     gc_running_ = false;
+    obs_gc_span_end();
     return;
   }
   const auto& geom = chip_.geometry();
@@ -214,10 +250,12 @@ void Ftl::gc_relocate_next(BlockId victim, std::uint32_t page_index) {
   chip_.read(ppn, [this, victim, page_index, lpn, ppn](nand::ReadResult r) {
     if (!powered_) {
       gc_running_ = false;
+      obs_gc_span_end();
       return;
     }
     if (r.status == nand::ReadResult::Status::kPowerLost) {
       gc_running_ = false;
+      obs_gc_span_end();
       return;
     }
     // Relocate whatever the array returned — if ECC failed, the corruption
@@ -225,6 +263,7 @@ void Ftl::gc_relocate_next(BlockId victim, std::uint32_t page_index) {
     const auto dst = alloc_.alloc_page(Stream::kGc);
     if (!dst.has_value()) {
       gc_running_ = false;
+      obs_gc_span_end();
       return;
     }
     const nand::Oob oob{lpn, write_seq_++};
@@ -233,6 +272,7 @@ void Ftl::gc_relocate_next(BlockId victim, std::uint32_t page_index) {
                                          dst = *dst](nand::OpResult pr) {
       if (!powered_ || !pr.ok()) {
         gc_running_ = false;
+        obs_gc_span_end();
         return;
       }
       if (map_.lookup(lpn) == std::optional<Ppn>(ppn)) {
@@ -249,11 +289,16 @@ void Ftl::gc_relocate_next(BlockId victim, std::uint32_t page_index) {
 void Ftl::gc_erase_victim(BlockId victim) {
   chip_.erase(victim, [this, victim](nand::OpResult r) {
     gc_running_ = false;
+    obs_gc_span_end();
     if (!powered_) return;
     if (r.ok()) {
       valid_count_.erase(victim);
       alloc_.on_block_erased(victim);
       ++stats_.gc_erases;
+    } else if (r.status == nand::OpResult::Status::kBadBlock) {
+      // The victim wore out under us: it never returns to the free pool —
+      // the array-level equivalent of a bad-block remap.
+      if (auto* m = sim_.metrics()) m->add(obs_badblock_retired_);
     }
     maybe_start_gc();
   });
@@ -266,12 +311,19 @@ void Ftl::on_power_lost() {
   sim_.cancel(journal_event_);
   journal_in_flight_ = false;
   gc_running_ = false;
+  if (auto* m = sim_.metrics()) {
+    // Close whatever the fault interrupted; unmatched ends are no-ops.
+    m->trace().end(obs_span_journal_, sim_.now());
+    m->trace().end(obs_span_gc_, sim_.now());
+    m->trace().end(obs_span_por_, sim_.now());
+  }
   emergency_ = false;
   draining_ = false;
   drain_waiters_.clear();
 
   const auto reverted = map_.on_power_lost();
   stats_.map_updates_reverted += reverted.size();
+  if (auto* m = sim_.metrics()) m->add(obs_map_reverted_, reverted.size());
   for (const auto& r : reverted) {
     if (r.dropped_ppn.has_value()) invalidate(*r.dropped_ppn);
     if (r.restored_ppn.has_value()) make_valid(r.lpn, *r.restored_ppn);
@@ -301,6 +353,7 @@ void Ftl::recover_por(std::function<void()> done) {
     }
   }
   auto hits = std::make_shared<std::unordered_map<Lpn, PorHit>>();
+  if (auto* m = sim_.metrics()) m->trace().begin(obs_span_por_, sim_.now());
   por_scan_next(std::move(pages), 0, std::move(hits), std::move(done));
 }
 
@@ -316,6 +369,7 @@ void Ftl::por_scan_next(std::shared_ptr<std::vector<Ppn>> pages, std::size_t ind
   chip_.read_oob(ppn, [this, pages = std::move(pages), index, hits = std::move(hits),
                        done = std::move(done), ppn](nand::NandChip::OobResult r) mutable {
     ++stats_.por_pages_scanned;
+    if (auto* m = sim_.metrics()) m->add(obs_por_pages_scanned_);
     if (r.ok && r.oob.valid() && r.oob.seq > checkpoint_seq_) {
       auto& hit = (*hits)[r.oob.lpn];
       if (r.oob.seq > hit.seq) hit = PorHit{ppn, r.oob.seq};
@@ -339,6 +393,7 @@ void Ftl::por_apply_next(std::shared_ptr<std::vector<std::pair<Lpn, PorHit>>> re
                          std::function<void()> done) {
   if (!powered_) return;  // a second fault killed the recovery; next mount retries
   if (remaining->empty()) {
+    if (auto* m = sim_.metrics()) m->trace().end(obs_span_por_, sim_.now());
     // Checkpoint the recovered map so the next crash starts clean.
     flush_all([done = std::move(done)] {
       if (done) done();
@@ -373,6 +428,7 @@ void Ftl::install_por_hit(Lpn lpn, const PorHit& hit, std::optional<Ppn> current
   map_.update(lpn, hit.ppn);
   make_valid(lpn, hit.ppn);
   ++stats_.por_entries_recovered;
+  if (auto* m = sim_.metrics()) m->add(obs_por_recovered_);
 }
 
 }  // namespace pofi::ftl

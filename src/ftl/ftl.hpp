@@ -19,6 +19,7 @@
 #include "ftl/mapping.hpp"
 #include "ftl/types.hpp"
 #include "nand/chip_array.hpp"
+#include "obs/fwd.hpp"
 #include "sim/simulator.hpp"
 
 namespace pofi::ftl {
@@ -160,6 +161,23 @@ class Ftl {
   void por_apply_next(std::shared_ptr<std::vector<std::pair<Lpn, PorHit>>> remaining,
                       std::function<void()> done);
   void install_por_hit(Lpn lpn, const PorHit& hit, std::optional<Ppn> current);
+
+  /// Close the GC trace span on whichever of the collector's many exit
+  /// paths fires (TraceLog tolerates unmatched ends).
+  void obs_gc_span_end();
+
+  // Observability handles (no-ops unless a registry is attached to sim_).
+  obs::MetricId obs_gc_invocations_ = obs::kNoMetric;
+  obs::MetricId obs_journal_flushes_ = obs::kNoMetric;
+  obs::MetricId obs_journal_entries_ = obs::kNoMetric;
+  obs::MetricId obs_por_pages_scanned_ = obs::kNoMetric;
+  obs::MetricId obs_por_recovered_ = obs::kNoMetric;
+  obs::MetricId obs_map_reverted_ = obs::kNoMetric;
+  obs::MetricId obs_failed_writes_ = obs::kNoMetric;
+  obs::MetricId obs_badblock_retired_ = obs::kNoMetric;
+  std::uint32_t obs_span_gc_ = 0;
+  std::uint32_t obs_span_journal_ = 0;
+  std::uint32_t obs_span_por_ = 0;
 };
 
 }  // namespace pofi::ftl

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
 #include "sim/log.hpp"
 
 namespace pofi::nand {
@@ -16,7 +17,18 @@ NandChip::NandChip(sim::Simulator& simulator, Config config, std::string_view rn
       errors_(error_model_for(config.tech)),
       ecc_(make_ecc(config.ecc)),
       rng_(simulator.fork_rng(rng_label)),
-      planes_(config.geometry.planes) {}
+      planes_(config.geometry.planes) {
+  if (auto* m = sim_.metrics()) {
+    obs_ispp_started_ = m->counter("nand.ispp.started");
+    obs_ispp_interrupted_ = m->counter("nand.ispp.interrupted");
+    obs_erase_interrupted_ = m->counter("nand.erase.interrupted");
+    obs_bit_errors_ = m->counter("nand.read.bit_errors");
+    obs_ecc_corrected_ = m->counter("nand.ecc.corrected");
+    obs_ecc_uncorrectable_ = m->counter("nand.ecc.uncorrectable");
+    obs_paired_upsets_ = m->counter("nand.paired_page.upsets");
+    obs_blocks_retired_ = m->counter("nand.block.retired");
+  }
+}
 
 Block& NandChip::touch_block(BlockId b) {
   auto it = blocks_.find(b);
@@ -88,6 +100,7 @@ void NandChip::program(Ppn ppn, std::uint64_t content, Oob oob, OpCallback cb) {
   const PageRole role = page_role(config_.tech, config_.geometry.page_in_block(ppn));
   op.duration = timing_.program_time(role);
   op.op_cb = std::move(cb);
+  if (auto* m = sim_.metrics()) m->add(obs_ispp_started_);
   enqueue(config_.geometry.plane_of(ppn), std::move(op));
 }
 
@@ -198,6 +211,14 @@ ReadResult NandChip::read_through_ecc(Ppn ppn) {
     result.content = page.content ^ (0x9e3779b97f4a7c15ULL * (result.raw_errors | 1ULL));
     ++stats_.uncorrectable_reads;
   }
+  if (auto* m = sim_.metrics()) {
+    m->add(obs_bit_errors_, result.raw_errors);
+    if (out.correctable && result.raw_errors > 0) {
+      m->add(obs_ecc_corrected_, result.raw_errors);
+    } else if (!out.correctable) {
+      m->add(obs_ecc_uncorrectable_);
+    }
+  }
   return result;
 }
 
@@ -256,6 +277,7 @@ void NandChip::finish_erase(InFlight& op) {
   Block& block = touch_block(op.block);
   if (block.erase_count >= config_.endurance_pe_cycles) {
     block.bad = true;
+    if (auto* m = sim_.metrics()) m->add(obs_blocks_retired_);
     if (op.op_cb) op.op_cb(OpResult{OpResult::Status::kBadBlock});
     return;
   }
@@ -300,6 +322,7 @@ void NandChip::on_power_good() { powered_ = true; }
 
 void NandChip::interrupt_program(InFlight& op) {
   ++stats_.interrupted_programs;
+  if (auto* m = sim_.metrics()) m->add(obs_ispp_interrupted_);
   Block& block = touch_block(op.block);
   const std::uint32_t pib = config_.geometry.page_in_block(op.ppn);
   Page& page = block.pages[pib];
@@ -355,11 +378,13 @@ void NandChip::apply_paired_page_damage(BlockId block_id, std::uint32_t page_in_
         std::min<std::uint64_t>(upset, std::numeric_limits<std::uint32_t>::max() -
                                            partner.upset_errors));
     ++stats_.paired_page_upsets;
+    if (auto* m = sim_.metrics()) m->add(obs_paired_upsets_);
   }
 }
 
 void NandChip::interrupt_erase(InFlight& op) {
   ++stats_.interrupted_erases;
+  if (auto* m = sim_.metrics()) m->add(obs_erase_interrupted_);
   Block& block = touch_block(op.block);
   const double frac = std::clamp(
       (sim_.now() - op.start).to_sec() / std::max(1e-12, op.duration.to_sec()), 0.0, 1.0);

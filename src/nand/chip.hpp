@@ -21,6 +21,7 @@
 #include "nand/geometry.hpp"
 #include "nand/page.hpp"
 #include "nand/timing.hpp"
+#include "obs/fwd.hpp"
 #include "sim/inplace_function.hpp"
 #include "sim/simulator.hpp"
 
@@ -175,6 +176,17 @@ class NandChip {
   std::vector<Plane> planes_;
   std::unordered_map<BlockId, Block> blocks_;
   ChipStats stats_;
+
+  // Observability handles (no-ops unless a registry is attached to sim_).
+  // Registration is name-deduped, so the dies of a ChipArray aggregate.
+  obs::MetricId obs_ispp_started_ = obs::kNoMetric;
+  obs::MetricId obs_ispp_interrupted_ = obs::kNoMetric;
+  obs::MetricId obs_erase_interrupted_ = obs::kNoMetric;
+  obs::MetricId obs_bit_errors_ = obs::kNoMetric;
+  obs::MetricId obs_ecc_corrected_ = obs::kNoMetric;
+  obs::MetricId obs_ecc_uncorrectable_ = obs::kNoMetric;
+  obs::MetricId obs_paired_upsets_ = obs::kNoMetric;
+  obs::MetricId obs_blocks_retired_ = obs::kNoMetric;
 };
 
 }  // namespace pofi::nand

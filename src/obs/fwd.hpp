@@ -1,0 +1,16 @@
+// Forward declarations + the MetricId handle type, for headers that cache
+// metric ids without pulling in the full registry (see obs/metrics.hpp).
+#pragma once
+
+#include <cstdint>
+
+namespace pofi::obs {
+
+class MetricRegistry;
+class TraceLog;
+struct Snapshot;
+
+using MetricId = std::uint32_t;
+inline constexpr MetricId kNoMetric = 0xFFFFFFFFu;
+
+}  // namespace pofi::obs

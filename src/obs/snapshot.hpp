@@ -1,0 +1,74 @@
+// Plain-data view of everything a MetricRegistry accumulated during one
+// experiment: the frozen, copyable form that travels on
+// platform::ExperimentResult through the runner, the checkpoint codec and
+// the --metrics JSON export. Deliberately free of any obs/sim dependency so
+// every layer can hold one without linking the live registry.
+//
+// Ordering contract: counters/gauges/histograms/series are sorted by name,
+// spans are chronological (completion order). Two registries fed the same
+// deterministic simulation produce bit-identical Snapshots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pofi::obs {
+
+struct Snapshot {
+  struct Counter {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct Gauge {
+    std::string name;
+    std::uint64_t last = 0;
+    std::uint64_t high_water = 0;
+  };
+  struct Histogram {
+    std::string name;
+    /// Inclusive upper bounds; counts has bounds.size() + 1 entries, the
+    /// last being the overflow bucket.
+    std::vector<std::int64_t> bounds;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t total = 0;
+  };
+  struct Sample {
+    std::int64_t t_ns = 0;
+    double value = 0.0;
+  };
+  struct Series {
+    std::string name;
+    std::vector<Sample> samples;
+    std::uint64_t dropped = 0;  ///< samples discarded once capacity filled
+  };
+  struct Span {
+    std::string name;
+    std::string parent;  ///< innermost enclosing open span, "" at top level
+    std::int64_t begin_ns = 0;
+    std::int64_t end_ns = 0;
+  };
+
+  std::vector<Counter> counters;
+  std::vector<Gauge> gauges;
+  std::vector<Histogram> histograms;
+  std::vector<Series> series;
+  std::vector<Span> spans;
+  std::uint64_t spans_dropped = 0;
+
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty() &&
+           series.empty() && spans.empty() && spans_dropped == 0;
+  }
+
+  /// Convenience for tests and attribution checks: value of a counter by
+  /// name, 0 when absent.
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const {
+    for (const auto& c : counters) {
+      if (c.name == name) return c.value;
+    }
+    return 0;
+  }
+};
+
+}  // namespace pofi::obs

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/snapshot.hpp"
 #include "platform/analyzer.hpp"
 #include "sim/time.hpp"
 #include "workload/workload.hpp"
@@ -71,6 +72,12 @@ struct ExperimentResult {
   std::uint64_t paired_page_upsets = 0;
   std::uint64_t map_updates_reverted = 0;
   std::uint64_t uncorrectable_reads = 0;
+
+  /// Telemetry snapshot taken at campaign end when the platform was built
+  /// with metrics collection on (PlatformConfig::metrics); empty otherwise.
+  /// Deliberately excluded from determinism hashing — the campaign rows
+  /// above must be bit-identical with metrics on or off.
+  obs::Snapshot metrics;
 
   [[nodiscard]] std::uint64_t total_data_loss() const { return data_failures + fwa_failures; }
   [[nodiscard]] double data_failures_per_fault() const {

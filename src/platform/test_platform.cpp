@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
 #include "sim/log.hpp"
 #include "workload/checksum.hpp"
 
@@ -20,6 +21,12 @@ TestPlatform::TestPlatform(ssd::SsdConfig ssd_config, PlatformConfig platform_co
       rng_(sim_.fork_rng("platform")) {
   sim_.set_step_limit(config_.max_sim_events);
   sim_.set_cancel_token(config_.cancel);
+  if (config_.metrics) {
+    // Attach before any component constructs so every layer registers its
+    // metrics; with POFI_OBS=OFF sim_.metrics() stays nullptr regardless.
+    metrics_ = std::make_unique<obs::MetricRegistry>();
+    sim_.set_metrics(metrics_.get());
+  }
   psu_ = std::make_unique<psu::PowerSupply>(sim_, psu::make_discharge_model(config_.discharge),
                                             config_.psu);
   atx_ = std::make_unique<psu::AtxController>(*psu_);
@@ -189,6 +196,7 @@ ExperimentResult TestPlatform::run(const ExperimentSpec& spec) {
     result.responded_iops =
         static_cast<double>(write_acks_ + reads_completed_) / result.active_seconds;
   }
+  if (metrics_) result.metrics = metrics_->snapshot();
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "blk/queue.hpp"
+#include "obs/fwd.hpp"
 #include "platform/analyzer.hpp"
 #include "platform/experiment.hpp"
 #include "platform/fault_scheduler.hpp"
@@ -40,6 +41,10 @@ struct PlatformConfig {
   sim::Duration think_time = sim::Duration::us(50);
   /// Record blktrace events (tests); benches keep it off to bound memory.
   bool trace_enabled = false;
+  /// Collect observability metrics: the platform owns an obs::MetricRegistry,
+  /// attaches it to the simulator, and returns a Snapshot in the result.
+  /// Never perturbs the simulation — campaign rows are identical either way.
+  bool metrics = false;
   /// Watchdog step budget: abort the campaign (sim::AbortError, kStepLimit)
   /// once the simulator has fired this many events. 0 disables. Counted in
   /// simulation events, so a pathological config trips at the same point on
@@ -92,6 +97,9 @@ class TestPlatform {
   void run_fixed_delay_campaign(const ExperimentSpec& spec, ExperimentResult& result);
 
   sim::Simulator sim_;
+  /// Declared directly after sim_ so it outlives every component that caches
+  /// metric ids (members below destruct first, in reverse order).
+  std::unique_ptr<obs::MetricRegistry> metrics_;
   ssd::SsdConfig ssd_config_;
   PlatformConfig config_;
 

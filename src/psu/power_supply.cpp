@@ -2,13 +2,25 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "sim/log.hpp"
 
 namespace pofi::psu {
 
 PowerSupply::PowerSupply(sim::Simulator& simulator, std::unique_ptr<DischargeModel> model,
                          Params params)
-    : sim_(simulator), model_(std::move(model)), params_(params) {}
+    : sim_(simulator), model_(std::move(model)), params_(params) {
+  if (auto* m = sim_.metrics()) {
+    // Rail timeline sampled at phase transitions and threshold crossings
+    // (~6 samples per power cycle): enough for hundreds of faults.
+    obs_rail_series_ = m->series("psu.rail.volts", 4096);
+    obs_below_cutoff_ns_ = m->counter("psu.rail.below_cutoff_ns");
+  }
+}
+
+void PowerSupply::obs_sample_rail(double volts) {
+  if (auto* m = sim_.metrics()) m->sample(obs_rail_series_, sim_.now(), volts);
+}
 
 PowerSupply::PowerSupply(sim::Simulator& simulator, std::unique_ptr<DischargeModel> model)
     : PowerSupply(simulator, std::move(model), Params{}) {}
@@ -51,9 +63,20 @@ void PowerSupply::power_on() {
   state_ = State::kCharging;
   phase_start_ = sim_.now();
   POFI_DEBUG(sim_.now(), "psu", "power_on (from %.2fV)", charge_start_volts_);
+  obs_sample_rail(charge_start_volts_);
   pending_.push_back(sim_.after(params_.rise_time, [this] {
     state_ = State::kOn;
     pending_.clear();
+    obs_sample_rail(params_.nominal_volts);
+    if (obs_below_active_) {
+      // Time the rail spent below the (lowest) sink cutoff, ended by this
+      // power-good: the paper's unavailability window.
+      if (auto* m = sim_.metrics()) {
+        m->add(obs_below_cutoff_ns_,
+               static_cast<std::uint64_t>((sim_.now() - obs_below_since_).count_ns()));
+      }
+      obs_below_active_ = false;
+    }
     for (auto* s : sinks_) s->on_power_good(sim_.now());
   }));
 }
@@ -66,6 +89,7 @@ void PowerSupply::power_off() {
   last_off_at_ = sim_.now();
   ++cycles_;
   POFI_DEBUG(sim_.now(), "psu", "power_off; discharge begins");
+  obs_sample_rail(voltage());
   schedule_discharge_events();
 }
 
@@ -77,15 +101,26 @@ void PowerSupply::schedule_discharge_events() {
   for (auto* s : sinks_) {
     if (s->brownout_volts() > 0.0) {
       const auto t_brown = model_->time_to_voltage(s->brownout_volts(), load);
-      pending_.push_back(sim_.after(t_brown, [this, s] { s->on_brownout(sim_.now()); }));
+      pending_.push_back(sim_.after(t_brown, [this, s] {
+        obs_sample_rail(s->brownout_volts());
+        s->on_brownout(sim_.now());
+      }));
     }
     const auto t_dead = model_->time_to_voltage(s->cutoff_volts(), load);
-    pending_.push_back(sim_.after(t_dead, [this, s] { s->on_power_lost(sim_.now()); }));
+    pending_.push_back(sim_.after(t_dead, [this, s] {
+      obs_sample_rail(s->cutoff_volts());
+      if (!obs_below_active_) {
+        obs_below_active_ = true;
+        obs_below_since_ = sim_.now();
+      }
+      s->on_power_lost(sim_.now());
+    }));
   }
   const auto t_zero = model_->full_discharge_time(load);
   pending_.push_back(sim_.after(t_zero, [this] {
     state_ = State::kOff;
     pending_.clear();
+    obs_sample_rail(0.0);
     POFI_DEBUG(sim_.now(), "psu", "rail fully discharged");
   }));
 }

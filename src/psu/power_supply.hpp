@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/fwd.hpp"
 #include "psu/discharge_model.hpp"
 #include "sim/simulator.hpp"
 
@@ -93,6 +94,9 @@ class PowerSupply {
  private:
   void cancel_pending();
   void schedule_discharge_events();
+  /// Record a rail-voltage sample (no-op without a registry). Samples are
+  /// taken only inside already-scheduled events, never via new ones.
+  void obs_sample_rail(double volts);
 
   sim::Simulator& sim_;
   std::unique_ptr<DischargeModel> model_;
@@ -104,6 +108,13 @@ class PowerSupply {
   std::vector<sim::EventId> pending_;
   std::uint64_t cycles_ = 0;
   sim::TimePoint last_off_at_ = sim::TimePoint::zero();
+
+  // Observability handles and bookkeeping (obs-private; never read by the
+  // simulation itself, so behaviour is identical with metrics off).
+  obs::MetricId obs_rail_series_ = obs::kNoMetric;
+  obs::MetricId obs_below_cutoff_ns_ = obs::kNoMetric;
+  bool obs_below_active_ = false;
+  sim::TimePoint obs_below_since_ = sim::TimePoint::zero();
 };
 
 }  // namespace pofi::psu

@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace pofi::runner {
@@ -93,7 +94,24 @@ std::vector<CampaignRunner::Outcome> CampaignRunner::run() {
     emit(ev);
   }
 
-  const auto worker = [&] {
+  const auto worker = [&](unsigned worker_id) {
+    // Per-worker utilization telemetry (wall clock; exported only through the
+    // host-side runner registry, never into deterministic campaign rows).
+    obs::MetricRegistry* reg = config_.metrics;
+    obs::MetricId obs_busy = obs::kNoMetric;
+    obs::MetricId obs_wait = obs::kNoMetric;
+    obs::MetricId obs_jobs = obs::kNoMetric;
+    obs::MetricId obs_retries = obs::kNoMetric;
+    if (reg != nullptr) {
+      char name[48];
+      std::snprintf(name, sizeof name, "runner.worker.%u.busy_us", worker_id);
+      obs_busy = reg->counter(name);
+      std::snprintf(name, sizeof name, "runner.worker.%u.wait_us", worker_id);
+      obs_wait = reg->counter(name);
+      obs_jobs = reg->counter("runner.jobs.completed");
+      obs_retries = reg->counter("runner.jobs.retry_attempts");
+    }
+    auto idle_since = std::chrono::steady_clock::now();
     for (;;) {
       std::size_t idx = 0;
       {
@@ -110,6 +128,10 @@ std::vector<CampaignRunner::Outcome> CampaignRunner::run() {
 
       Outcome& out = outcomes[idx];
       const auto t0 = std::chrono::steady_clock::now();
+      if (reg != nullptr) {
+        reg->add(obs_wait, static_cast<std::uint64_t>(
+                               std::chrono::duration<double, std::micro>(t0 - idle_since).count()));
+      }
 
       // Exception firewall + retry loop. Every attempt runs the same pure
       // closure, so a retry after a transient host-side failure (OOM, flaky
@@ -165,6 +187,12 @@ std::vector<CampaignRunner::Outcome> CampaignRunner::run() {
       out.attempts = attempt;
       out.wall_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      if (reg != nullptr) {
+        reg->add(obs_busy, static_cast<std::uint64_t>(out.wall_seconds * 1e6));
+        reg->add(obs_jobs);
+        if (attempt > 1) reg->add(obs_retries, attempt - 1);
+      }
+      idle_since = std::chrono::steady_clock::now();
       if ((out.status == CampaignStatus::kOk || out.status == CampaignStatus::kRetriedOk) &&
           config_.campaign_timeout_seconds > 0.0 &&
           out.wall_seconds > config_.campaign_timeout_seconds) {
@@ -205,11 +233,11 @@ std::vector<CampaignRunner::Outcome> CampaignRunner::run() {
       static_cast<unsigned>(std::min<std::size_t>(resolved_threads(config_), n));
   if (threads <= 1) {
     // Calling-thread execution: exactly the historical sequential path.
-    worker();
+    worker(0);
   } else {
     std::vector<std::jthread> pool;
     pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back([&worker, t] { worker(t); });
     // jthreads join on destruction.
   }
 

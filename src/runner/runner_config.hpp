@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <thread>
 
+#include "obs/fwd.hpp"
 #include "sim/rng.hpp"
 
 namespace pofi::runner {
@@ -62,6 +63,12 @@ struct RunnerConfig {
   /// campaign's simulator to also stop entries already in flight. Not part of
   /// the spec codec — runtime wiring only.
   const std::atomic<bool>* cancel = nullptr;
+
+  /// Host-side telemetry registry (runner.worker.N.busy_us / wait_us,
+  /// runner.jobs.*). Wall-clock times — never exported into campaign rows,
+  /// so determinism is unaffected. Must outlive run(). Runtime wiring only,
+  /// like `cancel`; the registry is thread-safe for counter increments.
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 /// Threads the config resolves to on this machine (never 0).

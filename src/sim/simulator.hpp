@@ -30,6 +30,15 @@
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 
+// Observability compile gate (normally injected by CMake's POFI_OBS option).
+#ifndef POFI_OBS_ENABLED
+#define POFI_OBS_ENABLED 1
+#endif
+
+namespace pofi::obs {
+class MetricRegistry;
+}  // namespace pofi::obs
+
 namespace pofi::sim {
 
 /// Why a simulation was aborted between event callbacks.
@@ -113,6 +122,21 @@ class Simulator {
   [[nodiscard]] Rng& rng() { return master_rng_; }
   [[nodiscard]] Rng fork_rng(std::string_view label) const { return master_rng_.fork(label); }
 
+  /// Observability attachment point. Components instrument themselves with
+  ///   if (auto* m = sim.metrics()) m->add(id);
+  /// Attaching a registry is the runtime enable; compiling with
+  /// POFI_OBS_ENABLED=0 pins metrics() to nullptr so every such branch is
+  /// dead code. Instrumentation must only read sim state — never schedule
+  /// events or draw randomness — so behaviour is identical either way.
+  void set_metrics(obs::MetricRegistry* registry) { metrics_ = registry; }
+  [[nodiscard]] obs::MetricRegistry* metrics() const {
+#if POFI_OBS_ENABLED
+    return metrics_;
+#else
+    return nullptr;
+#endif
+  }
+
  private:
   /// Throws AbortError when the step budget is spent or the cancel token is
   /// set; called once per event, before the callback fires.
@@ -124,6 +148,7 @@ class Simulator {
   std::uint64_t events_fired_ = 0;
   std::uint64_t step_limit_ = 0;
   const std::atomic<bool>* cancel_ = nullptr;
+  obs::MetricRegistry* metrics_ = nullptr;
 };
 
 }  // namespace pofi::sim

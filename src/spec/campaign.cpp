@@ -242,6 +242,7 @@ std::vector<runner::CampaignRunner::Outcome> run_campaign(const CampaignSpec& sp
                                                           const RunCampaignOptions& options) {
   runner::RunnerConfig config = spec.runner;
   if (options.cancel != nullptr) config.cancel = options.cancel;
+  if (options.runner_metrics != nullptr) config.metrics = options.runner_metrics;
   runner::CampaignRunner rn(config, options.sink);
 
   // Resume: index the checkpoint's reusable records by entry index. A record
@@ -267,12 +268,14 @@ std::vector<runner::CampaignRunner::Outcome> run_campaign(const CampaignSpec& sp
       rn.add_completed(entry.label, std::move(it->second.result));
       continue;
     }
-    rn.add(entry.label, [&entry, cancel = options.cancel] {
-      platform::PlatformConfig pc = entry.platform;
-      pc.cancel = cancel;
-      platform::TestPlatform tp(entry.drive, pc, entry.experiment.seed);
-      return tp.run(entry.experiment);
-    });
+    rn.add(entry.label,
+           [&entry, cancel = options.cancel, metrics = options.collect_metrics] {
+             platform::PlatformConfig pc = entry.platform;
+             pc.cancel = cancel;
+             if (metrics) pc.metrics = true;
+             platform::TestPlatform tp(entry.drive, pc, entry.experiment.seed);
+             return tp.run(entry.experiment);
+           });
   }
 
   std::unique_ptr<CheckpointWriter> writer;

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/fwd.hpp"
 #include "platform/campaign_suite.hpp"
 #include "platform/experiment.hpp"
 #include "platform/test_platform.hpp"
@@ -84,6 +85,13 @@ struct RunCampaignOptions {
   /// Cooperative cancellation token (signal handler, watchdog). Threaded
   /// into the runner *and* every entry's simulator.
   const std::atomic<bool>* cancel = nullptr;
+  /// Force per-entry telemetry (platform.metrics = true) for every entry
+  /// regardless of the spec — the --metrics export path. Campaign rows stay
+  /// bit-identical either way; only ExperimentResult::metrics fills in.
+  bool collect_metrics = false;
+  /// Optional host-side registry for runner telemetry (per-worker busy/wait
+  /// time, jobs completed). Wall-clock; kept out of campaign results.
+  obs::MetricRegistry* runner_metrics = nullptr;
 };
 
 /// Execute every entry on runner::CampaignRunner per spec.runner. Outcomes

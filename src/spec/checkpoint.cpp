@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "spec/codec.hpp"
+#include "spec/obs_json.hpp"
 
 namespace pofi::spec {
 
@@ -86,6 +87,9 @@ Value to_json(const platform::ExperimentResult& r) {
   Value failures = Value::array();
   for (const auto& f : r.failures) failures.push_back(to_json(f));
   v.set("failures", std::move(failures));
+  // Telemetry rides along only when collected: metrics-off checkpoints stay
+  // byte-identical to pre-obs ones, and resume across the two modes works.
+  if (!r.metrics.empty()) v.set("metrics", to_json(r.metrics));
   return v;
 }
 
@@ -138,6 +142,8 @@ platform::ExperimentResult result_from_json(const Value& v) {
       if (!m.is_array()) throw Error("expected an array", m.line, m.col, key);
       r.failures.reserve(m.items().size());
       for (const Value& f : m.items()) r.failures.push_back(failure_from_json(f));
+    } else if (key == "metrics") {
+      r.metrics = snapshot_from_json(m);
     } else {
       return false;
     }

@@ -550,6 +550,7 @@ Value to_json(const platform::PlatformConfig& cfg) {
   v.set("closed_loop_depth", std::uint64_t{cfg.closed_loop_depth});
   v.set("think_time_us", duration_to_us(cfg.think_time));
   v.set("trace_enabled", cfg.trace_enabled);
+  v.set("metrics", cfg.metrics);
   v.set("max_sim_events", cfg.max_sim_events);
   return v;
 }
@@ -576,6 +577,8 @@ void apply_json(platform::PlatformConfig& cfg, const Value& v) {
       cfg.think_time = read_duration_us(m, key);
     } else if (key == "trace_enabled") {
       cfg.trace_enabled = read_bool(m, key);
+    } else if (key == "metrics") {
+      cfg.metrics = read_bool(m, key);
     } else if (key == "max_sim_events") {
       cfg.max_sim_events = read_u64(m, key);
     } else {

@@ -1,0 +1,223 @@
+#include "spec/obs_json.hpp"
+
+#include "spec/codec.hpp"
+
+namespace pofi::spec {
+
+namespace {
+
+constexpr double kDoubleLo = -1e300;
+constexpr double kDoubleHi = 1e300;
+
+[[nodiscard]] std::int64_t read_i64(const Value& v, const std::string& key) {
+  if (v.kind() == Value::Kind::kUInt && v.as_uint() <= 0x7FFFFFFFFFFFFFFFULL) {
+    return static_cast<std::int64_t>(v.as_uint());
+  }
+  if (v.kind() == Value::Kind::kInt) return v.as_int();
+  throw Error("expected a 64-bit signed integer", v.line, v.col, key);
+}
+
+Value counter_to_json(const obs::Snapshot::Counter& c) {
+  Value v = Value::object();
+  v.set("name", c.name);
+  v.set("value", c.value);
+  return v;
+}
+
+obs::Snapshot::Counter counter_from_json(const Value& v) {
+  obs::Snapshot::Counter c;
+  for_each_member(v, "counter", [&](const std::string& key, const Value& m) {
+    if (key == "name") c.name = read_string(m, key);
+    else if (key == "value") c.value = read_u64(m, key);
+    else return false;
+    return true;
+  });
+  return c;
+}
+
+Value gauge_to_json(const obs::Snapshot::Gauge& g) {
+  Value v = Value::object();
+  v.set("name", g.name);
+  v.set("last", g.last);
+  v.set("high_water", g.high_water);
+  return v;
+}
+
+obs::Snapshot::Gauge gauge_from_json(const Value& v) {
+  obs::Snapshot::Gauge g;
+  for_each_member(v, "gauge", [&](const std::string& key, const Value& m) {
+    if (key == "name") g.name = read_string(m, key);
+    else if (key == "last") g.last = read_u64(m, key);
+    else if (key == "high_water") g.high_water = read_u64(m, key);
+    else return false;
+    return true;
+  });
+  return g;
+}
+
+Value histogram_to_json(const obs::Snapshot::Histogram& h) {
+  Value v = Value::object();
+  v.set("name", h.name);
+  Value bounds = Value::array();
+  for (const auto b : h.bounds) bounds.push_back(b);
+  v.set("bounds", std::move(bounds));
+  Value counts = Value::array();
+  for (const auto c : h.counts) counts.push_back(c);
+  v.set("counts", std::move(counts));
+  v.set("total", h.total);
+  return v;
+}
+
+obs::Snapshot::Histogram histogram_from_json(const Value& v) {
+  obs::Snapshot::Histogram h;
+  for_each_member(v, "histogram", [&](const std::string& key, const Value& m) {
+    if (key == "name") {
+      h.name = read_string(m, key);
+    } else if (key == "bounds") {
+      if (!m.is_array()) throw Error("expected an array", m.line, m.col, key);
+      for (const Value& b : m.items()) h.bounds.push_back(read_i64(b, key));
+    } else if (key == "counts") {
+      if (!m.is_array()) throw Error("expected an array", m.line, m.col, key);
+      for (const Value& c : m.items()) h.counts.push_back(read_u64(c, key));
+    } else if (key == "total") {
+      h.total = read_u64(m, key);
+    } else {
+      return false;
+    }
+    return true;
+  });
+  return h;
+}
+
+Value series_to_json(const obs::Snapshot::Series& s) {
+  Value v = Value::object();
+  v.set("name", s.name);
+  // Compact parallel arrays: sample counts run to thousands per series.
+  Value t = Value::array();
+  Value val = Value::array();
+  for (const auto& sample : s.samples) {
+    t.push_back(sample.t_ns);
+    val.push_back(sample.value);
+  }
+  v.set("t_ns", std::move(t));
+  v.set("values", std::move(val));
+  v.set("dropped", s.dropped);
+  return v;
+}
+
+obs::Snapshot::Series series_from_json(const Value& v) {
+  obs::Snapshot::Series s;
+  std::vector<std::int64_t> t;
+  std::vector<double> values;
+  for_each_member(v, "series", [&](const std::string& key, const Value& m) {
+    if (key == "name") {
+      s.name = read_string(m, key);
+    } else if (key == "t_ns") {
+      if (!m.is_array()) throw Error("expected an array", m.line, m.col, key);
+      for (const Value& x : m.items()) t.push_back(read_i64(x, key));
+    } else if (key == "values") {
+      if (!m.is_array()) throw Error("expected an array", m.line, m.col, key);
+      for (const Value& x : m.items()) {
+        values.push_back(read_double(x, key, kDoubleLo, kDoubleHi));
+      }
+    } else if (key == "dropped") {
+      s.dropped = read_u64(m, key);
+    } else {
+      return false;
+    }
+    return true;
+  });
+  if (t.size() != values.size()) {
+    throw Error("series t_ns/values length mismatch", v.line, v.col, "values");
+  }
+  s.samples.reserve(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    s.samples.push_back(obs::Snapshot::Sample{t[i], values[i]});
+  }
+  return s;
+}
+
+Value span_to_json(const obs::Snapshot::Span& s) {
+  Value v = Value::object();
+  v.set("name", s.name);
+  if (!s.parent.empty()) v.set("parent", s.parent);
+  v.set("begin_ns", s.begin_ns);
+  v.set("end_ns", s.end_ns);
+  return v;
+}
+
+obs::Snapshot::Span span_from_json(const Value& v) {
+  obs::Snapshot::Span s;
+  for_each_member(v, "span", [&](const std::string& key, const Value& m) {
+    if (key == "name") s.name = read_string(m, key);
+    else if (key == "parent") s.parent = read_string(m, key);
+    else if (key == "begin_ns") s.begin_ns = read_i64(m, key);
+    else if (key == "end_ns") s.end_ns = read_i64(m, key);
+    else return false;
+    return true;
+  });
+  return s;
+}
+
+}  // namespace
+
+Value to_json(const obs::Snapshot& snap) {
+  Value v = Value::object();
+  if (!snap.counters.empty()) {
+    Value arr = Value::array();
+    for (const auto& c : snap.counters) arr.push_back(counter_to_json(c));
+    v.set("counters", std::move(arr));
+  }
+  if (!snap.gauges.empty()) {
+    Value arr = Value::array();
+    for (const auto& g : snap.gauges) arr.push_back(gauge_to_json(g));
+    v.set("gauges", std::move(arr));
+  }
+  if (!snap.histograms.empty()) {
+    Value arr = Value::array();
+    for (const auto& h : snap.histograms) arr.push_back(histogram_to_json(h));
+    v.set("histograms", std::move(arr));
+  }
+  if (!snap.series.empty()) {
+    Value arr = Value::array();
+    for (const auto& s : snap.series) arr.push_back(series_to_json(s));
+    v.set("series", std::move(arr));
+  }
+  if (!snap.spans.empty()) {
+    Value arr = Value::array();
+    for (const auto& s : snap.spans) arr.push_back(span_to_json(s));
+    v.set("spans", std::move(arr));
+  }
+  if (snap.spans_dropped != 0) v.set("spans_dropped", snap.spans_dropped);
+  return v;
+}
+
+obs::Snapshot snapshot_from_json(const Value& v) {
+  obs::Snapshot snap;
+  for_each_member(v, "metrics snapshot", [&](const std::string& key, const Value& m) {
+    if (key == "counters") {
+      if (!m.is_array()) throw Error("expected an array", m.line, m.col, key);
+      for (const Value& x : m.items()) snap.counters.push_back(counter_from_json(x));
+    } else if (key == "gauges") {
+      if (!m.is_array()) throw Error("expected an array", m.line, m.col, key);
+      for (const Value& x : m.items()) snap.gauges.push_back(gauge_from_json(x));
+    } else if (key == "histograms") {
+      if (!m.is_array()) throw Error("expected an array", m.line, m.col, key);
+      for (const Value& x : m.items()) snap.histograms.push_back(histogram_from_json(x));
+    } else if (key == "series") {
+      if (!m.is_array()) throw Error("expected an array", m.line, m.col, key);
+      for (const Value& x : m.items()) snap.series.push_back(series_from_json(x));
+    } else if (key == "spans") {
+      if (!m.is_array()) throw Error("expected an array", m.line, m.col, key);
+      for (const Value& x : m.items()) snap.spans.push_back(span_from_json(x));
+    } else if (key == "spans_dropped") {
+      snap.spans_dropped = read_u64(m, key);
+    } else {
+      return false;
+    }
+    return true;
+  });
+  return snap;
+}
+
+}  // namespace pofi::spec

@@ -1,0 +1,17 @@
+// JSON codec for obs::Snapshot — the per-experiment telemetry payload.
+//
+// Follows the checkpoint conventions: to_json emits every non-empty section,
+// snapshot_from_json round-trips losslessly (doubles ride the spec::Value
+// shortest round-trip writer), unknown keys are hard errors. An empty
+// snapshot serialises to an empty object and back.
+#pragma once
+
+#include "obs/snapshot.hpp"
+#include "spec/value.hpp"
+
+namespace pofi::spec {
+
+[[nodiscard]] Value to_json(const obs::Snapshot& snap);
+[[nodiscard]] obs::Snapshot snapshot_from_json(const Value& v);
+
+}  // namespace pofi::spec

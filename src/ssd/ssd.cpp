@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "sim/log.hpp"
 
 namespace pofi::ssd {
@@ -19,6 +20,20 @@ Ssd::Ssd(sim::Simulator& simulator, SsdConfig config)
   }
   ftl_ = std::make_unique<ftl::Ftl>(sim_, *chip_, config_.ftl);
   cache_ = std::make_unique<WriteCache>(sim_, *ftl_, config_.cache);
+  if (auto* m = sim_.metrics()) {
+    obs_ncq_inflight_ = m->gauge("ssd.ncq.inflight");
+    obs_ncq_pending_ = m->gauge("ssd.ncq.pending");
+    obs_unavailable_ = m->counter("ssd.cmds.failed_unavailable");
+    obs_power_losses_ = m->counter("ssd.power.losses");
+    obs_span_mount_ = m->trace().intern("ssd.mount");
+  }
+}
+
+void Ssd::obs_queue_gauges() {
+  if (auto* m = sim_.metrics()) {
+    m->set(obs_ncq_inflight_, inflight_cmds_.size());
+    m->set(obs_ncq_pending_, pending_.size());
+  }
 }
 
 sim::Duration Ssd::transfer_time(std::uint32_t pages) const {
@@ -32,11 +47,13 @@ sim::Duration Ssd::transfer_time(std::uint32_t pages) const {
 void Ssd::submit(Command cmd) {
   if (!ready_) {
     ++stats_.commands_failed_unavailable;
+    if (auto* m = sim_.metrics()) m->add(obs_unavailable_);
     if (cmd.done) cmd.done(DeviceStatus::kDeviceUnavailable, {});
     return;
   }
   ++stats_.commands_accepted;
   pending_.push_back(std::move(cmd));
+  obs_queue_gauges();
   dispatch();
 }
 
@@ -47,6 +64,7 @@ void Ssd::dispatch() {
     inflight_cmds_.push_back(cmd);
     execute(cmd);
   }
+  obs_queue_gauges();
 }
 
 void Ssd::execute(const CmdPtr& cmd) {
@@ -237,6 +255,10 @@ void Ssd::on_power_lost(sim::TimePoint now) {
 
 void Ssd::die() {
   ++stats_.power_losses;
+  if (auto* m = sim_.metrics()) {
+    m->add(obs_power_losses_);
+    m->trace().end(obs_span_mount_, sim_.now());  // fault mid-mount
+  }
   ++epoch_;
   ready_ = false;
   dying_ = false;
@@ -253,18 +275,22 @@ void Ssd::die() {
   inflight_cmds_.clear();
   for (const auto& c : inflight) {
     ++stats_.commands_failed_unavailable;
+    if (auto* m = sim_.metrics()) m->add(obs_unavailable_);
     if (c->done) c->done(DeviceStatus::kDeviceUnavailable, {});
   }
   for (auto& c : pending_) {
     ++stats_.commands_failed_unavailable;
+    if (auto* m = sim_.metrics()) m->add(obs_unavailable_);
     if (c.done) c.done(DeviceStatus::kDeviceUnavailable, {});
   }
   pending_.clear();
+  obs_queue_gauges();
 }
 
 void Ssd::on_power_good(sim::TimePoint now) {
   if (ready_) return;
   POFI_DEBUG(now, "ssd", "%s: power good, mounting", config_.model.c_str());
+  if (auto* m = sim_.metrics()) m->trace().begin(obs_span_mount_, now);
   chip_->on_power_good();
   const std::uint64_t epoch = epoch_;
   mount_event_ = sim_.after(config_.mount_delay, [this, epoch] {
@@ -275,6 +301,7 @@ void Ssd::on_power_good(sim::TimePoint now) {
     // the device only reports ready once the map is rebuilt.
     ftl_->recover_por([this, epoch] {
       if (epoch != epoch_) return;
+      if (auto* m = sim_.metrics()) m->trace().end(obs_span_mount_, sim_.now());
       ready_ = true;
       dying_ = false;
       auto waiters = std::move(ready_waiters_);

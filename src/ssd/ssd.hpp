@@ -20,6 +20,7 @@
 
 #include "ftl/ftl.hpp"
 #include "nand/chip_array.hpp"
+#include "obs/fwd.hpp"
 #include "psu/power_supply.hpp"
 #include "sim/inplace_function.hpp"
 #include "sim/simulator.hpp"
@@ -156,6 +157,16 @@ class Ssd final : public psu::PowerSink {
   sim::EventId mount_event_{};
   std::vector<std::function<void()>> ready_waiters_;
   SsdStats stats_;
+
+  /// Refresh the NCQ depth gauges from pending_/inflight_cmds_.
+  void obs_queue_gauges();
+
+  // Observability handles (no-ops unless a registry is attached to sim_).
+  obs::MetricId obs_ncq_inflight_ = obs::kNoMetric;
+  obs::MetricId obs_ncq_pending_ = obs::kNoMetric;
+  obs::MetricId obs_unavailable_ = obs::kNoMetric;
+  obs::MetricId obs_power_losses_ = obs::kNoMetric;
+  std::uint32_t obs_span_mount_ = 0;
 };
 
 }  // namespace pofi::ssd

@@ -2,10 +2,23 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace pofi::ssd {
 
 WriteCache::WriteCache(sim::Simulator& simulator, ftl::Ftl& ftl, Config config)
-    : sim_(simulator), ftl_(ftl), config_(config), rng_(simulator.fork_rng("write-cache")) {}
+    : sim_(simulator), ftl_(ftl), config_(config), rng_(simulator.fork_rng("write-cache")) {
+  if (auto* m = sim_.metrics()) {
+    obs_dirty_gauge_ = m->gauge("ssd.cache.dirty_pages");
+    obs_dirty_lost_ = m->counter("ssd.cache.dirty_lost");
+    // Dirtied-to-durable latency; the hold time dominates, so buckets span
+    // sub-millisecond flusher turnaround up to multi-second starvation.
+    obs_flush_latency_ = m->histogram(
+        "ssd.cache.flush_latency_us",
+        {100, 500, 1'000, 5'000, 10'000, 50'000, 100'000, 500'000, 1'000'000, 5'000'000});
+    obs_span_flush_all_ = m->trace().intern("ssd.cache.flush_all");
+  }
+}
 
 bool WriteCache::insert(ftl::Lpn lpn, std::uint64_t content) {
   if (!powered_) return false;
@@ -30,6 +43,7 @@ bool WriteCache::insert(ftl::Lpn lpn, std::uint64_t content) {
   ++dirty_count_;
   dirty_fifo_.push_back(Ticket{lpn, e.seq});
   ++stats_.inserts;
+  if (auto* m = sim_.metrics()) m->set(obs_dirty_gauge_, dirty_count_);
   pump();
   return true;
 }
@@ -45,6 +59,7 @@ void WriteCache::invalidate(ftl::Lpn lpn) {
   if (it == entries_.end()) return;
   if (it->second.dirty && dirty_count_ > 0) --dirty_count_;
   entries_.erase(it);  // FIFO tickets for it become stale and are skipped
+  if (auto* m = sim_.metrics()) m->set(obs_dirty_gauge_, dirty_count_);
   notify_space();
 }
 
@@ -126,10 +141,14 @@ void WriteCache::issue_flush(ftl::Lpn lpn, std::uint64_t seq, std::uint64_t cont
     if (ok) {
       const auto it = entries_.find(lpn);
       if (it != entries_.end() && it->second.dirty && it->second.seq == seq) {
+        if (auto* m = sim_.metrics()) {
+          m->record(obs_flush_latency_, (sim_.now() - it->second.dirtied_at).count_ns() / 1000);
+        }
         it->second.dirty = false;
         if (dirty_count_ > 0) --dirty_count_;
         clean_fifo_.push_back(Ticket{lpn, seq});
         ++stats_.flushes_completed;
+        if (auto* m = sim_.metrics()) m->set(obs_dirty_gauge_, dirty_count_);
         became_clean(lpn);
       }
     } else {
@@ -171,6 +190,7 @@ void WriteCache::notify_space() {
 void WriteCache::flush_all(std::function<void()> done) {
   emergency_ = true;
   emergency_done_ = std::move(done);
+  if (auto* m = sim_.metrics()) m->trace().begin(obs_span_flush_all_, sim_.now());
   pump();
   check_emergency_done();
 }
@@ -181,6 +201,7 @@ void WriteCache::check_emergency_done() {
     auto cb = std::move(emergency_done_);
     emergency_done_ = nullptr;
     emergency_ = false;  // back to normal hold-time batching
+    if (auto* m = sim_.metrics()) m->trace().end(obs_span_flush_all_, sim_.now());
     cb();
   }
 }
@@ -189,6 +210,11 @@ std::size_t WriteCache::on_power_lost() {
   powered_ = false;
   const std::size_t lost = dirty_count_;
   stats_.dirty_lost_on_power_failure += lost;
+  if (auto* m = sim_.metrics()) {
+    m->add(obs_dirty_lost_, lost);
+    m->set(obs_dirty_gauge_, 0);
+    m->trace().end(obs_span_flush_all_, sim_.now());  // fault mid-drain
+  }
   entries_.clear();
   dirty_fifo_.clear();
   clean_fifo_.clear();

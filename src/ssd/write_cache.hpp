@@ -18,6 +18,7 @@
 
 #include "ftl/ftl.hpp"
 #include "ftl/types.hpp"
+#include "obs/fwd.hpp"
 #include "sim/simulator.hpp"
 
 namespace pofi::ssd {
@@ -122,6 +123,12 @@ class WriteCache {
   sim::EventId wake_event_{};
   std::vector<std::function<void()>> space_waiters_;
   CacheStats stats_;
+
+  // Observability handles (no-ops unless a registry is attached to sim_).
+  obs::MetricId obs_dirty_gauge_ = obs::kNoMetric;
+  obs::MetricId obs_dirty_lost_ = obs::kNoMetric;
+  obs::MetricId obs_flush_latency_ = obs::kNoMetric;
+  std::uint32_t obs_span_flush_all_ = 0;
 };
 
 }  // namespace pofi::ssd

@@ -33,9 +33,20 @@ std::string CsvWriter::escape(const std::string& cell) {
 std::string CsvWriter::render() const {
   std::string out;
   for (const auto& comment : comments_) {
-    out += "# ";
-    out += comment;
-    out += '\n';
+    // A comment may carry embedded newlines (multi-line provenance blobs);
+    // every physical line must get its own "# " prefix or the bare remainder
+    // would be parsed as a data row by any CSV reader.
+    std::size_t pos = 0;
+    while (pos <= comment.size()) {
+      std::size_t nl = comment.find('\n', pos);
+      if (nl == std::string::npos) nl = comment.size();
+      std::size_t end = nl;
+      if (end > pos && comment[end - 1] == '\r') --end;  // tolerate CRLF input
+      out += "# ";
+      out.append(comment, pos, end - pos);
+      out += '\n';
+      pos = nl + 1;
+    }
   }
   for (std::size_t c = 0; c < columns_.size(); ++c) {
     out += escape(columns_[c]);

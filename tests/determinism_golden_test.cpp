@@ -114,7 +114,7 @@ std::uint64_t trace_hash(std::uint64_t seed) {
 }
 
 CampaignHashes run_hashed(ssd::VendorModel model, ftl::MappingPolicy policy,
-                          std::uint64_t seed) {
+                          std::uint64_t seed, bool metrics = false) {
   ssd::PresetOptions opts;
   opts.capacity_override_gb = 1;
   opts.mapping_policy = policy;
@@ -123,6 +123,7 @@ CampaignHashes run_hashed(ssd::VendorModel model, ftl::MappingPolicy policy,
 
   PlatformConfig pc;
   pc.trace_enabled = true;
+  pc.metrics = metrics;
 
   ExperimentSpec spec;
   spec.name = "golden";
@@ -220,6 +221,23 @@ TEST(DeterminismGolden, CheckpointResumeReproducesGoldenHash) {
   EXPECT_EQ(hash_str(canonical(resumed[0].result)), kGolden[0].expect.result)
       << "checkpoint round-trip is not lossless: the restored result hashes "
          "differently from the one the campaign produced";
+}
+
+// The observability determinism gate: collecting metrics must not perturb
+// the simulation in any way. The golden hashes were captured with obs off;
+// a run with a live MetricRegistry attached has to land on the exact same
+// result AND trace hashes. If this fails, some instrumentation site drew
+// from the RNG, scheduled an event, or otherwise mutated sim state.
+TEST(DeterminismGolden, MetricsCollectionDoesNotPerturbSimulation) {
+  for (const auto& g : kGolden) {
+    const auto got = run_hashed(g.model, g.policy, g.seed, /*metrics=*/true);
+    EXPECT_EQ(got.result, g.expect.result)
+        << "metrics collection perturbed the campaign result (model="
+        << static_cast<int>(g.model) << " seed=" << g.seed << ")";
+    EXPECT_EQ(got.trace, g.expect.trace)
+        << "metrics collection perturbed the blktrace stream (model="
+        << static_cast<int>(g.model) << " seed=" << g.seed << ")";
+  }
 }
 
 // Same seed, two fresh platforms: rows and traces must be bit-identical.

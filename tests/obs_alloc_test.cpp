@@ -1,0 +1,108 @@
+// Zero-steady-state-allocation proof for the obs hot path.
+//
+// Global operator new/delete are replaced with counting versions (this test
+// must therefore stay its own binary). After registration — the only phase
+// allowed to allocate (slot arena, interned names, series reserve) — the
+// counter/gauge/histogram hot path (add/set/record) must perform exactly
+// zero heap allocations: instrumentation that allocates would perturb
+// timing-sensitive benchmarks and could never sit on the event-kernel path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "obs/metrics.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  const auto a = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + a - 1) / a * a;  // aligned_alloc contract
+  if (void* p = std::aligned_alloc(a, rounded)) return p;
+  throw std::bad_alloc{};
+}
+
+void operator delete(void* p) noexcept {
+  if (p == nullptr) return;
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+void operator delete(void* p, std::size_t) noexcept { operator delete(p); }
+
+void operator delete(void* p, std::align_val_t) noexcept {
+  if (p == nullptr) return;
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+void operator delete(void* p, std::size_t, std::align_val_t a) noexcept {
+  operator delete(p, a);
+}
+
+namespace pofi::obs {
+namespace {
+
+std::uint64_t allocs_now() { return g_allocs.load(std::memory_order_relaxed); }
+
+TEST(ObsAllocFree, CounterGaugeHistogramHotPathAllocatesNothing) {
+  MetricRegistry reg;
+  const MetricId c = reg.counter("nand.ispp.started");
+  const MetricId g = reg.gauge("ssd.ncq.inflight");
+  const MetricId h = reg.histogram("ssd.cache.flush_latency_us",
+                                   {100, 500, 1'000, 5'000, 10'000, 50'000});
+  ASSERT_NE(c, kNoMetric);
+  ASSERT_NE(g, kNoMetric);
+  ASSERT_NE(h, kNoMetric);
+
+  const std::uint64_t before = allocs_now();
+  for (std::uint64_t i = 0; i < 100'000; ++i) {
+    reg.add(c);
+    reg.add(c, i & 7);
+    reg.set(g, i % 33);
+    reg.record(h, static_cast<std::int64_t>((i * 97) % 60'000));
+    // The no-op handle must be free as well: a failed registration degrades
+    // to silence, not to a slow path.
+    reg.add(kNoMetric);
+  }
+  const std::uint64_t after = allocs_now();
+  EXPECT_EQ(after - before, 0u)
+      << "counter/gauge/histogram updates must not touch the heap";
+  EXPECT_GT(reg.value_of("nand.ispp.started"), 100'000u);
+}
+
+TEST(ObsAllocFree, SeriesSamplingWithinCapacityAllocatesNothing) {
+  MetricRegistry reg;
+  const MetricId s = reg.series("psu.rail.volts", 1024);  // reserve up front
+
+  const std::uint64_t before = allocs_now();
+  for (int i = 0; i < 2048; ++i) {  // half land in the drop path
+    reg.sample(s, sim::TimePoint::zero() + sim::Duration::us(i), 5.0 - i * 0.001);
+  }
+  const std::uint64_t after = allocs_now();
+  EXPECT_EQ(after - before, 0u)
+      << "series sampling (including drops past capacity) must not allocate";
+}
+
+TEST(ObsAllocFree, CountersActuallyCount) {
+  const std::uint64_t before = allocs_now();
+  auto* p = new int(7);
+  EXPECT_EQ(allocs_now() - before, 1u);
+  delete p;
+}
+
+}  // namespace
+}  // namespace pofi::obs

@@ -42,6 +42,40 @@ TEST(Csv, QuotedCellsInRows) {
   EXPECT_EQ(w.render(), "name,note\n\"a,b\",\"he said \"\"hi\"\"\"\n");
 }
 
+TEST(Csv, CommentsPrefixedBeforeHeader) {
+  CsvWriter w({"a"});
+  w.add_comment("spec=0x12AB").add_comment("version=1.0.0");
+  w.add_row({"1"});
+  EXPECT_EQ(w.render(), "# spec=0x12AB\n# version=1.0.0\na\n1\n");
+}
+
+TEST(Csv, MultilineCommentPrefixesEveryLine) {
+  // A comment with embedded newlines must not inject bare lines that a CSV
+  // reader would parse as data rows: every physical line gets "# ".
+  CsvWriter w({"a"});
+  w.add_comment("first\nsecond\nthird");
+  EXPECT_EQ(w.render(), "# first\n# second\n# third\na\n");
+}
+
+TEST(Csv, CrlfCommentNormalised) {
+  CsvWriter w({"a"});
+  w.add_comment("win\r\nstyle\r");
+  EXPECT_EQ(w.render(), "# win\n# style\na\n");
+}
+
+TEST(Csv, EmptyAndTrailingNewlineComments) {
+  CsvWriter w({"a"});
+  w.add_comment("");             // still a (blank) comment line
+  w.add_comment("tail\n");       // trailing newline -> one extra blank line
+  EXPECT_EQ(w.render(), "# \n# tail\n# \na\n");
+}
+
+TEST(Csv, HeaderCellsEscapedLikeDataCells) {
+  CsvWriter w({"plain", "with,comma", "with\"quote"});
+  w.add_row({"a", "b", "c"});
+  EXPECT_EQ(w.render(), "plain,\"with,comma\",\"with\"\"quote\"\na,b,c\n");
+}
+
 TEST(Csv, WriteFileRoundTrips) {
   CsvWriter w({"k", "v"});
   w.add_row({"one", "1"});
