@@ -14,6 +14,10 @@
 
 #include <cstdlib>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "platform/campaign_suite.hpp"
 #include "platform/test_platform.hpp"
 #include "runner/progress.hpp"
@@ -169,10 +173,28 @@ inline double wall_seconds(Fn&& fn) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
 
+/// Process peak resident set size in MiB (getrusage; ru_maxrss is KiB on
+/// Linux). 0.0 when the platform has no rusage.
+inline double peak_rss_mib() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#else
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // KiB
+#endif
+#else
+  return 0.0;
+#endif
+}
+
 /// Machine-readable perf record for the parallel runner, tracked across PRs
 /// (see ISSUE/ROADMAP): campaigns/sec, wall seconds, thread count, speedup
-/// over the sequential path. Written to $POFI_BENCH_DIR/BENCH_runner.json
-/// (cwd when unset).
+/// over the sequential path, and the process peak RSS — the number the
+/// large-drive specs stress, since the whole fleet's NAND state now rides
+/// the SoA arena. Written to $POFI_BENCH_DIR/BENCH_runner.json (cwd when
+/// unset).
 inline void write_runner_bench_json(const char* bench, unsigned threads,
                                     std::size_t campaigns, double parallel_seconds,
                                     double sequential_seconds) {
@@ -193,7 +215,8 @@ inline void write_runner_bench_json(const char* bench, unsigned threads,
                "  \"campaigns_per_sec\": %.3f,\n"
                "  \"sequential_wall_seconds\": %.3f,\n"
                "  \"sequential_campaigns_per_sec\": %.3f,\n"
-               "  \"speedup\": %.2f\n"
+               "  \"speedup\": %.2f,\n"
+               "  \"peak_rss_mib\": %.1f\n"
                "}\n",
                bench, campaigns, threads, std::thread::hardware_concurrency(),
                parallel_seconds,
@@ -201,7 +224,8 @@ inline void write_runner_bench_json(const char* bench, unsigned threads,
                sequential_seconds,
                sequential_seconds > 0 ? static_cast<double>(campaigns) / sequential_seconds
                                       : 0.0,
-               parallel_seconds > 0 ? sequential_seconds / parallel_seconds : 0.0);
+               parallel_seconds > 0 ? sequential_seconds / parallel_seconds : 0.0,
+               peak_rss_mib());
   std::fclose(f);
   std::printf("perf record written: %s\n", path.c_str());
 }

@@ -45,7 +45,11 @@ int main() {
     }
   }
 
-  const unsigned threads = bench::bench_threads() != 0 ? bench::bench_threads() : 8;
+  // Default to the box's width (min 2 so the pool is exercised): a fixed
+  // count oversubscribes small CI runners and understates big ones.
+  const unsigned threads = bench::bench_threads() != 0
+                               ? bench::bench_threads()
+                               : std::max(2u, std::thread::hardware_concurrency());
   std::vector<platform::CampaignSuite::Row> seq_rows, par_rows;
   const double seq_seconds =
       bench::wall_seconds([&] { seq_rows = bench::run_campaigns(fleet, 1); });

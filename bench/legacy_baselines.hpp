@@ -12,9 +12,12 @@
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "ftl/types.hpp"
+#include "nand/geometry.hpp"
+#include "nand/page.hpp"
 #include "sim/time.hpp"
 
 namespace pofi::bench {
@@ -145,6 +148,84 @@ class LegacyMappingTable {
   std::unordered_map<ftl::Lpn, DirtyState> volatile_;
   std::unordered_map<std::uint64_t, std::vector<ftl::Lpn>> batches_;
   std::uint64_t next_batch_ = 1;
+};
+
+/// Pre-arena NAND chip state: unordered_map<BlockId, Block> of AoS
+/// vector<Page> records, exactly the layout nand::NandChip carried before the
+/// SoA BlockArena swap. One fat Page per page — status enum, ISPP progress
+/// float, u64 content tag, u64+u64 OOB, u32 upset count — materialised in
+/// full on first touch of the block, never released on erase.
+class LegacyChipState {
+ public:
+  struct Page {
+    nand::PageStatus status = nand::PageStatus::kErased;
+    float progress = 0.0f;
+    std::uint64_t content = nand::kErasedContent;
+    nand::Oob oob;
+    std::uint32_t upset_errors = 0;
+  };
+
+  struct Block {
+    explicit Block(std::uint32_t pages_per_block) : pages(pages_per_block) {}
+    std::vector<Page> pages;
+    std::uint32_t erase_count = 0;
+    std::uint32_t reads_since_erase = 0;
+    std::uint32_t programs_since_erase = 0;
+    std::uint32_t next_program_page = 0;
+    bool bad = false;
+    bool partially_erased = false;
+  };
+
+  explicit LegacyChipState(const nand::Geometry& g) : geometry_(g) {}
+
+  Block& touch(nand::BlockId b) {
+    const auto it = blocks_.find(b);
+    if (it != blocks_.end()) return it->second;
+    return blocks_.emplace(b, Block(geometry_.pages_per_block)).first->second;
+  }
+
+  [[nodiscard]] const Block* find(nand::BlockId b) const {
+    const auto it = blocks_.find(b);
+    return it == blocks_.end() ? nullptr : &it->second;
+  }
+
+  void program(nand::BlockId b, std::uint32_t pib, std::uint64_t content,
+               const nand::Oob& oob) {
+    Block& blk = touch(b);
+    Page& page = blk.pages[pib];
+    page.status = nand::PageStatus::kValid;
+    page.progress = 1.0f;
+    page.content = content;
+    page.oob = oob;
+    page.upset_errors = 0;
+    ++blk.programs_since_erase;
+    blk.next_program_page = pib + 1;
+  }
+
+  /// Read path cost model: bump the block read counter (a write, as in the
+  /// chip's read_through_ecc) and return status+content.
+  std::pair<nand::PageStatus, std::uint64_t> read(nand::BlockId b, std::uint32_t pib) {
+    Block& blk = touch(b);
+    ++blk.reads_since_erase;
+    const Page& page = blk.pages[pib];
+    return {page.status, page.content};
+  }
+
+  void erase(nand::BlockId b) {
+    Block& blk = touch(b);
+    for (Page& page : blk.pages) page = Page{};
+    ++blk.erase_count;
+    blk.reads_since_erase = 0;
+    blk.programs_since_erase = 0;
+    blk.next_program_page = 0;
+    blk.partially_erased = false;
+  }
+
+  [[nodiscard]] std::size_t touched_blocks() const { return blocks_.size(); }
+
+ private:
+  nand::Geometry geometry_;
+  std::unordered_map<nand::BlockId, Block> blocks_;
 };
 
 /// Bare unordered_map L2P: the pure structure half of the swap, used by the

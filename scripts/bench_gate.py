@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_micro.json.
+
+Reads a freshly generated BENCH_micro.json (produced by the `bench` CMake
+target, or by running bench_micro_platform / bench_nand_state /
+bench_obs_overhead with POFI_BENCH_DIR pointing somewhere writable) and
+fails if any hot-path A/B record has regressed below its floor.
+
+Floors are deliberately generous relative to the committed numbers —
+roughly half the headroom — so the gate catches real regressions (an
+accidental O(n) reintroduction, a lost fast path) without flaking on CI-
+runner noise. The committed records in the repo root document the numbers
+a quiet 2-vCPU box actually produces; the floors below are what we refuse
+to ship under.
+
+Usage: scripts/bench_gate.py [path/to/BENCH_micro.json]
+Exit codes: 0 ok, 1 regression, 2 missing/malformed input.
+
+No third-party dependencies; stdlib json only.
+"""
+
+import json
+import sys
+
+# (record, field, floor, direction) — "min": value must be >= floor,
+# "max": value must be <= floor.
+GATES = [
+    # PR-1 event kernel vs std::function + priority_queue (committed ~2.5x).
+    ("event_kernel", "speedup", 1.3, "min"),
+    # Flat L2P vs unordered_map (committed ~3.4x lookup, ~2.4x update).
+    ("mapping_lookup", "speedup", 1.5, "min"),
+    ("mapping_update", "speedup", 1.3, "min"),
+    # SoA block arena vs map-based AoS chip state (committed ~1.7x access
+    # throughput, ~4.5x lower bytes per touched page).
+    ("nand_state", "speedup", 1.35, "min"),
+    ("nand_state", "bytes_ratio", 3.5, "min"),
+    # Metrics-on wall-clock overhead (documented budget 3%; gate at 5%).
+    ("obs_overhead", "overhead_fraction", 0.05, "max"),
+]
+
+
+def main(argv):
+    path = argv[1] if len(argv) > 1 else "BENCH_micro.json"
+    try:
+        with open(path, encoding="utf-8") as f:
+            root = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"bench_gate: cannot read {path}: {err}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for record, field, floor, direction in GATES:
+        rec = root.get(record)
+        if not isinstance(rec, dict) or field not in rec:
+            failures.append(f"{record}.{field}: MISSING (bench did not run?)")
+            continue
+        value = rec[field]
+        if not isinstance(value, (int, float)):
+            failures.append(f"{record}.{field}: non-numeric value {value!r}")
+            continue
+        ok = value >= floor if direction == "min" else value <= floor
+        bound = ">=" if direction == "min" else "<="
+        line = f"{record}.{field} = {value:.3f} (must be {bound} {floor})"
+        if ok:
+            print(f"  ok   {line}")
+        else:
+            print(f"  FAIL {line}")
+            failures.append(line)
+
+    if failures:
+        print(f"\nbench_gate: {len(failures)} regression(s) in {path}:",
+              file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print(f"bench_gate: all {len(GATES)} floors hold in {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

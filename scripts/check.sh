@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Mechanical gate for the repo: tier-1 build + full ctest, then a
 # ThreadSanitizer build of the concurrent runner code and its tests, then a
-# UBSan build of the resilience layer (retry/checkpoint/resume) and its tests.
+# UBSan build of the resilience layer (retry/checkpoint/resume) and the NAND
+# arena (bit-packing/narrowing) with their tests.
 #
 #   scripts/check.sh          # tier-1 + TSan runner tests + UBSan resilience tests
 #   scripts/check.sh --fast   # tier-1 only
@@ -47,15 +48,18 @@ TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
 
 # The resilience layer leans on exactly the constructs UBSan polices: integer
 # backoff arithmetic, enum round-trips from untrusted JSONL, and strtoull
-# parsing of checkpoint hashes. Build just the retry/checkpoint/resume tests
-# under -fsanitize=undefined and run them plus the golden resume gate.
-echo "==> UBSan: configure + build resilience tests (build-ubsan/, -DPOFI_SANITIZE=undefined)"
+# parsing of checkpoint hashes — and the NAND arena adds 2-bit status packing,
+# u32 narrowing with in-band sentinels, and slab index arithmetic, all prime
+# shift/overflow territory. Build the retry/checkpoint/resume tests plus the
+# arena unit tests and the arena-vs-legacy differential fuzz under
+# -fsanitize=undefined and run them with the golden resume gate.
+echo "==> UBSan: configure + build resilience + NAND arena tests (build-ubsan/, -DPOFI_SANITIZE=undefined)"
 cmake -B build-ubsan -S . -DPOFI_SANITIZE=undefined >/dev/null
-cmake --build build-ubsan -j "${JOBS}" --target runner_resilience_test spec_checkpoint_test determinism_golden_test obs_metrics_test obs_attribution_test
+cmake --build build-ubsan -j "${JOBS}" --target runner_resilience_test spec_checkpoint_test determinism_golden_test obs_metrics_test obs_attribution_test nand_block_arena_test nand_chip_fuzz_test nand_alloc_test
 
-echo "==> UBSan: ctest (retry + checkpoint + resume determinism + obs codec)"
+echo "==> UBSan: ctest (retry + checkpoint + resume determinism + obs codec + NAND arena)"
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
   ctest --test-dir build-ubsan --output-on-failure -j "${JOBS}" \
-        -R 'RunnerResilience|CampaignStatusTaxonomy|JsonlProgressSink|Checkpoint|DeterminismGolden|ObsMetrics|ObsTrace|ObsAttribution'
+        -R 'RunnerResilience|CampaignStatusTaxonomy|JsonlProgressSink|Checkpoint|DeterminismGolden|ObsMetrics|ObsTrace|ObsAttribution|BlockArena|NandChipFuzz|NandChipTouchedBlocks|NandAllocFree'
 
 echo "==> all checks passed"

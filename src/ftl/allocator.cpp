@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ftl/dense.hpp"
+
 namespace pofi::ftl {
 
 BlockAllocator::BlockAllocator(const nand::Geometry& geometry)
@@ -53,6 +55,7 @@ std::optional<Ppn> BlockAllocator::alloc_page(Stream stream) {
 }
 
 void BlockAllocator::on_block_erased(BlockId block) {
+  grow_dense(erase_counts_, block, geometry_.total_blocks(), 0U);
   const std::uint32_t count = ++erase_counts_[block];
   free_heaps_[block % geometry_.planes].push(FreeEntry{count, block});
 }

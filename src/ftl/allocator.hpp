@@ -16,7 +16,6 @@
 #include <cstdint>
 #include <optional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "ftl/types.hpp"
@@ -72,7 +71,7 @@ class BlockAllocator {
   std::vector<Active> active_;            ///< [stream * planes + plane]
   std::array<std::uint32_t, kStreamCount> rr_{};  ///< round-robin cursor per stream
   std::vector<FreeHeap> free_heaps_;      ///< per plane
-  std::unordered_map<BlockId, std::uint32_t> erase_counts_;
+  std::vector<std::uint32_t> erase_counts_;  ///< dense by BlockId (see dense.hpp)
   std::vector<BlockId> sealed_;
   std::uint64_t pages_allocated_ = 0;
 };

@@ -1,0 +1,26 @@
+// Grow-on-demand dense arrays indexed by physical address.
+//
+// The FTL's per-page reverse map and per-block valid counters are lookup/
+// update structures that are never iterated, so they flatten from hash maps
+// to flat vectors with a sentinel/zero default: O(1) indexed access with no
+// hashing or node allocation on the write hot path. Growth doubles (so
+// amortised allocation cost vanishes after warm-up) and clamps to the
+// device's addressable range, which bounds worst-case footprint by geometry
+// instead of by access pattern.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace pofi::ftl {
+
+template <typename T>
+void grow_dense(std::vector<T>& v, std::uint64_t index, std::uint64_t capacity_hint, T fill) {
+  if (index < v.size()) return;
+  std::uint64_t grown = std::max<std::uint64_t>(v.size() * 2, 1024);
+  grown = std::min(std::max(grown, index + 1), std::max(capacity_hint, index + 1));
+  v.resize(grown, fill);
+}
+
+}  // namespace pofi::ftl

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "ftl/dense.hpp"
 #include "obs/metrics.hpp"
 #include "sim/log.hpp"
 
@@ -97,15 +98,17 @@ void Ftl::finish_host_write(Lpn lpn, Ppn ppn, std::uint64_t /*content*/) {
 }
 
 void Ftl::invalidate(Ppn ppn) {
-  reverse_map_.erase(ppn);
+  if (ppn < reverse_map_.size()) reverse_map_[ppn] = kUnmappedLpn;
   const BlockId b = chip_.geometry().block_of(ppn);
-  auto it = valid_count_.find(b);
-  if (it != valid_count_.end() && it->second > 0) --it->second;
+  if (b < valid_count_.size() && valid_count_[b] > 0) --valid_count_[b];
 }
 
 void Ftl::make_valid(Lpn lpn, Ppn ppn) {
+  grow_dense(reverse_map_, ppn, chip_.geometry().total_pages(), kUnmappedLpn);
   reverse_map_[ppn] = lpn;
-  ++valid_count_[chip_.geometry().block_of(ppn)];
+  const BlockId b = chip_.geometry().block_of(ppn);
+  grow_dense(valid_count_, b, chip_.geometry().total_blocks(), 0U);
+  ++valid_count_[b];
 }
 
 // -------------------------------------------------------------- host reads
@@ -213,8 +216,7 @@ void Ftl::maybe_start_gc() {
   BlockId victim = sealed.front();
   std::uint32_t best_valid = ~0U;
   for (const BlockId b : sealed) {
-    const auto it = valid_count_.find(b);
-    const std::uint32_t v = it == valid_count_.end() ? 0 : it->second;
+    const std::uint32_t v = b < valid_count_.size() ? valid_count_[b] : 0;
     if (v < best_valid) {
       best_valid = v;
       victim = b;
@@ -241,12 +243,11 @@ void Ftl::gc_relocate_next(BlockId victim, std::uint32_t page_index) {
     return;
   }
   const Ppn ppn = geom.first_page(victim) + page_index;
-  const auto rit = reverse_map_.find(ppn);
-  if (rit == reverse_map_.end() || map_.lookup(rit->second) != std::optional<Ppn>(ppn)) {
+  const Lpn lpn = ppn < reverse_map_.size() ? reverse_map_[ppn] : kUnmappedLpn;
+  if (lpn == kUnmappedLpn || map_.lookup(lpn) != std::optional<Ppn>(ppn)) {
     gc_relocate_next(victim, page_index + 1);  // page is stale
     return;
   }
-  const Lpn lpn = rit->second;
   chip_.read(ppn, [this, victim, page_index, lpn, ppn](nand::ReadResult r) {
     if (!powered_) {
       gc_running_ = false;
@@ -292,7 +293,7 @@ void Ftl::gc_erase_victim(BlockId victim) {
     obs_gc_span_end();
     if (!powered_) return;
     if (r.ok()) {
-      valid_count_.erase(victim);
+      if (victim < valid_count_.size()) valid_count_[victim] = 0;
       alloc_.on_block_erased(victim);
       ++stats_.gc_erases;
     } else if (r.status == nand::OpResult::Status::kBadBlock) {

@@ -135,8 +135,11 @@ class Ftl {
   BlockAllocator alloc_;
   FtlStats stats_;
 
-  std::unordered_map<Ppn, Lpn> reverse_map_;
-  std::unordered_map<BlockId, std::uint32_t> valid_count_;
+  // Dense, never iterated: flat vectors beat hash maps on the write hot
+  // path (see dense.hpp). reverse_map_ holds kUnmappedLpn for dead pages;
+  // valid_count_ defaults to 0 for blocks never written.
+  std::vector<Lpn> reverse_map_;
+  std::vector<std::uint32_t> valid_count_;
 
   bool powered_ = false;
   bool gc_running_ = false;

@@ -11,6 +11,11 @@ using Lpn = std::uint64_t;  ///< logical page number (host address space)
 using nand::BlockId;
 using nand::Ppn;
 
+/// Sentinel for "no logical page": dense reverse maps hold this in slots
+/// whose physical page carries no live data. Host LPNs are bounded by drive
+/// capacity, so the all-ones value can never be a real address.
+inline constexpr Lpn kUnmappedLpn = ~Lpn{0};
+
 /// Streams keep host data, GC relocations and map-journal pages in separate
 /// active blocks (standard multi-stream allocation).
 enum class Stream : std::uint8_t { kHost = 0, kGc = 1, kJournal = 2 };

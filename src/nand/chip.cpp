@@ -17,7 +17,8 @@ NandChip::NandChip(sim::Simulator& simulator, Config config, std::string_view rn
       errors_(error_model_for(config.tech)),
       ecc_(make_ecc(config.ecc)),
       rng_(simulator.fork_rng(rng_label)),
-      planes_(config.geometry.planes) {
+      planes_(config.geometry.planes),
+      arena_(config.geometry, config.initial_pe_cycles) {
   if (auto* m = sim_.metrics()) {
     obs_ispp_started_ = m->counter("nand.ispp.started");
     obs_ispp_interrupted_ = m->counter("nand.ispp.interrupted");
@@ -30,44 +31,31 @@ NandChip::NandChip(sim::Simulator& simulator, Config config, std::string_view rn
   }
 }
 
-Block& NandChip::touch_block(BlockId b) {
-  auto it = blocks_.find(b);
-  if (it == blocks_.end()) {
-    it = blocks_.emplace(b, Block(config_.geometry.pages_per_block)).first;
-    it->second.erase_count = config_.initial_pe_cycles;
-  }
-  return it->second;
-}
-
-double NandChip::wear_severity(const Block& block) const {
+double NandChip::wear_severity(BlockArena::Slot slot) const {
   // Worn cells have wider threshold-voltage distributions: the same
   // interruption or paired-page upset lands more raw errors near end of
   // life. Superlinear in wear (distribution tails fatten late in life),
   // quadrupling the damage at the endurance limit.
-  const double ratio = static_cast<double>(block.erase_count) /
+  const double ratio = static_cast<double>(arena_.erase_count(slot)) /
                        std::max(1u, config_.endurance_pe_cycles);
   return 1.0 + 3.0 * ratio * ratio;
 }
 
-const Block* NandChip::find_block(BlockId b) const {
-  const auto it = blocks_.find(b);
-  return it == blocks_.end() ? nullptr : &it->second;
-}
-
 const Page* NandChip::peek(Ppn ppn) const {
-  const Block* b = find_block(config_.geometry.block_of(ppn));
-  if (b == nullptr) return nullptr;
-  return &b->pages[config_.geometry.page_in_block(ppn)];
+  const BlockArena::Slot slot = arena_.find(config_.geometry.block_of(ppn));
+  if (slot == BlockArena::kNoSlot) return nullptr;
+  peek_scratch_ = arena_.snapshot(slot, config_.geometry.page_in_block(ppn));
+  return &peek_scratch_;
 }
 
 std::uint32_t NandChip::erase_count(BlockId b) const {
-  const Block* blk = find_block(b);
-  return blk == nullptr ? 0 : blk->erase_count;
+  const BlockArena::Slot slot = arena_.find(b);
+  return slot == BlockArena::kNoSlot ? 0 : arena_.erase_count(slot);
 }
 
 bool NandChip::is_bad(BlockId b) const {
-  const Block* blk = find_block(b);
-  return blk != nullptr && blk->bad;
+  const BlockArena::Slot slot = arena_.find(b);
+  return slot != BlockArena::kNoSlot && arena_.bad(slot);
 }
 
 // ------------------------------------------------------------- submission
@@ -141,8 +129,7 @@ void NandChip::enqueue(std::uint32_t plane_idx, InFlight op) {
 void NandChip::start_next(std::uint32_t plane_idx) {
   Plane& plane = planes_[plane_idx];
   if (plane.busy.has_value() || plane.queue.empty() || !powered_) return;
-  plane.busy = std::move(plane.queue.front());
-  plane.queue.pop_front();
+  plane.busy = plane.queue.pop_front();
   InFlight& op = *plane.busy;
   op.start = sim_.now();
   op.completion = sim_.after(op.duration, [this, plane_idx] { complete(plane_idx); });
@@ -164,51 +151,53 @@ void NandChip::complete(std::uint32_t plane_idx) {
 
 // -------------------------------------------------------------- completion
 
-std::uint64_t NandChip::raw_errors_for(const Page& page, const Block& block) {
+std::uint64_t NandChip::raw_errors_for(BlockArena::Slot slot, std::uint32_t pib) {
   const double bits = static_cast<double>(config_.geometry.page_bits());
+  const bool partially_erased = arena_.partially_erased(slot);
   double ber = 0.0;
-  switch (page.status) {
+  switch (arena_.status(slot, pib)) {
     case PageStatus::kErased:
       // A clean erased page has no errors to read; but inside a partially-
       // erased block even "erased" cells sit at unstable thresholds.
-      if (!block.partially_erased) return page.upset_errors;
+      if (!partially_erased) return arena_.upset_errors(slot, pib);
       break;  // fall through to the partially_erased bump below
     case PageStatus::kValid:
-      ber = errors_.base_ber + errors_.ber_per_pe_cycle * block.erase_count +
-            errors_.read_disturb_ber * block.reads_since_erase +
-            errors_.program_disturb_ber * block.programs_since_erase;
+      ber = errors_.base_ber + errors_.ber_per_pe_cycle * arena_.erase_count(slot) +
+            errors_.read_disturb_ber * arena_.reads_since_erase(slot) +
+            errors_.program_disturb_ber * arena_.programs_since_erase(slot);
       break;
     case PageStatus::kPartial: {
-      const double incomplete = 1.0 - static_cast<double>(page.progress);
-      ber = 0.5 * std::pow(incomplete, errors_.interrupt_shape) * wear_severity(block) +
+      const double incomplete = 1.0 - static_cast<double>(arena_.progress(slot, pib));
+      ber = 0.5 * std::pow(incomplete, errors_.interrupt_shape) * wear_severity(slot) +
             errors_.base_ber;
       break;
     }
     case PageStatus::kCorrupt:
       // Undefined cell states: a quarter of the bits read wrong.
-      return static_cast<std::uint64_t>(bits / 4.0) + page.upset_errors;
+      return static_cast<std::uint64_t>(bits / 4.0) + arena_.upset_errors(slot, pib);
   }
-  if (block.partially_erased) ber += 0.05;  // unstable threshold voltages
+  if (partially_erased) ber += 0.05;  // unstable threshold voltages
   const double lambda = ber * bits;
-  return rng_.poisson(lambda) + page.upset_errors;
+  return rng_.poisson(lambda) + arena_.upset_errors(slot, pib);
 }
 
 ReadResult NandChip::read_through_ecc(Ppn ppn) {
-  Block& block = touch_block(config_.geometry.block_of(ppn));
-  Page& page = block.pages[config_.geometry.page_in_block(ppn)];
-  block.reads_since_erase += 1;
+  const BlockArena::Slot slot = arena_.touch(config_.geometry.block_of(ppn));
+  const std::uint32_t pib = config_.geometry.page_in_block(ppn);
+  arena_.bump_reads_since_erase(slot);
 
   ReadResult result;
-  result.raw_errors = raw_errors_for(page, block);
+  result.raw_errors = raw_errors_for(slot, pib);
   const DecodeOutcome out = ecc_->decode(config_.geometry.page_bits(), result.raw_errors, rng_);
   result.soft_retries = out.soft_retries;
+  const std::uint64_t content = arena_.content(slot, pib);
   if (out.correctable) {
     result.status = ReadResult::Status::kOk;
-    result.content = page.content;
+    result.content = content;
   } else {
     result.status = ReadResult::Status::kUncorrectable;
     // Deterministic garbage distinct from any allocated tag.
-    result.content = page.content ^ (0x9e3779b97f4a7c15ULL * (result.raw_errors | 1ULL));
+    result.content = content ^ (0x9e3779b97f4a7c15ULL * (result.raw_errors | 1ULL));
     ++stats_.uncorrectable_reads;
   }
   if (auto* m = sim_.metrics()) {
@@ -235,10 +224,12 @@ void NandChip::finish_read_oob(InFlight& op) {
   const ReadResult page = read_through_ecc(op.ppn);
   OobResult result;
   if (page.ok()) {
-    const Page* p = peek(op.ppn);
-    if (p != nullptr && p->status != PageStatus::kErased) {
+    const BlockArena::Slot slot = arena_.find(op.block);
+    const std::uint32_t pib = config_.geometry.page_in_block(op.ppn);
+    if (slot != BlockArena::kNoSlot &&
+        arena_.status(slot, pib) != PageStatus::kErased) {
       result.ok = true;
-      result.oob = p->oob;
+      result.oob = arena_.oob(slot, pib);
     }
   }
   if (op.oob_cb) op.oob_cb(result);
@@ -250,43 +241,35 @@ ReadResult NandChip::read_now(Ppn ppn) {
 }
 
 void NandChip::finish_program(InFlight& op) {
-  Block& block = touch_block(op.block);
+  const BlockArena::Slot slot = arena_.touch(op.block);
   const std::uint32_t pib = config_.geometry.page_in_block(op.ppn);
-  if (block.bad) {
+  if (arena_.bad(slot)) {
     if (op.op_cb) op.op_cb(OpResult{OpResult::Status::kBadBlock});
     return;
   }
-  if (config_.enforce_program_order && pib != block.next_program_page) {
+  if (config_.enforce_program_order && pib != arena_.next_program_page(slot)) {
     ++stats_.order_violations;
     if (op.op_cb) op.op_cb(OpResult{OpResult::Status::kOrderViolation});
     return;
   }
-  Page& page = block.pages[pib];
-  page.status = PageStatus::kValid;
-  page.progress = 1.0f;
-  page.content = op.content;
-  page.oob = op.oob;
-  page.upset_errors = 0;
-  block.programs_since_erase += 1;
-  block.next_program_page = pib + 1;
+  arena_.set_programmed(slot, pib, op.content, op.oob);
+  if (arena_.has_upsets(slot)) arena_.set_upset_errors(slot, pib, 0);
+  arena_.bump_programs_since_erase(slot);
+  arena_.set_next_program_page(slot, pib + 1);
   ++stats_.programs;
   if (op.op_cb) op.op_cb(OpResult{OpResult::Status::kOk});
 }
 
 void NandChip::finish_erase(InFlight& op) {
-  Block& block = touch_block(op.block);
-  if (block.erase_count >= config_.endurance_pe_cycles) {
-    block.bad = true;
+  const BlockArena::Slot slot = arena_.touch(op.block);
+  if (arena_.erase_count(slot) >= config_.endurance_pe_cycles) {
+    arena_.set_bad(slot);
     if (auto* m = sim_.metrics()) m->add(obs_blocks_retired_);
     if (op.op_cb) op.op_cb(OpResult{OpResult::Status::kBadBlock});
     return;
   }
-  for (Page& p : block.pages) p = Page{};
-  block.erase_count += 1;
-  block.reads_since_erase = 0;
-  block.programs_since_erase = 0;
-  block.next_program_page = 0;
-  block.partially_erased = false;
+  arena_.erase_block(slot);
+  arena_.set_erase_count(slot, arena_.erase_count(slot) + 1);
   ++stats_.erases;
   if (op.op_cb) op.op_cb(OpResult{OpResult::Status::kOk});
 }
@@ -323,9 +306,8 @@ void NandChip::on_power_good() { powered_ = true; }
 void NandChip::interrupt_program(InFlight& op) {
   ++stats_.interrupted_programs;
   if (auto* m = sim_.metrics()) m->add(obs_ispp_interrupted_);
-  Block& block = touch_block(op.block);
+  const BlockArena::Slot slot = arena_.touch(op.block);
   const std::uint32_t pib = config_.geometry.page_in_block(op.ppn);
-  Page& page = block.pages[pib];
   const PageRole role = page_role(config_.tech, pib);
   const std::uint32_t steps = timing_.ispp_steps(role);
 
@@ -338,20 +320,14 @@ void NandChip::interrupt_program(InFlight& op) {
   if (progress >= 1.0) {
     // All pulses and the final verify finished; effectively a completed
     // program whose ACK never made it out of the die.
-    page.status = PageStatus::kValid;
-    page.progress = 1.0f;
-    page.content = op.content;
-    page.oob = op.oob;
-    block.programs_since_erase += 1;
-    block.next_program_page = pib + 1;
+    arena_.set_programmed(slot, pib, op.content, op.oob);
+    arena_.bump_programs_since_erase(slot);
+    arena_.set_next_program_page(slot, pib + 1);
     return;
   }
-  page.status = PageStatus::kPartial;
-  page.progress = static_cast<float>(progress);
-  page.content = op.content;
-  page.oob = op.oob;
-  block.programs_since_erase += 1;
-  block.next_program_page = pib + 1;  // the cursor burned this page either way
+  arena_.set_partial(slot, pib, static_cast<float>(progress), op.content, op.oob);
+  arena_.bump_programs_since_erase(slot);
+  arena_.set_next_program_page(slot, pib + 1);  // the cursor burned this page either way
 
   // Interrupting a later pass on a shared wordline shifts charge under the
   // partners that were already programmed and ACKed (the paper's corruption
@@ -364,19 +340,21 @@ void NandChip::interrupt_program(InFlight& op) {
 void NandChip::apply_paired_page_damage(BlockId block_id, std::uint32_t page_in_block,
                                         double severity) {
   if (errors_.paired_page_upset_ber <= 0.0) return;
-  Block& block = touch_block(block_id);
+  const BlockArena::Slot slot = arena_.touch(block_id);
   const std::uint32_t base = wordline_base(config_.tech, page_in_block);
   const double bits = static_cast<double>(config_.geometry.page_bits());
-  for (std::uint32_t p = base; p < page_in_block && p < block.pages.size(); ++p) {
-    Page& partner = block.pages[p];
-    if (partner.status != PageStatus::kValid) continue;
+  const std::uint32_t pages_per_block = config_.geometry.pages_per_block;
+  for (std::uint32_t p = base; p < page_in_block && p < pages_per_block; ++p) {
+    if (arena_.status(slot, p) != PageStatus::kValid) continue;
     const double lambda =
-        errors_.paired_page_upset_ber * severity * wear_severity(block) * bits;
+        errors_.paired_page_upset_ber * severity * wear_severity(slot) * bits;
     const std::uint64_t upset = rng_.poisson(lambda);
     if (upset == 0) continue;
-    partner.upset_errors += static_cast<std::uint32_t>(
-        std::min<std::uint64_t>(upset, std::numeric_limits<std::uint32_t>::max() -
-                                           partner.upset_errors));
+    const std::uint32_t current = arena_.upset_errors(slot, p);
+    arena_.set_upset_errors(
+        slot, p,
+        current + static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                      upset, std::numeric_limits<std::uint32_t>::max() - current)));
     ++stats_.paired_page_upsets;
     if (auto* m = sim_.metrics()) m->add(obs_paired_upsets_);
   }
@@ -385,28 +363,25 @@ void NandChip::apply_paired_page_damage(BlockId block_id, std::uint32_t page_in_
 void NandChip::interrupt_erase(InFlight& op) {
   ++stats_.interrupted_erases;
   if (auto* m = sim_.metrics()) m->add(obs_erase_interrupted_);
-  Block& block = touch_block(op.block);
+  const BlockArena::Slot slot = arena_.touch(op.block);
   const double frac = std::clamp(
       (sim_.now() - op.start).to_sec() / std::max(1e-12, op.duration.to_sec()), 0.0, 1.0);
   if (frac >= 1.0) {
     // Completed under dying power; treat as a normal erase.
-    for (Page& p : block.pages) p = Page{};
-    block.erase_count += 1;
-    block.reads_since_erase = 0;
-    block.programs_since_erase = 0;
-    block.next_program_page = 0;
-    block.partially_erased = false;
+    arena_.erase_block(slot);
+    arena_.set_erase_count(slot, arena_.erase_count(slot) + 1);
     return;
   }
   // Cells are somewhere between their old states and erased: every page that
   // held data is now undefined, and the whole block reads unstably until a
   // clean erase completes.
-  for (Page& p : block.pages) {
-    if (p.status == PageStatus::kValid || p.status == PageStatus::kPartial) {
-      p.status = PageStatus::kCorrupt;
+  for (std::uint32_t p = 0; p < config_.geometry.pages_per_block; ++p) {
+    const PageStatus st = arena_.status(slot, p);
+    if (st == PageStatus::kValid || st == PageStatus::kPartial) {
+      arena_.corrupt_page(slot, p);
     }
   }
-  block.partially_erased = true;
+  arena_.set_partially_erased(slot);
 }
 
 }  // namespace pofi::nand

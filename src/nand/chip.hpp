@@ -9,20 +9,20 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string_view>
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "nand/block_arena.hpp"
 #include "nand/ecc.hpp"
 #include "nand/geometry.hpp"
 #include "nand/page.hpp"
 #include "nand/timing.hpp"
 #include "obs/fwd.hpp"
 #include "sim/inplace_function.hpp"
+#include "sim/ring_queue.hpp"
 #include "sim/simulator.hpp"
 
 namespace pofi::nand {
@@ -115,7 +115,10 @@ class NandChip {
   [[nodiscard]] const ChipStats& stats() const { return stats_; }
   [[nodiscard]] const EccScheme& ecc() const { return *ecc_; }
 
-  /// Direct page peek without timing or ECC (ground truth for tests).
+  /// Direct page peek without timing or ECC (ground truth for tests). The
+  /// page state lives in SoA lanes, so the returned pointer targets a
+  /// per-chip snapshot slot: it stays valid (same address) until the next
+  /// peek on this die, which overwrites it.
   [[nodiscard]] const Page* peek(Ppn ppn) const;
   /// Synchronous read through the full error/ECC path, bypassing timing.
   /// Used by tests; the production path is the async read().
@@ -124,7 +127,7 @@ class NandChip {
   [[nodiscard]] std::uint32_t erase_count(BlockId b) const;
   [[nodiscard]] bool is_bad(BlockId b) const;
   /// Number of materialised (touched) blocks.
-  [[nodiscard]] std::size_t touched_blocks() const { return blocks_.size(); }
+  [[nodiscard]] std::size_t touched_blocks() const { return arena_.touched_blocks(); }
 
  private:
   struct InFlight {
@@ -142,12 +145,10 @@ class NandChip {
   };
   struct Plane {
     std::optional<InFlight> busy;
-    std::deque<InFlight> queue;
+    sim::RingQueue<InFlight> queue;
   };
 
-  Block& touch_block(BlockId b);
-  [[nodiscard]] const Block* find_block(BlockId b) const;
-  [[nodiscard]] double wear_severity(const Block& block) const;
+  [[nodiscard]] double wear_severity(BlockArena::Slot slot) const;
 
   void enqueue(std::uint32_t plane_idx, InFlight op);
   void start_next(std::uint32_t plane_idx);
@@ -158,8 +159,8 @@ class NandChip {
   void finish_program(InFlight& op);
   void finish_erase(InFlight& op);
 
-  /// Raw bit-error count for reading `page` in `block` right now.
-  [[nodiscard]] std::uint64_t raw_errors_for(const Page& page, const Block& block);
+  /// Raw bit-error count for reading page `pib` of the block at `slot` now.
+  [[nodiscard]] std::uint64_t raw_errors_for(BlockArena::Slot slot, std::uint32_t pib);
   [[nodiscard]] ReadResult read_through_ecc(Ppn ppn);
 
   void interrupt_program(InFlight& op);
@@ -174,7 +175,8 @@ class NandChip {
   sim::Rng rng_;
   bool powered_ = false;
   std::vector<Plane> planes_;
-  std::unordered_map<BlockId, Block> blocks_;
+  BlockArena arena_;
+  mutable Page peek_scratch_;  ///< snapshot slot backing peek()
   ChipStats stats_;
 
   // Observability handles (no-ops unless a registry is attached to sim_).

@@ -42,30 +42,32 @@ double all_codewords_ok_probability(std::uint32_t t, std::uint64_t n_cw, std::ui
 
 /// Exact small-count path: throw each error into a uniformly random codeword
 /// and check the max occupancy against t. Deterministic given the rng.
+constexpr std::uint64_t kExactThreshold = 192;  // errors below this use exact path
+
 bool exact_assignment_ok(std::uint32_t t, std::uint64_t n_cw, std::uint64_t errors,
                          sim::Rng& rng) {
-  // With few errors, collisions are rare; track counts sparsely.
-  std::vector<std::pair<std::uint64_t, std::uint32_t>> counts;
-  counts.reserve(errors);
+  // With few errors, collisions are rare; track counts sparsely. Callers
+  // bound `errors` by kExactThreshold, so a stack array suffices: this runs
+  // on every read that draws any bit error, and must not touch the heap.
+  std::array<std::pair<std::uint64_t, std::uint32_t>, kExactThreshold> counts;
+  std::size_t used = 0;
   for (std::uint64_t e = 0; e < errors; ++e) {
     const std::uint64_t cw = rng.below(n_cw);
     bool found = false;
-    for (auto& [id, c] : counts) {
-      if (id == cw) {
-        if (++c > t) return false;
+    for (std::size_t i = 0; i < used; ++i) {
+      if (counts[i].first == cw) {
+        if (++counts[i].second > t) return false;
         found = true;
         break;
       }
     }
     if (!found) {
-      counts.emplace_back(cw, 1);
+      counts[used++] = {cw, 1};
       if (t == 0) return false;
     }
   }
   return true;
 }
-
-constexpr std::uint64_t kExactThreshold = 192;  // errors below this use exact path
 
 }  // namespace
 

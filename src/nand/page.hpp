@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "nand/geometry.hpp"
 
@@ -43,6 +42,9 @@ struct Oob {
   [[nodiscard]] bool valid() const { return lpn != ~0ULL; }
 };
 
+/// AoS view of one page's state. Storage lives in the chip's BlockArena as
+/// struct-of-arrays lanes; `Page` is the assembled snapshot handed out by
+/// inspection paths (NandChip::peek) and tests.
 struct Page {
   PageStatus status = PageStatus::kErased;
   /// ISPP completion fraction in [0,1); meaningful for kPartial.
@@ -56,18 +58,6 @@ struct Page {
   /// damage on interrupted sibling passes). Disturb from ordinary traffic is
   /// modelled statistically from block counters at read time.
   std::uint32_t upset_errors = 0;
-};
-
-struct Block {
-  explicit Block(std::uint32_t pages_per_block) : pages(pages_per_block) {}
-
-  std::vector<Page> pages;
-  std::uint32_t erase_count = 0;
-  std::uint32_t reads_since_erase = 0;
-  std::uint32_t programs_since_erase = 0;
-  std::uint32_t next_program_page = 0;  ///< in-order programming cursor
-  bool bad = false;
-  bool partially_erased = false;
 };
 
 }  // namespace pofi::nand

@@ -187,7 +187,7 @@ const char* const kCampaignSpecs[] = {
     "fig7_request_size.json", "fig8_iops.json",
     "fig9_sequences.json",    "secIVA_post_ack_interval.json",
     "secIVD_access_pattern.json", "table1_smoke.json",
-    "golden.json",
+    "golden.json",            "large_drive.json",
 };
 const char* const kParamsSpecs[] = {
     "datacenter_outage.json",
