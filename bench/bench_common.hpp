@@ -189,15 +189,33 @@ inline double peak_rss_mib() {
 #endif
 }
 
+/// Session-reuse A/B numbers for the BENCH_runner.json record: the same
+/// entry pool run with pooled reset-in-place sessions vs build-per-entry
+/// (pofi_run --no-session-reuse equivalent), plus the steady-state heap
+/// traffic per pooled entry and the pool's reset/rebuild split.
+struct SessionAb {
+  std::size_t campaigns = 0;
+  double reuse_seconds = 0.0;
+  double rebuild_seconds = 0.0;
+  double steady_allocs_per_entry = 0.0;
+  std::uint64_t resets = 0;
+  std::uint64_t rebuilds = 0;
+  [[nodiscard]] double speedup() const {
+    return reuse_seconds > 0.0 ? rebuild_seconds / reuse_seconds : 0.0;
+  }
+};
+
 /// Machine-readable perf record for the parallel runner, tracked across PRs
 /// (see ISSUE/ROADMAP): campaigns/sec, wall seconds, thread count, speedup
 /// over the sequential path, and the process peak RSS — the number the
 /// large-drive specs stress, since the whole fleet's NAND state now rides
-/// the SoA arena. Written to $POFI_BENCH_DIR/BENCH_runner.json (cwd when
-/// unset).
+/// the SoA arena. When `session` is non-null, a "session_reuse" sub-record
+/// captures the pooled-vs-rebuild A/B. Written to
+/// $POFI_BENCH_DIR/BENCH_runner.json (cwd when unset).
 inline void write_runner_bench_json(const char* bench, unsigned threads,
                                     std::size_t campaigns, double parallel_seconds,
-                                    double sequential_seconds) {
+                                    double sequential_seconds,
+                                    const SessionAb* session = nullptr) {
   const char* dir = std::getenv("POFI_BENCH_DIR");
   const std::string path = std::string(dir == nullptr ? "." : dir) + "/BENCH_runner.json";
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -216,8 +234,7 @@ inline void write_runner_bench_json(const char* bench, unsigned threads,
                "  \"sequential_wall_seconds\": %.3f,\n"
                "  \"sequential_campaigns_per_sec\": %.3f,\n"
                "  \"speedup\": %.2f,\n"
-               "  \"peak_rss_mib\": %.1f\n"
-               "}\n",
+               "  \"peak_rss_mib\": %.1f%s\n",
                bench, campaigns, threads, std::thread::hardware_concurrency(),
                parallel_seconds,
                parallel_seconds > 0 ? static_cast<double>(campaigns) / parallel_seconds : 0.0,
@@ -225,7 +242,33 @@ inline void write_runner_bench_json(const char* bench, unsigned threads,
                sequential_seconds > 0 ? static_cast<double>(campaigns) / sequential_seconds
                                       : 0.0,
                parallel_seconds > 0 ? sequential_seconds / parallel_seconds : 0.0,
-               peak_rss_mib());
+               peak_rss_mib(), session != nullptr ? "," : "");
+  if (session != nullptr) {
+    std::fprintf(
+        f,
+        "  \"session_reuse\": {\n"
+        "    \"campaigns\": %zu,\n"
+        "    \"reuse_wall_seconds\": %.3f,\n"
+        "    \"rebuild_wall_seconds\": %.3f,\n"
+        "    \"reuse_campaigns_per_sec\": %.3f,\n"
+        "    \"rebuild_campaigns_per_sec\": %.3f,\n"
+        "    \"speedup\": %.2f,\n"
+        "    \"steady_allocs_per_entry\": %.1f,\n"
+        "    \"resets\": %llu,\n"
+        "    \"rebuilds\": %llu\n"
+        "  }\n",
+        session->campaigns, session->reuse_seconds, session->rebuild_seconds,
+        session->reuse_seconds > 0
+            ? static_cast<double>(session->campaigns) / session->reuse_seconds
+            : 0.0,
+        session->rebuild_seconds > 0
+            ? static_cast<double>(session->campaigns) / session->rebuild_seconds
+            : 0.0,
+        session->speedup(), session->steady_allocs_per_entry,
+        static_cast<unsigned long long>(session->resets),
+        static_cast<unsigned long long>(session->rebuilds));
+  }
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("perf record written: %s\n", path.c_str());
 }

@@ -10,9 +10,44 @@
 // fleet is embarrassingly parallel (one fresh platform per unit), so it runs
 // once sequentially and once on the worker pool, cross-checks that the rows
 // are identical, and records the speedup in BENCH_runner.json.
+//
+// It also carries the session-reuse A/B: a pool of identical short campaigns
+// run once with pooled reset-in-place sessions and once rebuilding the
+// platform per entry, rows cross-checked bit-identical, with the speedup and
+// the steady-state heap allocations per pooled entry (global counting
+// new/delete — keep this bench its own binary) recorded alongside.
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <new>
 
 #include "bench_common.hpp"
+#include "runner/experiment_session.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  const auto a = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + a - 1) / a * a;  // aligned_alloc contract
+  if (void* p = std::aligned_alloc(a, rounded)) return p;
+  throw std::bad_alloc{};
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
 
 int main() {
   using namespace pofi;
@@ -81,11 +116,100 @@ int main() {
               fleet.size(), seq_seconds, threads, par_seconds,
               par_seconds > 0 ? seq_seconds / par_seconds : 0.0,
               deterministic ? "bit-identical to" : "DIVERGE from");
+
+  // ---- session-reuse A/B ---------------------------------------------------
+  // A pool of *identical-config* short campaigns (unlike the fleet above,
+  // whose per-unit model strings force a rebuild every entry): the sweep
+  // shape session pooling exists for. Same pool, threads=1, run with pooled
+  // reset-in-place sessions and with build-per-entry; rows must match
+  // bit-for-bit and the wall-clock gap is the recorded speedup.
+  const auto make_pool_suite = [](std::size_t n) {
+    auto suite = std::make_unique<platform::CampaignSuite>();
+    const auto drive = ssd::make_preset(ssd::VendorModel::kA);
+    for (std::size_t i = 0; i < n; ++i) {
+      workload::WorkloadConfig wl;
+      wl.name = "pool";
+      wl.wss_pages = bench::wss_pages_for_gib(drive, 1.0);
+      wl.min_pages = 1;  // 4KiB..64KiB: keep entries short on purpose —
+      wl.max_pages = 16;  // per-entry setup is what this A/B measures
+      wl.write_fraction = 1.0;
+
+      platform::ExperimentSpec spec;
+      spec.name = "pool-" + std::to_string(i);
+      spec.workload = wl;
+      spec.total_requests = 32;
+      spec.faults = 1;
+      spec.pace_iops = 4.0;
+      // Seed defaulted: the suite shards one per entry from its master seed.
+
+      suite->add(spec.name, drive, spec);
+    }
+    return suite;
+  };
+  const auto run_pool = [](platform::CampaignSuite& suite, bool reuse) {
+    runner::RunnerConfig rc;
+    rc.threads = 1;
+    rc.session_reuse = reuse;
+    return suite.run_all(rc);
+  };
+
+  constexpr std::size_t kPoolSmall = 4, kPoolFull = 12;
+  auto pool = make_pool_suite(kPoolFull);
+
+  std::vector<platform::CampaignSuite::Row> reuse_rows, rebuild_rows;
+  double reuse_seconds = 1e300, rebuild_seconds = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {  // interleaved best-of-3
+    reuse_seconds = std::min(
+        reuse_seconds, bench::wall_seconds([&] { reuse_rows = run_pool(*pool, true); }));
+    rebuild_seconds = std::min(
+        rebuild_seconds, bench::wall_seconds([&] { rebuild_rows = run_pool(*pool, false); }));
+  }
+  bool session_identical = reuse_rows.size() == rebuild_rows.size();
+  for (std::size_t i = 0; session_identical && i < reuse_rows.size(); ++i) {
+    const auto& a = reuse_rows[i].result;
+    const auto& b = rebuild_rows[i].result;
+    session_identical = a.data_failures == b.data_failures &&
+                        a.fwa_failures == b.fwa_failures && a.io_errors == b.io_errors &&
+                        a.sim_seconds == b.sim_seconds;
+  }
+
+  // Steady-state heap traffic per pooled entry: difference quotient between
+  // two pool sizes, so the one-time first-entry build (and anything else
+  // size-independent) cancels out of the numerator.
+  auto small_pool = make_pool_suite(kPoolSmall);
+  const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+  (void)run_pool(*small_pool, true);
+  const std::uint64_t a1 = g_allocs.load(std::memory_order_relaxed);
+  (void)run_pool(*pool, true);
+  const std::uint64_t a2 = g_allocs.load(std::memory_order_relaxed);
+  const double steady_allocs =
+      static_cast<double>((a2 - a1) - (a1 - a0)) / static_cast<double>(kPoolFull - kPoolSmall);
+
+  runner::ExperimentSession::reset_counters();
+  (void)run_pool(*pool, true);
+
+  bench::SessionAb session_ab;
+  session_ab.campaigns = kPoolFull;
+  session_ab.reuse_seconds = reuse_seconds;
+  session_ab.rebuild_seconds = rebuild_seconds;
+  session_ab.steady_allocs_per_entry = steady_allocs;
+  session_ab.resets = runner::ExperimentSession::reset_count();
+  session_ab.rebuilds = runner::ExperimentSession::rebuild_count();
+
+  std::printf("\nsession reuse: %zu identical campaigns | pooled %.3fs | rebuild %.3fs | "
+              "speedup %.2fx | %.0f steady allocs/entry | %llu resets + %llu rebuilds | "
+              "rows %s\n",
+              session_ab.campaigns, session_ab.reuse_seconds, session_ab.rebuild_seconds,
+              session_ab.speedup(), session_ab.steady_allocs_per_entry,
+              static_cast<unsigned long long>(session_ab.resets),
+              static_cast<unsigned long long>(session_ab.rebuilds),
+              session_identical ? "bit-identical" : "DIVERGE");
+
   bench::write_runner_bench_json("fleet_comparison", threads, fleet.size(), par_seconds,
-                                 seq_seconds);
+                                 seq_seconds, &session_ab);
 
   std::printf("\nreading: every unit loses acknowledged data (the paper's prior-work\n");
   std::printf("baseline found 13 of 15 drives failing); units of the same model agree\n");
   std::printf("closely while models differ through cache size and flush cadence.\n");
-  return deterministic ? 0 : 1;
+  return deterministic && session_identical ? 0 : 1;
 }

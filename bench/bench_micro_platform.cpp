@@ -22,8 +22,10 @@
 #include "legacy_baselines.hpp"
 #include "nand/chip.hpp"
 #include "nand/ecc.hpp"
+#include "platform/test_platform.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
+#include "ssd/presets.hpp"
 #include "workload/checksum.hpp"
 
 namespace {
@@ -366,6 +368,37 @@ AbResult ab_mapping_update(std::uint64_t entries, std::uint64_t updates) {
   return r;
 }
 
+/// Session-reset A/B: rewinding a pooled TestPlatform in place (the
+/// per-entry cost of the pooled campaign runner) vs tearing it down and
+/// constructing a fresh one (the historical per-entry cost). Same drive
+/// preset the campaign benches use; ops are reset (or construct) cycles.
+AbResult ab_session_reset(std::size_t cycles) {
+  AbResult r;
+  r.ops = cycles;
+  const ssd::SsdConfig drive = ssd::make_preset(ssd::VendorModel::kA);
+  const platform::PlatformConfig pc{};
+  platform::TestPlatform pooled(drive, pc, 1);
+  std::uint64_t seed = 1;
+  std::uint64_t sink = 0;
+  const auto [s_new, s_old] = best_seconds_ab(
+      [&] {
+        for (std::size_t i = 0; i < cycles; ++i) {
+          pooled.reset(pc, ++seed);
+          sink += pooled.simulator().now().count_ns() == 0;
+        }
+      },
+      [&] {
+        for (std::size_t i = 0; i < cycles; ++i) {
+          platform::TestPlatform fresh(drive, pc, ++seed);
+          sink += fresh.simulator().now().count_ns() == 0;
+        }
+      });
+  r.new_ops_per_sec = static_cast<double>(cycles) / s_new;
+  r.baseline_ops_per_sec = static_cast<double>(cycles) / s_old;
+  if (sink == 0) std::printf("(impossible)\n");
+  return r;
+}
+
 void write_micro_bench_json() {
   constexpr std::size_t kPending = 4096;   // live events during a busy campaign
   constexpr std::size_t kIters = 400000;
@@ -382,6 +415,9 @@ void write_micro_bench_json() {
   const AbResult up = ab_mapping_update(kEntries, kLookups / 4);
   std::printf("mapping update : %8.2f Mops/s vs %8.2f Mops/s  -> %.2fx\n",
               up.new_ops_per_sec / 1e6, up.baseline_ops_per_sec / 1e6, up.speedup());
+  const AbResult sr = ab_session_reset(24);
+  std::printf("session reset  : %8.1f cyc/s  vs %8.1f cyc/s   -> %.2fx\n",
+              sr.new_ops_per_sec, sr.baseline_ops_per_sec, sr.speedup());
 
   const char* dir = std::getenv("POFI_BENCH_DIR");
   const std::string path = std::string(dir == nullptr ? "." : dir) + "/BENCH_micro.json";
@@ -412,7 +448,10 @@ void write_micro_bench_json() {
        "schedule/fire/cancel mix, ~4096 live events, 400k iterations", ev, false);
   emit("mapping_lookup", "uniform-random lookups over 1Mi mapped LPNs", lk, false);
   emit("mapping_update",
-       "sequential-wrap updates over 1Mi LPNs, journal commit every 4096", up, true);
+       "sequential-wrap updates over 1Mi LPNs, journal commit every 4096", up, false);
+  emit("session_reset",
+       "pooled TestPlatform reset-in-place vs fresh construct+destroy, "
+       "Table I model A preset, 24 cycles", sr, true);
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("perf record written: %s\n", path.c_str());

@@ -85,6 +85,7 @@ struct Options {
   // Execution / spec-layer flags.
   unsigned threads = 0;
   bool threads_set = false;
+  bool no_session_reuse = false;
   std::string progress = "console";
   std::string spec_path;
   std::string checkpoint_path;
@@ -123,6 +124,9 @@ struct Options {
       "  --seed N             campaign seed (default 42)\n"
       "  --units N            independent campaign copies, sharded seeds (default 1)\n"
       "  --threads N          runner worker threads; 0 = hardware (default 0)\n"
+      "  --no-session-reuse   rebuild the device stack for every entry instead\n"
+      "                       of pooling one per worker (A/B baseline; results\n"
+      "                       are bit-identical either way)\n"
       "  --progress console|jsonl|off   progress reporting (default console)\n"
       "  --checkpoint FILE    append each finished campaign to a durable JSONL\n"
       "                       checkpoint (crash-safe; see --resume)\n"
@@ -222,6 +226,8 @@ Options parse(int argc, char** argv) {
     else if (a == "--threads") {
       o.threads = static_cast<unsigned>(std::atoi(next_arg(argc, argv, i)));
       o.threads_set = true;
+    } else if (a == "--no-session-reuse") {
+      o.no_session_reuse = true;
     } else if (a == "--progress") {
       o.progress = next_arg(argc, argv, i);
       if (o.progress != "console" && o.progress != "jsonl" && o.progress != "off") usage(2);
@@ -377,6 +383,7 @@ int main(int argc, char** argv) {
     spec::Value doc =
         o.spec_path.empty() ? build_doc(o) : spec::parse_file(o.spec_path);
     if (o.threads_set) doc.set_path("runner.threads", std::uint64_t{o.threads});
+    if (o.no_session_reuse) doc.set_path("runner.session_reuse", false);
     // --units overrides spec files too (build_doc already folded it in for
     // flag-built docs); a spec with a pinned seed then fails load_campaign
     // loudly instead of the flag being ignored.

@@ -36,6 +36,9 @@ GATES = [
     ("nand_state", "bytes_ratio", 3.5, "min"),
     # Metrics-on wall-clock overhead (documented budget 3%; gate at 5%).
     ("obs_overhead", "overhead_fraction", 0.05, "max"),
+    # Pooled-session reset-in-place vs per-entry construct+destroy of a full
+    # TestPlatform (committed ~2.9x).
+    ("session_reset", "speedup", 1.8, "min"),
 ]
 
 

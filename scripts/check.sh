@@ -37,14 +37,17 @@ fi
 # campaigns running on TSan-instrumented workers execute this exact code, so
 # the fuzz under TSan both exercises the instrumented kernel at depth and
 # documents the single-thread-per-queue contract.
-echo "==> TSan: configure + build runner + event-kernel + obs tests (build-tsan/, -DPOFI_SANITIZE=thread)"
+echo "==> TSan: configure + build runner + event-kernel + obs + session tests (build-tsan/, -DPOFI_SANITIZE=thread)"
 cmake -B build-tsan -S . -DPOFI_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "${JOBS}" --target runner_test runner_resilience_test platform_suite_test sim_property_test obs_concurrency_test
+cmake --build build-tsan -j "${JOBS}" --target runner_test runner_resilience_test platform_suite_test sim_property_test obs_concurrency_test session_fuzz_test
 
-echo "==> TSan: ctest (runner + resilience + suite + event-kernel fuzz + obs registry)"
+echo "==> TSan: ctest (runner + resilience + suite + event-kernel fuzz + obs registry + session fuzz)"
+# SessionFuzz rides the TSan stage because pooled sessions live one per
+# worker thread: the differential fuzz on instrumented workers proves the
+# slot handoff and the acquire() counters are race-free.
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-        -R 'CampaignRunner|RunnerDeterminism|RunnerResilience|JsonlProgressSink|CampaignSuite|EventQueueFuzz|EventQueueClear|ObsConcurrency'
+        -R 'CampaignRunner|RunnerDeterminism|RunnerResilience|JsonlProgressSink|CampaignSuite|EventQueueFuzz|EventQueueClear|ObsConcurrency|SessionFuzz'
 
 # The resilience layer leans on exactly the constructs UBSan polices: integer
 # backoff arithmetic, enum round-trips from untrusted JSONL, and strtoull
@@ -53,13 +56,17 @@ TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
 # shift/overflow territory. Build the retry/checkpoint/resume tests plus the
 # arena unit tests and the arena-vs-legacy differential fuzz under
 # -fsanitize=undefined and run them with the golden resume gate.
-echo "==> UBSan: configure + build resilience + NAND arena tests (build-ubsan/, -DPOFI_SANITIZE=undefined)"
+echo "==> UBSan: configure + build resilience + NAND arena + session tests (build-ubsan/, -DPOFI_SANITIZE=undefined)"
 cmake -B build-ubsan -S . -DPOFI_SANITIZE=undefined >/dev/null
-cmake --build build-ubsan -j "${JOBS}" --target runner_resilience_test spec_checkpoint_test determinism_golden_test obs_metrics_test obs_attribution_test nand_block_arena_test nand_chip_fuzz_test nand_alloc_test
+cmake --build build-ubsan -j "${JOBS}" --target runner_resilience_test spec_checkpoint_test determinism_golden_test obs_metrics_test obs_attribution_test nand_block_arena_test nand_chip_fuzz_test nand_alloc_test session_fuzz_test session_alloc_test
 
-echo "==> UBSan: ctest (retry + checkpoint + resume determinism + obs codec + NAND arena)"
+echo "==> UBSan: ctest (retry + checkpoint + resume determinism + obs codec + NAND arena + session reset)"
+# The session reset path is downcast + reseed + snapshot-restore arithmetic
+# — dynamic_cast recovery in acquire(), RNG re-fork label hashing, heap
+# container restores — so the differential fuzz and the zero-alloc reset
+# proof run instrumented too.
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
   ctest --test-dir build-ubsan --output-on-failure -j "${JOBS}" \
-        -R 'RunnerResilience|CampaignStatusTaxonomy|JsonlProgressSink|Checkpoint|DeterminismGolden|ObsMetrics|ObsTrace|ObsAttribution|BlockArena|NandChipFuzz|NandChipTouchedBlocks|NandAllocFree'
+        -R 'RunnerResilience|CampaignStatusTaxonomy|JsonlProgressSink|Checkpoint|DeterminismGolden|ObsMetrics|ObsTrace|ObsAttribution|BlockArena|NandChipFuzz|NandChipTouchedBlocks|NandAllocFree|SessionFuzz|SessionAlloc'
 
 echo "==> all checks passed"

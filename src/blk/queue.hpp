@@ -58,6 +58,8 @@ class BlockQueue {
   struct Config {
     std::uint32_t max_pages_per_subrequest = 64;  ///< 256 KiB at 4 KiB pages
     sim::Duration request_timeout = sim::Duration::sec(30);
+
+    bool operator==(const Config&) const = default;
   };
 
   /// Request completion. Inline storage sized for the fattest production
@@ -85,6 +87,16 @@ class BlockQueue {
   [[nodiscard]] BlkTrace& trace() { return trace_; }
   [[nodiscard]] const BlockQueueStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t outstanding() const { return live_.size(); }
+
+  /// Session reset: drop live requests, stats and the trace buffer (its
+  /// enabled flag is the owner's business). Precondition: simulator events
+  /// drained, so timeout watchdogs cannot fire into a reset queue.
+  void reset() {
+    live_.clear();
+    next_id_ = 1;
+    stats_ = BlockQueueStats{};
+    trace_.clear();
+  }
 
  private:
   struct LiveRequest {

@@ -42,6 +42,13 @@ class BlockAllocator {
   /// Power-loss recovery: drop all active cursors; their blocks are sealed.
   void abandon_active_blocks();
 
+  /// Session reset: rebuild the just-constructed state (all blocks free at
+  /// erase count 0, no cursors) while keeping every container's capacity.
+  /// The free heaps are restored from a snapshot of the constructor-built
+  /// containers — byte-identical layout, so they pop exactly like fresh
+  /// ones — at memcpy cost instead of total_blocks() heap pushes.
+  void reset();
+
   [[nodiscard]] std::size_t free_blocks() const;
   [[nodiscard]] std::uint64_t pages_allocated() const { return pages_allocated_; }
   /// Currently open block of `stream` on `plane` (mostly for tests).
@@ -61,7 +68,15 @@ class BlockAllocator {
       return o.block < block;
     }
   };
-  using FreeHeap = std::priority_queue<FreeEntry, std::vector<FreeEntry>, std::greater<>>;
+  /// std::priority_queue has no clear() or bulk restore; expose both over
+  /// the protected container so reset() can rebuild a heap from a snapshot
+  /// without freeing its storage. assign() requires `v` to already satisfy
+  /// the heap property (true for a container() snapshot of a valid heap).
+  struct FreeHeap : std::priority_queue<FreeEntry, std::vector<FreeEntry>, std::greater<>> {
+    void clear() { c.clear(); }
+    [[nodiscard]] const std::vector<FreeEntry>& container() const { return c; }
+    void assign(const std::vector<FreeEntry>& v) { c = v; }
+  };
 
   bool open_new_block(Active& a, std::uint32_t plane);
   [[nodiscard]] Active& active_slot(Stream stream, std::uint32_t plane);
@@ -71,6 +86,8 @@ class BlockAllocator {
   std::vector<Active> active_;            ///< [stream * planes + plane]
   std::array<std::uint32_t, kStreamCount> rr_{};  ///< round-robin cursor per stream
   std::vector<FreeHeap> free_heaps_;      ///< per plane
+  /// Constructor-built heap layout, per plane: reset() restores from this.
+  std::vector<std::vector<FreeEntry>> fresh_heaps_;
   std::vector<std::uint32_t> erase_counts_;  ///< dense by BlockId (see dense.hpp)
   std::vector<BlockId> sealed_;
   std::uint64_t pages_allocated_ = 0;

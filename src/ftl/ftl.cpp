@@ -37,6 +37,24 @@ Ftl::Ftl(sim::Simulator& simulator, nand::ChipArray& chips, Config config)
   }
 }
 
+void Ftl::reset() {
+  map_.reset();
+  alloc_.reset();
+  stats_ = FtlStats{};
+  reverse_map_.clear();
+  valid_count_.clear();
+  powered_ = false;
+  gc_running_ = false;
+  journal_in_flight_ = false;
+  emergency_ = false;
+  draining_ = false;
+  drain_waiters_.clear();
+  journal_event_ = {};
+  write_seq_ = 1;
+  checkpoint_seq_ = 0;
+  por_candidates_.clear();
+}
+
 void Ftl::obs_gc_span_end() {
   if (auto* m = sim_.metrics()) m->trace().end(obs_span_gc_, sim_.now());
 }

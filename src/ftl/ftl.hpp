@@ -69,6 +69,8 @@ class Ftl {
     /// unjournaled data at the cost of a longer mount. Off by default: the
     /// paper's commodity drives demonstrably do not manage this.
     bool por_scan = false;
+
+    bool operator==(const Config&) const = default;
   };
 
   /// Write completion: ok=false on power loss, bad block or full device.
@@ -91,6 +93,12 @@ class Ftl {
   void on_power_lost();
   /// Rail restored: reopen active blocks and restart the journal.
   void on_power_good();
+
+  /// Session reset: back to the just-constructed (unpowered, empty-map)
+  /// state with container capacities retained. Precondition: the simulator's
+  /// events are already drained (journal ticks, GC chains and PoR scans must
+  /// not fire into a reset FTL).
+  void reset();
 
   /// Power-on recovery scan (no-op unless config.por_scan): read the spare
   /// areas of candidate blocks, re-install mapping entries newer than the

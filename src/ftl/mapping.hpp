@@ -112,6 +112,21 @@ class MappingTable {
 
   [[nodiscard]] std::size_t entry_count() const { return mapped_count_; }
 
+  /// Session reset: back to the just-constructed (empty) state. The dense
+  /// array is re-assigned to its eager-init size — shrinking any lazy growth
+  /// back, without giving up capacity — and the bookkeeping maps are cleared
+  /// with their buckets retained.
+  void reset() {
+    map_.assign(static_cast<std::size_t>(std::min(lpn_capacity_, kEagerInitLpns)),
+                kUnmappedPpn);
+    mapped_count_ = 0;
+    volatile_.clear();
+    batches_.clear();
+    next_batch_ = 1;
+    frames_.clear();
+    extents_closed_full_ = 0;
+  }
+
   /// Frames currently detected as open (growing) extents.
   [[nodiscard]] std::size_t open_extents() const;
   /// Extents that filled completely and were journaled as one unit.

@@ -139,6 +139,13 @@ class BlockArena {
   /// list. erase_count and the bad flag are the caller's business.
   void erase_block(Slot s);
 
+  /// Session reset: back to the just-constructed state (no touched blocks,
+  /// no lanes, empty side tables) while keeping every vector's capacity and
+  /// the slab storage. Lane bytes are left stale — ensure_lane scrubs each
+  /// lane to the erased state when it is next bound, exactly as it does for
+  /// recycled lanes.
+  void reset();
+
  private:
   static constexpr std::uint32_t kNoLane = ~std::uint32_t{0};
   static constexpr std::uint8_t kFlagBad = 1;

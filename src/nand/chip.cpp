@@ -16,6 +16,7 @@ NandChip::NandChip(sim::Simulator& simulator, Config config, std::string_view rn
       timing_(timing_for(config.tech)),
       errors_(error_model_for(config.tech)),
       ecc_(make_ecc(config.ecc)),
+      rng_label_(rng_label),
       rng_(simulator.fork_rng(rng_label)),
       planes_(config.geometry.planes),
       arena_(config.geometry, config.initial_pe_cycles) {
@@ -29,6 +30,18 @@ NandChip::NandChip(sim::Simulator& simulator, Config config, std::string_view rn
     obs_paired_upsets_ = m->counter("nand.paired_page.upsets");
     obs_blocks_retired_ = m->counter("nand.block.retired");
   }
+}
+
+void NandChip::reset() {
+  powered_ = false;
+  for (Plane& p : planes_) {
+    p.busy.reset();
+    p.queue.clear();
+  }
+  arena_.reset();
+  peek_scratch_ = Page{};
+  stats_ = ChipStats{};
+  rng_ = sim_.fork_rng(rng_label_);
 }
 
 double NandChip::wear_severity(BlockArena::Slot slot) const {

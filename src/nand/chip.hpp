@@ -67,6 +67,8 @@ class NandChip {
     /// interrupted programs and paired-page upsets more damaging).
     std::uint32_t initial_pe_cycles = 0;
     bool enforce_program_order = true;
+
+    bool operator==(const Config&) const = default;
   };
 
   /// Completion callbacks ride the event hot path (one per flash op), so
@@ -108,6 +110,13 @@ class NandChip {
   /// Rail restored; the die is usable again (persistent state kept).
   void on_power_good();
   [[nodiscard]] bool powered() const { return powered_; }
+
+  /// Session reset: back to a factory-fresh, unpowered die with the arena's
+  /// slabs retained. Precondition: the simulator's event queue has already
+  /// been drained (completion events for in-flight ops must not fire into a
+  /// reset die). The per-die RNG stream is re-forked from the (reseeded)
+  /// master under the original label.
+  void reset();
 
   // --- Inspection (tests, analyzer ground-truthing) ------------------------
   [[nodiscard]] const Config& config() const { return config_; }
@@ -172,6 +181,7 @@ class NandChip {
   Timing timing_;
   ErrorModel errors_;
   std::unique_ptr<EccScheme> ecc_;
+  std::string rng_label_;  ///< kept so reset() re-forks the same stream
   sim::Rng rng_;
   bool powered_ = false;
   std::vector<Plane> planes_;

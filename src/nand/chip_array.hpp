@@ -22,6 +22,8 @@ class ChipArray {
     std::uint32_t channels = 1;
     /// Per-die configuration (geometry describes ONE die).
     NandChip::Config chip;
+
+    bool operator==(const Config&) const = default;
   };
 
   ChipArray(sim::Simulator& simulator, Config config);
@@ -48,6 +50,11 @@ class ChipArray {
   void on_power_lost();
   void on_power_good();
   [[nodiscard]] bool powered() const;
+
+  /// Session reset: reset every die (see NandChip::reset preconditions).
+  void reset() {
+    for (auto& chip : chips_) chip->reset();
+  }
 
   // --- Inspection (global addressing) ----------------------------------------
   [[nodiscard]] const Page* peek(Ppn ppn) const;

@@ -18,6 +18,8 @@ struct Geometry {
   std::uint32_t blocks_per_plane = 1024;
   std::uint32_t planes = 4;
 
+  bool operator==(const Geometry&) const = default;
+
   [[nodiscard]] constexpr std::uint64_t total_blocks() const {
     return static_cast<std::uint64_t>(blocks_per_plane) * planes;
   }

@@ -68,6 +68,14 @@ void TraceLog::append_to(Snapshot& snap) const {
   snap.spans_dropped += dropped_;
 }
 
+void TraceLog::reset() {
+  open_.clear();
+  ring_.clear();
+  head_ = 0;
+  completed_ = 0;
+  dropped_ = 0;
+}
+
 // ---------------------------------------------------------- MetricRegistry
 
 MetricRegistry::MetricRegistry(std::size_t trace_capacity)
@@ -186,6 +194,21 @@ Snapshot MetricRegistry::snapshot() const {
   std::sort(snap.series.begin(), snap.series.end(), by_name);
   trace_.append_to(snap);
   return snap;
+}
+
+void MetricRegistry::reset_values() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::uint32_t i = 0; i < count_; ++i) {
+    Slot& s = slots_[i];
+    s.value.store(0, std::memory_order_relaxed);
+    s.high_water.store(0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+  for (auto& s : series_) {
+    s->samples.clear();  // capacity stays reserved
+    s->dropped = 0;
+  }
+  trace_.reset();
 }
 
 std::uint64_t MetricRegistry::value_of(std::string_view name) const {

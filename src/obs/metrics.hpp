@@ -73,6 +73,11 @@ class TraceLog {
   /// Append completed spans (chronological) into a snapshot.
   void append_to(Snapshot& snap) const;
 
+  /// Session reset: drop all open and completed spans but keep the interned
+  /// name table, so span ids cached in component constructors stay valid
+  /// across a pooled-session reset. Buffer capacity is retained.
+  void reset();
+
  private:
   struct Open {
     std::uint32_t name_id = 0;
@@ -153,6 +158,12 @@ class MetricRegistry {
   // --- Read-out -------------------------------------------------------------
   /// Freeze everything into a name-sorted, plain-data snapshot.
   [[nodiscard]] Snapshot snapshot() const;
+  /// Session reset: zero every counter/gauge/histogram/series value but keep
+  /// all registrations (names, kinds, bounds, capacities), so MetricId
+  /// handles cached by components survive. A reset registry snapshots
+  /// identically to a freshly-built one once the same components re-register
+  /// (idempotent, by name) and re-run.
+  void reset_values();
   /// Test/assertion convenience: current value of a counter/gauge/histogram
   /// total by name; 0 when the name is unknown.
   [[nodiscard]] std::uint64_t value_of(std::string_view name) const;

@@ -80,6 +80,18 @@ class Analyzer {
   [[nodiscard]] const std::vector<FailureRecord>& failures() const { return failures_; }
   [[nodiscard]] std::size_t pending_packets() const { return pending_.size(); }
 
+  /// Session reset: drop pending packets, verification state, counters and
+  /// the failure log; container capacities are retained.
+  void reset() {
+    pending_.clear();
+    verifying_ = false;
+    fault_time_ = sim::TimePoint{};
+    fault_index_ = 0;
+    done_ = nullptr;
+    counters_ = AnalyzerCounters{};
+    failures_.clear();
+  }
+
  private:
   void verify_next();
   void classify(const workload::DataPacket& packet, std::span<const std::uint64_t> observed);

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "runner/experiment_session.hpp"
 #include "sim/rng.hpp"
 #include "stats/table.hpp"
 
@@ -26,10 +27,21 @@ std::vector<runner::CampaignRunner::Outcome> CampaignSuite::run_outcomes(
     const runner::RunnerConfig& config, runner::ProgressSink* sink) {
   runner::CampaignRunner engine(config, sink);
   for (const Entry& e : entries_) {
-    engine.add(e.label, [this, &e] {
-      TestPlatform platform(e.drive, platform_config_, e.spec.seed);
-      return platform.run(e.spec);
-    });
+    if (config.session_reuse) {
+      // Pooled path: one device stack per worker, reset in place between
+      // entries (rebuilt automatically when an entry's drive differs).
+      // Bit-identical to the build-per-entry path below.
+      engine.add(e.label, [this, &e](runner::SessionSlot& slot) {
+        TestPlatform& platform = runner::ExperimentSession::acquire(
+            slot, e.drive, platform_config_, e.spec.seed);
+        return platform.run(e.spec);
+      });
+    } else {
+      engine.add(e.label, [this, &e] {
+        TestPlatform platform(e.drive, platform_config_, e.spec.seed);
+        return platform.run(e.spec);
+      });
+    }
   }
   return engine.run();
 }

@@ -2,8 +2,11 @@
 // results — the workhorse behind parameter sweeps (one entry per figure
 // point) and fleet studies (one entry per drive).
 //
-// Each entry gets a fresh TestPlatform (campaigns must not share device
-// history), and the suite renders a comparison table / CSV at the end.
+// Each entry runs on a just-constructed-equivalent TestPlatform (campaigns
+// must not share device history): by default a pooled per-worker stack reset
+// in place between entries (RunnerConfig::session_reuse), with a fresh build
+// per entry as the fallback/baseline. The suite renders a comparison table /
+// CSV at the end.
 //
 // Execution is delegated to runner::CampaignRunner: the default run_all()
 // uses one thread (bit-identical to the historical sequential loop), and the

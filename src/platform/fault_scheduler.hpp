@@ -56,6 +56,13 @@ class FaultScheduler {
 
   [[nodiscard]] std::uint32_t faults_commanded() const { return faults_commanded_; }
 
+  /// Session reset: counter rewinds and the fault-timing RNG stream is
+  /// replaced (the owner re-forks it from the reseeded master).
+  void reset(sim::Rng rng) {
+    rng_ = rng;
+    faults_commanded_ = 0;
+  }
+
  private:
   sim::Simulator& sim_;
   psu::ArduinoBridge& bridge_;

@@ -45,6 +45,13 @@ class ShadowStore {
   [[nodiscard]] std::size_t tracked_pages() const { return truth_.size(); }
   [[nodiscard]] std::uint64_t tags_allocated() const { return next_tag_ - 1; }
 
+  /// Session reset: forget all truth and restart tag allocation from 1,
+  /// keeping the map's buckets.
+  void reset() {
+    truth_.clear();
+    next_tag_ = 1;
+  }
+
  private:
   struct PageTruth {
     std::uint64_t expected = nand::kErasedContent;

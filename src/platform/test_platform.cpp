@@ -42,6 +42,46 @@ TestPlatform::TestPlatform(ssd::SsdConfig ssd_config, PlatformConfig platform_co
 
 TestPlatform::~TestPlatform() = default;
 
+bool TestPlatform::compatible_with(const ssd::SsdConfig& drive,
+                                   const PlatformConfig& platform_config) const {
+  return ssd_config_ == drive && config_.discharge == platform_config.discharge &&
+         config_.psu == platform_config.psu && config_.arduino == platform_config.arduino &&
+         config_.block_queue == platform_config.block_queue &&
+         config_.metrics == platform_config.metrics;
+}
+
+void TestPlatform::reset(const PlatformConfig& platform_config, std::uint64_t seed) {
+  assert(compatible_with(ssd_config_, platform_config));
+  config_ = platform_config;
+  // Constructor order: simulator state first, then components top-down.
+  sim_.reset(seed);
+  sim_.set_step_limit(config_.max_sim_events);
+  sim_.set_cancel_token(config_.cancel);
+  if (metrics_) metrics_->reset_values();
+  rng_ = sim_.fork_rng("platform");
+  psu_->reset();
+  atx_->reset();
+  bridge_->reset();
+  ssd_->reset();
+  queue_->reset();
+  queue_->trace().set_enabled(config_.trace_enabled);
+  shadow_.reset();
+  analyzer_->reset();
+  scheduler_->reset(sim_.fork_rng("scheduler"));
+  // generator_ adopts the next run()'s workload in place.
+  io_active_ = false;
+  ran_ = false;
+  open_loop_mode_ = true;
+  pace_iops_ = 5.0;
+  next_packet_id_ = 1;
+  requests_submitted_ = 0;
+  cycle_requests_ = 0;
+  cycle_budget_ = 0;
+  write_acks_ = 0;
+  reads_completed_ = 0;
+  fault_index_ = 0;
+}
+
 void TestPlatform::run_while(const std::function<bool()>& pred, std::uint64_t max_events) {
   std::uint64_t fired = 0;
   while (pred()) {
@@ -157,8 +197,12 @@ ExperimentResult TestPlatform::run(const ExperimentSpec& spec) {
   assert(!ran_ && "a TestPlatform runs exactly one campaign");
   ran_ = true;
   pace_iops_ = spec.pace_iops;
-  generator_ =
-      std::make_unique<workload::WorkloadGenerator>(spec.workload, sim_.fork_rng("workload"));
+  if (generator_) {
+    generator_->reset(spec.workload, sim_.fork_rng("workload"));
+  } else {
+    generator_ = std::make_unique<workload::WorkloadGenerator>(spec.workload,
+                                                               sim_.fork_rng("workload"));
+  }
 
   ExperimentResult result;
   result.name = spec.name;

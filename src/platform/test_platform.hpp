@@ -66,8 +66,27 @@ class TestPlatform {
   TestPlatform& operator=(const TestPlatform&) = delete;
 
   /// Execute a campaign. One TestPlatform instance runs one campaign (the
-  /// device state carries history; build a fresh platform per experiment).
+  /// device state carries history; build a fresh platform — or reset() this
+  /// one — per experiment).
   [[nodiscard]] ExperimentResult run(const ExperimentSpec& spec);
+
+  /// True when this platform can serve an entry with these configs through
+  /// reset() instead of a rebuild: the SSD config and every
+  /// construction-relevant platform knob (discharge model, PSU/Arduino
+  /// params, block-queue shape, metrics attachment) must match. Per-run
+  /// wiring — dwell, think time, trace flag, step limit, cancel token — may
+  /// differ; reset() re-applies it from the new config.
+  [[nodiscard]] bool compatible_with(const ssd::SsdConfig& drive,
+                                     const PlatformConfig& platform_config) const;
+
+  /// Session reset: rewind the entire stack to its just-constructed state,
+  /// reseeded with `seed`, while every component retains its slabs. The
+  /// event queue is drained first, so no stale callback can fire into the
+  /// reset stack; every component RNG stream is re-forked from the reseeded
+  /// master under its construction-time label, making the next run()
+  /// bit-identical to one on a freshly built platform. Precondition:
+  /// compatible_with(...) holds for the configs the next run will use.
+  void reset(const PlatformConfig& platform_config, std::uint64_t seed);
 
   // --- Component access (examples, tests) -----------------------------------
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }

@@ -33,6 +33,9 @@ class AtxController {
 
   [[nodiscard]] bool pin16_high() const { return pin16_high_; }
 
+  /// Session reset: pin back to its power-up (rail off) level.
+  void reset() { pin16_high_ = true; }
+
  private:
   PowerSupply& supply_;
   bool pin16_high_ = true;  // boards power up with the rail off
@@ -50,6 +53,8 @@ class ArduinoBridge {
     sim::Duration command_latency = sim::Duration::us(1200);
     /// Jitter half-width applied uniformly around command_latency.
     sim::Duration jitter = sim::Duration::us(200);
+
+    bool operator==(const Params&) const = default;
   };
 
   ArduinoBridge(sim::Simulator& simulator, AtxController& atx, Params params)
@@ -73,6 +78,13 @@ class ArduinoBridge {
   }
 
   [[nodiscard]] std::uint64_t commands_sent() const { return commands_sent_; }
+
+  /// Session reset: counter rewinds, RNG stream re-forked from the
+  /// (reseeded) master under the construction-time label.
+  void reset() {
+    commands_sent_ = 0;
+    rng_ = sim_.fork_rng("arduino");
+  }
 
  private:
   sim::Simulator& sim_;

@@ -48,6 +48,8 @@ class PowerSupply {
   struct Params {
     double nominal_volts = 5.0;
     sim::Duration rise_time = sim::Duration::ms(100);  ///< ATX power-good delay
+
+    bool operator==(const Params&) const = default;
   };
 
   PowerSupply(sim::Simulator& simulator, std::unique_ptr<DischargeModel> model, Params params);
@@ -90,6 +92,21 @@ class PowerSupply {
 
   /// Instant the most recent discharge began (PS_ON deasserted).
   [[nodiscard]] sim::TimePoint last_off_at() const { return last_off_at_; }
+
+  /// Session reset: back to the just-constructed kOff state. Attached sinks
+  /// are deliberately KEPT — the pooled stack's wiring survives the reset;
+  /// only rail state and counters rewind. Precondition: simulator events
+  /// drained (the pending_ ids are stale by then, so they are just dropped).
+  void reset() {
+    state_ = State::kOff;
+    phase_start_ = sim::TimePoint::zero();
+    charge_start_volts_ = 0.0;
+    pending_.clear();
+    cycles_ = 0;
+    last_off_at_ = sim::TimePoint::zero();
+    obs_below_active_ = false;
+    obs_below_since_ = sim::TimePoint::zero();
+  }
 
  private:
   void cancel_pending();

@@ -14,6 +14,14 @@
 namespace pofi::runner {
 
 std::size_t CampaignRunner::add(std::string label, CampaignFn fn) {
+  // Plain campaigns ignore the worker's session slot entirely (they neither
+  // read nor disturb a pooled stack another entry may have left there).
+  jobs_.push_back(Job{std::move(label),
+                      [f = std::move(fn)](SessionSlot&) { return f(); }, false, {}});
+  return jobs_.size() - 1;
+}
+
+std::size_t CampaignRunner::add(std::string label, SessionFn fn) {
   jobs_.push_back(Job{std::move(label), std::move(fn), false, {}});
   return jobs_.size() - 1;
 }
@@ -112,6 +120,9 @@ std::vector<CampaignRunner::Outcome> CampaignRunner::run() {
       obs_retries = reg->counter("runner.jobs.retry_attempts");
     }
     auto idle_since = std::chrono::steady_clock::now();
+    // The worker's session box: campaigns pool a device stack here across
+    // entries (see session.hpp). Destroyed when the worker exits.
+    SessionSlot session;
     for (;;) {
       std::size_t idx = 0;
       {
@@ -142,7 +153,7 @@ std::vector<CampaignRunner::Outcome> CampaignRunner::run() {
         bool ok = false;
         bool entry_cancelled = false;
         try {
-          out.result = jobs[idx].fn();
+          out.result = jobs[idx].fn(session);
           ok = true;
         } catch (const sim::AbortError& e) {
           out.error = e.what();
@@ -151,6 +162,12 @@ std::vector<CampaignRunner::Outcome> CampaignRunner::run() {
           out.error = e.what();
         } catch (...) {
           out.error = "unknown exception";
+        }
+        if (!ok) {
+          // The throw may have left a pooled stack mid-reset or mid-run:
+          // poisoned. Drop it so the retry (and the worker's next entry)
+          // rebuilds from nothing — exactly a fresh-platform attempt.
+          session.reset();
         }
         if (ok) {
           out.status = attempt > 1 ? CampaignStatus::kRetriedOk : CampaignStatus::kOk;

@@ -35,9 +35,18 @@
 //     resolve instantly as kSkippedCached, keeping submission indices and
 //     suite totals identical to an uninterrupted run.
 //
+// Session pooling (see session.hpp): each worker thread owns one opaque
+// SessionSlot, handed to every session-aware campaign it executes. A
+// campaign typically resets a pooled device stack in place instead of
+// rebuilding it — a pure performance optimisation; the pooling contract
+// requires results to be bit-identical either way, so all three guarantees
+// above survive reuse. A throwing attempt drops the worker's slot before
+// the retry, so retries always rebuild from nothing.
+//
 // The runner is generic over *what* a campaign runs (a CampaignFn returning
-// an ExperimentResult), which keeps this layer free of TestPlatform
-// dependencies and lets tests drive it with synthetic jobs.
+// an ExperimentResult, or a SessionFn that also sees the worker's session
+// slot), which keeps this layer free of TestPlatform dependencies and lets
+// tests drive it with synthetic jobs.
 #pragma once
 
 #include <functional>
@@ -47,12 +56,18 @@
 #include "platform/experiment.hpp"
 #include "runner/progress.hpp"
 #include "runner/runner_config.hpp"
+#include "runner/session.hpp"
 
 namespace pofi::runner {
 
 class CampaignRunner {
  public:
   using CampaignFn = std::function<platform::ExperimentResult()>;
+  /// Session-aware campaign: receives the calling worker's session slot (see
+  /// session.hpp for the pooling contract). The slot may arrive empty or
+  /// holding whatever the worker's previous campaign left behind; results
+  /// must not depend on which.
+  using SessionFn = std::function<platform::ExperimentResult(SessionSlot&)>;
 
   struct Outcome {
     std::string label;
@@ -82,6 +97,10 @@ class CampaignRunner {
   /// Queue one campaign; returns its submission index (== outcome position).
   std::size_t add(std::string label, CampaignFn fn);
 
+  /// Queue one session-aware campaign (pooled device stack); same contract
+  /// as add() otherwise.
+  std::size_t add(std::string label, SessionFn fn);
+
   /// Queue one *pre-resolved* campaign (restored from a checkpoint): it is
   /// never executed, resolves as kSkippedCached with `result` verbatim, and
   /// still occupies its submission slot so indices, progress totals and
@@ -102,7 +121,7 @@ class CampaignRunner {
  private:
   struct Job {
     std::string label;
-    CampaignFn fn;
+    SessionFn fn;  ///< plain CampaignFns are wrapped by add()
     bool cached = false;
     platform::ExperimentResult cached_result;
   };

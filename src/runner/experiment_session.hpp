@@ -1,0 +1,83 @@
+// ExperimentSession: a pooled TestPlatform stack living in a worker's
+// SessionSlot.
+//
+// Building a TestPlatform is the dominant per-entry overhead of a sweep —
+// slab arenas, mapping tables, free heaps, metric registries — yet every
+// entry of a typical campaign uses the same drive geometry. acquire() turns
+// the per-entry teardown/rebuild into a reset-in-place: when the pooled
+// platform is compatible_with() the next entry's configs it is rewound and
+// reseeded (bit-identical to a fresh build, by the reset protocol's
+// correctness bar); when the entry needs a different construction-relevant
+// config (geometry change, metrics toggled, other discharge model) the old
+// stack is destroyed first and a fresh one built — the fallback path, never
+// an error.
+//
+// Header-only on purpose: the runner library proper stays below platform in
+// the link graph (see runner/CMakeLists.txt); this adapter is compiled into
+// whoever uses it (spec layer, benches, tests), all of which already link
+// pofi_platform.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "platform/test_platform.hpp"
+#include "runner/session.hpp"
+#include "ssd/presets.hpp"
+
+namespace pofi::runner {
+
+class ExperimentSession final : public SessionBase {
+ public:
+  ExperimentSession(const ssd::SsdConfig& drive, const platform::PlatformConfig& platform_config,
+                    std::uint64_t seed)
+      : platform_(drive, platform_config, seed) {}
+
+  [[nodiscard]] platform::TestPlatform& platform() { return platform_; }
+
+  /// Produce a platform ready to run one campaign with exactly these configs
+  /// and seed, pooling through `slot`: reset-in-place when the slot holds a
+  /// compatible session, rebuild otherwise. The returned reference is owned
+  /// by `slot` and valid until the slot is next touched.
+  static platform::TestPlatform& acquire(SessionSlot& slot, const ssd::SsdConfig& drive,
+                                         const platform::PlatformConfig& platform_config,
+                                         std::uint64_t seed) {
+    if (auto* pooled = dynamic_cast<ExperimentSession*>(slot.get());
+        pooled != nullptr && pooled->platform_.compatible_with(drive, platform_config)) {
+      pooled->platform_.reset(platform_config, seed);
+      resets_.fetch_add(1, std::memory_order_relaxed);
+      return pooled->platform_;
+    }
+    // Incompatible (or empty) slot: free the old stack *before* building the
+    // new one so peak memory stays one platform, then pool the fresh build.
+    slot.reset();
+    auto fresh = std::make_unique<ExperimentSession>(drive, platform_config, seed);
+    platform::TestPlatform& ref = fresh->platform_;
+    slot = std::move(fresh);
+    rebuilds_.fetch_add(1, std::memory_order_relaxed);
+    return ref;
+  }
+
+  // Process-wide pooling telemetry (benches, tests). Wall-clock-side only —
+  // never feeds back into campaign results.
+  [[nodiscard]] static std::uint64_t reset_count() {
+    return resets_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] static std::uint64_t rebuild_count() {
+    return rebuilds_.load(std::memory_order_relaxed);
+  }
+  static void reset_counters() {
+    resets_.store(0, std::memory_order_relaxed);
+    rebuilds_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  platform::TestPlatform platform_;
+
+  static inline std::atomic<std::uint64_t> resets_{0};
+  static inline std::atomic<std::uint64_t> rebuilds_{0};
+};
+
+}  // namespace pofi::runner

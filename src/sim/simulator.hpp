@@ -118,6 +118,20 @@ class Simulator {
   /// default) disables the check.
   void set_cancel_token(const std::atomic<bool>* token) { cancel_ = token; }
 
+  /// Session reset: drain every pending event, rewind the clock and reseed
+  /// the master RNG, keeping the queue's slot arena (and its capacity) so a
+  /// pooled simulator re-runs without allocating. Event sequence numbers keep
+  /// counting across resets — only their relative order matters for
+  /// tie-breaks, so the schedule is bit-identical to a fresh simulator.
+  /// The step limit, cancel token and metrics attachment are deliberately
+  /// left alone; owners re-apply them as part of their own reset.
+  void reset(std::uint64_t seed) {
+    queue_.clear();
+    now_ = TimePoint::zero();
+    events_fired_ = 0;
+    master_rng_.reseed(seed);
+  }
+
   /// Master RNG: fork children from it, one per component.
   [[nodiscard]] Rng& rng() { return master_rng_; }
   [[nodiscard]] Rng fork_rng(std::string_view label) const { return master_rng_.fork(label); }

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "runner/experiment_session.hpp"
 #include "sim/rng.hpp"
 #include "spec/checkpoint.hpp"
 #include "spec/codec.hpp"
@@ -268,14 +269,30 @@ std::vector<runner::CampaignRunner::Outcome> run_campaign(const CampaignSpec& sp
       rn.add_completed(entry.label, std::move(it->second.result));
       continue;
     }
-    rn.add(entry.label,
-           [&entry, cancel = options.cancel, metrics = options.collect_metrics] {
-             platform::PlatformConfig pc = entry.platform;
-             pc.cancel = cancel;
-             if (metrics) pc.metrics = true;
-             platform::TestPlatform tp(entry.drive, pc, entry.experiment.seed);
-             return tp.run(entry.experiment);
-           });
+    if (config.session_reuse) {
+      // Pooled path: the worker's slot keeps one device stack alive across
+      // entries; acquire() resets it in place (or rebuilds on a config
+      // change). Bit-identical to the build-per-entry path below.
+      rn.add(entry.label,
+             [&entry, cancel = options.cancel,
+              metrics = options.collect_metrics](runner::SessionSlot& slot) {
+               platform::PlatformConfig pc = entry.platform;
+               pc.cancel = cancel;
+               if (metrics) pc.metrics = true;
+               platform::TestPlatform& tp = runner::ExperimentSession::acquire(
+                   slot, entry.drive, pc, entry.experiment.seed);
+               return tp.run(entry.experiment);
+             });
+    } else {
+      rn.add(entry.label,
+             [&entry, cancel = options.cancel, metrics = options.collect_metrics] {
+               platform::PlatformConfig pc = entry.platform;
+               pc.cancel = cancel;
+               if (metrics) pc.metrics = true;
+               platform::TestPlatform tp(entry.drive, pc, entry.experiment.seed);
+               return tp.run(entry.experiment);
+             });
+    }
   }
 
   std::unique_ptr<CheckpointWriter> writer;

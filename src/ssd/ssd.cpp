@@ -29,6 +29,21 @@ Ssd::Ssd(sim::Simulator& simulator, SsdConfig config)
   }
 }
 
+void Ssd::reset() {
+  chip_->reset();
+  ftl_->reset();
+  cache_->reset();
+  ready_ = false;
+  dying_ = false;
+  epoch_ = 0;
+  pending_.clear();
+  inflight_cmds_.clear();
+  plp_death_event_ = {};
+  mount_event_ = {};
+  ready_waiters_.clear();
+  stats_ = SsdStats{};
+}
+
 void Ssd::obs_queue_gauges() {
   if (auto* m = sim_.metrics()) {
     m->set(obs_ncq_inflight_, inflight_cmds_.size());

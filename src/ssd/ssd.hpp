@@ -93,6 +93,8 @@ struct SsdConfig {
   std::uint32_t capacity_gb = 120;
   std::string interface_name = "SATA";
   int release_year = 2015;
+
+  bool operator==(const SsdConfig&) const = default;
 };
 
 class Ssd final : public psu::PowerSink {
@@ -105,8 +107,12 @@ class Ssd final : public psu::PowerSink {
   /// Submit a command. If the device is not ready the command fails
   /// immediately with kDeviceUnavailable (host sees an IO error).
   void submit(Command cmd);
-  /// One-shot callback when the device next becomes ready.
-  void on_ready(std::function<void()> cb) { ready_waiters_.push_back(std::move(cb)); }
+  /// One-shot callback when the device next becomes ready. Inline-storage
+  /// callable (the last std::function on the command path): waiters fire at
+  /// every mount, i.e. once per power cycle, and their captures are small
+  /// (a platform pointer or a couple of flags).
+  using ReadyFn = sim::InplaceFunction<void(), 64>;
+  void on_ready(ReadyFn cb) { ready_waiters_.push_back(std::move(cb)); }
 
   // --- psu::PowerSink -------------------------------------------------------
   [[nodiscard]] double load_amps() const override { return config_.load_amps; }
@@ -117,6 +123,12 @@ class Ssd final : public psu::PowerSink {
   void on_brownout(sim::TimePoint now) override;
   void on_power_lost(sim::TimePoint now) override;
   void on_power_good(sim::TimePoint now) override;
+
+  /// Session reset: chip array, FTL and cache reset in construction order,
+  /// then the device's own queues, waiters and stats. Precondition: the
+  /// simulator's events are already drained (mount timers, PLP death events
+  /// and epoch-guarded completions must not fire into a reset device).
+  void reset();
 
   // --- Introspection --------------------------------------------------------
   [[nodiscard]] const SsdConfig& config() const { return config_; }
@@ -155,7 +167,7 @@ class Ssd final : public psu::PowerSink {
   std::vector<CmdPtr> inflight_cmds_;
   sim::EventId plp_death_event_{};
   sim::EventId mount_event_{};
-  std::vector<std::function<void()>> ready_waiters_;
+  std::vector<ReadyFn> ready_waiters_;
   SsdStats stats_;
 
   /// Refresh the NCQ depth gauges from pending_/inflight_cmds_.

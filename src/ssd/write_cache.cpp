@@ -232,4 +232,20 @@ void WriteCache::on_power_good() {
   emergency_ = false;
 }
 
+void WriteCache::reset() {
+  powered_ = false;
+  emergency_ = false;
+  emergency_done_ = nullptr;
+  entries_.clear();
+  dirty_fifo_.clear();
+  clean_fifo_.clear();
+  dirty_count_ = 0;
+  in_flight_ = 0;
+  next_seq_ = 1;
+  wake_event_ = {};
+  space_waiters_.clear();
+  stats_ = CacheStats{};
+  rng_ = sim_.fork_rng("write-cache");
+}
+
 }  // namespace pofi::ssd

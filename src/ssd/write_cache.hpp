@@ -46,6 +46,8 @@ class WriteCache {
     /// what turns a fault into *partially applied* requests (data failures)
     /// rather than clean all-or-nothing FWAs.
     std::uint32_t flush_scramble_window = 32;
+
+    bool operator==(const Config&) const = default;
   };
 
   WriteCache(sim::Simulator& simulator, ftl::Ftl& ftl, Config config);
@@ -83,6 +85,11 @@ class WriteCache {
   /// Power loss: every entry vanishes. Returns how many dirty pages died.
   std::size_t on_power_lost();
   void on_power_good();
+
+  /// Session reset: back to the just-constructed (unpowered, empty) state
+  /// with container capacities retained; the cache RNG stream is re-forked
+  /// from the (reseeded) master. Precondition: simulator events drained.
+  void reset();
 
  private:
   struct Entry {

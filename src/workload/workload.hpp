@@ -83,6 +83,19 @@ class WorkloadGenerator {
 
   [[nodiscard]] std::uint64_t generated() const { return generated_; }
 
+  /// Session reset: adopt a (possibly different) workload and a fresh RNG
+  /// stream in place. Equivalent to re-constructing, but string/vector
+  /// assignment reuses existing capacity, keeping pooled runs alloc-free in
+  /// steady state.
+  void reset(const WorkloadConfig& config, sim::Rng rng) {
+    config_ = config;
+    rng_ = rng;
+    generated_ = 0;
+    seq_cursor_ = config_.base_lpn;
+    pair_pending_ = false;
+    pair_second_ = RequestSpec{};
+  }
+
  private:
   [[nodiscard]] std::uint32_t pick_pages();
   [[nodiscard]] ftl::Lpn pick_lpn(std::uint32_t pages);

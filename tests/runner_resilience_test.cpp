@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "runner/progress.hpp"
+#include "runner/session.hpp"
+#include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 
 namespace pofi::runner {
@@ -244,6 +246,133 @@ TEST(RunnerResilience, CachedEntriesResolveUpFrontAndKeepSuiteTotals) {
   }
   EXPECT_EQ(sink.events().back().suite_data_loss, expected_loss);
   EXPECT_EQ(sink.events().back().finished, 4u);
+}
+
+/// Minimal pooled session for the runner-level reuse tests: counts how many
+/// entries recycled it (the stand-in for a reset cycle).
+struct MarkerSession final : SessionBase {
+  std::uint64_t cycles = 0;
+};
+
+// The checkpoint-resume × session-reuse interaction: restored entries
+// resolve up front, so they must neither consume a session reset cycle nor
+// shift which seed a live entry computes with — a resumed campaign's
+// remaining entries are bit-identical to the same entries in an
+// uncheckpointed run.
+TEST(RunnerResilience, CheckpointRestoredEntriesDoNotPerturbPooledSessions) {
+  constexpr std::uint64_t kMaster = 97;
+
+  // A live entry seeded the spec-layer way: by its flat add() index, fixed
+  // at add time. The result folds in the seed AND the session cycle number,
+  // so it diverges loudly if a cached entry ever touched the worker's slot
+  // or renumbered an entry.
+  std::atomic<std::uint64_t> invocations{0};
+  const auto live = [&invocations](std::size_t index) {
+    return [&invocations, index](SessionSlot& slot) {
+      auto* session = dynamic_cast<MarkerSession*>(slot.get());
+      if (session == nullptr) {
+        auto fresh = std::make_unique<MarkerSession>();
+        session = fresh.get();
+        slot = std::move(fresh);
+      }
+      session->cycles += 1;
+      invocations.fetch_add(1);
+      return synthetic_result(sim::derive_seed(kMaster, static_cast<std::uint64_t>(index)) %
+                              1000);
+    };
+  };
+
+  RunnerConfig config;
+  config.threads = 1;  // one worker = one slot: cycle numbers are exact
+
+  // Reference: all four entries live.
+  CampaignRunner full(config);
+  for (std::size_t i = 0; i < 4; ++i) {
+    full.add("entry-" + std::to_string(i), live(i));
+  }
+  const auto full_outcomes = full.run();
+  ASSERT_EQ(full_outcomes.size(), 4u);
+  EXPECT_EQ(invocations.load(), 4u);
+
+  // Resumed: the first two entries come back from the checkpoint, spliced in
+  // with add_completed() exactly like spec::run_campaign does.
+  invocations.store(0);
+  CampaignRunner resumed(config);
+  resumed.add_completed("entry-0", full_outcomes[0].result);
+  resumed.add_completed("entry-1", full_outcomes[1].result);
+  resumed.add("entry-2", live(2));
+  resumed.add("entry-3", live(3));
+  const auto resumed_outcomes = resumed.run();
+  ASSERT_EQ(resumed_outcomes.size(), 4u);
+
+  // Cached entries never became session cycles...
+  EXPECT_EQ(invocations.load(), 2u);
+  // ...and every remaining entry reproduced the uncheckpointed run exactly:
+  // same seed-derived payload, independent of how many entries were cached
+  // ahead of it (the session-reuse contract: results never depend on slot
+  // contents, so cycle 1 and cycle 3 are indistinguishable).
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(resumed_outcomes[i].result.requests_submitted,
+              full_outcomes[i].result.requests_submitted)
+        << "entry " << i;
+    EXPECT_EQ(resumed_outcomes[i].result.data_failures,
+              full_outcomes[i].result.data_failures)
+        << "entry " << i;
+  }
+  EXPECT_EQ(resumed_outcomes[0].status, CampaignStatus::kSkippedCached);
+  EXPECT_EQ(resumed_outcomes[2].status, CampaignStatus::kOk);
+}
+
+// A worker's pooled session survives across live entries (same object, one
+// cycle each) and is dropped after a failed attempt: the retry must rebuild
+// from nothing, reproducing a fresh-platform run rather than inheriting a
+// possibly-poisoned stack.
+TEST(RunnerResilience, FailedAttemptDropsThePooledSession) {
+  RunnerConfig config;
+  config.threads = 1;
+  config.retry_limit = 1;
+
+  std::vector<const SessionBase*> seen;
+  std::vector<std::uint64_t> cycles;
+  std::atomic<bool> threw{false};
+  const auto observe = [&seen, &cycles](SessionSlot& slot) {
+    auto* session = dynamic_cast<MarkerSession*>(slot.get());
+    if (session == nullptr) {
+      auto fresh = std::make_unique<MarkerSession>();
+      session = fresh.get();
+      slot = std::move(fresh);
+    }
+    session->cycles += 1;
+    seen.push_back(slot.get());
+    cycles.push_back(session->cycles);
+  };
+
+  CampaignRunner runner(config);
+  runner.add("ok-0", [&](SessionSlot& slot) {
+    observe(slot);
+    return synthetic_result(1);
+  });
+  runner.add("flaky-1", [&](SessionSlot& slot) {
+    observe(slot);
+    if (!threw.exchange(true)) throw std::runtime_error("poisoned mid-campaign");
+    return synthetic_result(2);
+  });
+  runner.add("ok-2", [&](SessionSlot& slot) {
+    observe(slot);
+    return synthetic_result(3);
+  });
+  const auto outcomes = runner.run();
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[1].status, CampaignStatus::kRetriedOk);
+
+  // ok-0 and flaky-1's first attempt share the pooled session (cycles 1, 2);
+  // the throw drops it, so the retry and everything after start a new one —
+  // its cycle count restarts at 1. (Cycle counts, not pointer identity: the
+  // allocator routinely hands the replacement the freed session's address.)
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0], seen[1]);
+  EXPECT_EQ(seen[2], seen[3]);
+  EXPECT_EQ(cycles, (std::vector<std::uint64_t>{1, 2, 1, 2}));
 }
 
 TEST(RunnerResilience, ResultHookSeesRanEntriesAndSurvivesThrowing) {

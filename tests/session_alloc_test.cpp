@@ -1,0 +1,102 @@
+// Zero-steady-state-allocation proof for the session reset path.
+//
+// Global operator new/delete are replaced with counting versions (this test
+// must therefore stay its own binary). The pooling claim is that a warmed
+// TestPlatform cycles campaigns without touching the heap *for the reset
+// itself*: every component rewinds in place — slab arenas, mapping table,
+// free-heap snapshot restore, RNG re-forks (SSO-sized labels) — so after a
+// warmup cycle sizes every container to its high-water mark, N further
+// reset() calls must perform exactly zero allocations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "platform/test_platform.hpp"
+#include "ssd/presets.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  const auto a = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + a - 1) / a * a;  // aligned_alloc contract
+  if (void* p = std::aligned_alloc(a, rounded)) return p;
+  throw std::bad_alloc{};
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace pofi {
+namespace {
+
+std::uint64_t allocs_now() { return g_allocs.load(std::memory_order_relaxed); }
+
+platform::ExperimentSpec short_campaign(std::uint64_t seed) {
+  platform::ExperimentSpec spec;
+  spec.name = "session-alloc";
+  spec.workload.wss_pages = (64ULL << 20) / 4096;  // 64 MiB
+  spec.workload.min_pages = 1;
+  spec.workload.max_pages = 16;
+  spec.workload.write_fraction = 0.9;
+  spec.total_requests = 48;
+  spec.faults = 1;
+  spec.pace_iops = 30.0;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(SessionAlloc, ResetCyclesAllocateNothingInSteadyState) {
+  ssd::PresetOptions opts;
+  opts.capacity_override_gb = 1;
+  const auto drive = ssd::make_preset(ssd::VendorModel::kA, opts);
+  const platform::PlatformConfig pc;
+
+  platform::TestPlatform tp(drive, pc, 1);
+
+  // Warmup: one full campaign high-waters every container (event arena,
+  // trace buffers, failure lists, allocator heaps), then one reset+run cycle
+  // settles anything the first reset itself grows.
+  (void)tp.run(short_campaign(1));
+  tp.reset(pc, 2);
+  (void)tp.run(short_campaign(2));
+
+  constexpr int kCycles = 16;
+  std::uint64_t reset_allocs = 0;
+  for (int i = 0; i < kCycles; ++i) {
+    const std::uint64_t before = allocs_now();
+    tp.reset(pc, 100 + static_cast<std::uint64_t>(i));
+    reset_allocs += allocs_now() - before;
+    // Keep the cycle realistic: the platform actually runs a campaign
+    // between resets (its allocations are the workload's, not the reset's,
+    // and are excluded from the count).
+    (void)tp.run(short_campaign(100 + static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_EQ(reset_allocs, 0u)
+      << "TestPlatform::reset() must not touch the heap once warmed: "
+      << reset_allocs << " allocations across " << kCycles << " cycles";
+}
+
+TEST(SessionAlloc, CountersActuallyCount) {
+  const std::uint64_t before = allocs_now();
+  auto* p = new int(7);
+  EXPECT_EQ(allocs_now() - before, 1u);
+  delete p;
+}
+
+}  // namespace
+}  // namespace pofi

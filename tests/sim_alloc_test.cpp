@@ -174,6 +174,40 @@ TEST(AllocFree, IoCompletionCallbacksAllocateNothing) {
   EXPECT_EQ(hits, 2048u);
 }
 
+TEST(AllocFree, ReadyWaiterCallbacksAllocateNothing) {
+  // ssd::Ssd::on_ready() waiters (the cache's flush-when-idle continuation
+  // and the platform's drain barrier) are inline-storage callables too:
+  // registering one while the device is busy must not touch the heap once
+  // the waiter vector reached its high-water mark.
+  struct ReadyCapture {
+    void* ssd;
+    void* cache;
+    std::uint64_t deadline_ns, flushes;
+  };
+  static_assert(sim::fits_inplace_v<ReadyCapture, 64>,
+                "ssd::Ssd::ReadyFn capacity must cover the cache's "
+                "flush-when-idle continuation");
+
+  std::uint64_t woken = 0;
+  std::vector<ssd::Ssd::ReadyFn> waiters;
+  waiters.reserve(64);  // the high-water mark a warmed Ssd retains
+
+  const std::uint64_t before = allocs_now();
+  for (int round = 0; round < 256; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      const ReadyCapture cap{&woken, nullptr, static_cast<std::uint64_t>(i), 1};
+      ssd::Ssd::ReadyFn waiter = [cap, &woken] { woken += cap.flushes; };
+      waiters.push_back(std::move(waiter));  // registration: on_ready()'s body
+    }
+    for (auto& w : waiters) w();  // wake: notify_ready()'s body
+    waiters.clear();              // capacity survives, like the Ssd member
+  }
+  const std::uint64_t after = allocs_now();
+  EXPECT_EQ(after - before, 0u)
+      << "ready-waiter registration and wake must not touch the heap";
+  EXPECT_EQ(woken, 256u * 64u);
+}
+
 TEST(AllocFree, CountersActuallyCount) {
   const std::uint64_t before = allocs_now();
   auto* p = new int(7);
