@@ -38,6 +38,8 @@
 #include "spec/version.hpp"
 #include "ssd/presets.hpp"
 #include "stats/table.hpp"
+#include "torture/explorer.hpp"
+#include "torture/torture_spec.hpp"
 
 using namespace pofi;
 
@@ -50,6 +52,7 @@ enum ExitCode : int {
   kExitUsage = 2,       ///< invalid usage or campaign spec
   kExitDegraded = 3,    ///< quarantined and/or over-budget campaigns
   kExitCancelled = 4,   ///< run cancelled by SIGINT/SIGTERM
+  kExitAuditFailed = 5, ///< torture exploration found recovery-invariant violations
 };
 
 /// Cooperative cancellation flag, shared by the signal handler, the runner
@@ -88,6 +91,8 @@ struct Options {
   bool no_session_reuse = false;
   std::string progress = "console";
   std::string spec_path;
+  std::string torture_path;
+  std::string repro_out;
   std::string checkpoint_path;
   std::string metrics_dir;
   bool resume = false;
@@ -100,6 +105,11 @@ struct Options {
       "pofi_run - power-outage fault injection campaigns (DATE'18 reproduction)\n\n"
       "usage: pofi_run [options]\n"
       "  --spec FILE.json     run a declarative campaign spec (see specs/)\n"
+      "  --torture FILE.json  systematic crash-point exploration: inject a power\n"
+      "                       fault at every event boundary of the spec's window,\n"
+      "                       audit recovery invariants after each remount, and\n"
+      "                       shrink any violation into a minimal repro spec\n"
+      "  --repro-out FILE     where --torture writes the shrunk repro spec\n"
       "  --dump-spec          print the campaign as JSON and exit (round-trips\n"
       "                       both --spec files and flag-built campaigns)\n"
       "  --set PATH=VALUE     override a spec key (dotted path, JSON value;\n"
@@ -151,7 +161,8 @@ struct Options {
       "  1  runtime failure (fail-fast campaign failure, IO error)\n"
       "  2  invalid usage or campaign spec\n"
       "  3  quarantined and/or over-budget campaigns (suite still completed)\n"
-      "  4  cancelled by SIGINT/SIGTERM (checkpointed rows were kept)\n");
+      "  4  cancelled by SIGINT/SIGTERM (checkpointed rows were kept)\n"
+      "  5  torture exploration found recovery-invariant violations\n");
   std::exit(code);
 }
 
@@ -179,6 +190,8 @@ Options parse(int argc, char** argv) {
       std::exit(0);
     }
     else if (a == "--spec") o.spec_path = next_arg(argc, argv, i);
+    else if (a == "--torture") o.torture_path = next_arg(argc, argv, i);
+    else if (a == "--repro-out") o.repro_out = next_arg(argc, argv, i);
     else if (a == "--metrics") o.metrics_dir = next_arg(argc, argv, i);
     else if (a == "--checkpoint") o.checkpoint_path = next_arg(argc, argv, i);
     else if (a == "--resume") o.resume = true;
@@ -244,7 +257,28 @@ Options parse(int argc, char** argv) {
     std::fprintf(stderr, "--resume requires --checkpoint FILE\n");
     usage(2);
   }
+  if (!o.torture_path.empty() && !o.spec_path.empty()) {
+    std::fprintf(stderr, "--torture and --spec are mutually exclusive\n");
+    usage(2);
+  }
+  if (!o.repro_out.empty() && o.torture_path.empty()) {
+    std::fprintf(stderr, "--repro-out requires --torture FILE\n");
+    usage(2);
+  }
   return o;
+}
+
+/// Surface what a --resume splice silently tolerated: torn/corrupt JSONL
+/// lines and records that no longer match the spec must not masquerade as a
+/// clean resume.
+void print_resume_warnings(const spec::ResumeStats& rs, const std::string& path) {
+  if (rs.malformed_lines == 0 && rs.stale_records == 0) return;
+  std::fprintf(stderr,
+               "pofi_run: warning: resume from %s reused %zu record(s) but dropped "
+               "%zu unparseable line(s)%s and %zu stale record(s); dropped entries re-ran\n",
+               path.c_str(), rs.records_reused, rs.malformed_lines,
+               rs.truncated_tail ? " (including a truncated tail, likely a torn write)" : "",
+               rs.stale_records);
 }
 
 /// Compile the command-line flags into the equivalent campaign document —
@@ -372,6 +406,103 @@ bool export_metrics_dir(const std::string& dir, const spec::CampaignSpec& campai
   return ok;
 }
 
+/// --torture FILE: systematic crash-point exploration (src/torture). Shares
+/// the campaign path's override, progress, checkpoint/resume and cancel
+/// machinery; differs in the report (invariant findings + shrunk repro) and
+/// the exit-code mapping (violations -> 5).
+int run_torture(const Options& o) {
+  spec::Value doc = spec::parse_file(o.torture_path);
+  if (o.threads_set) doc.set_path("runner.threads", std::uint64_t{o.threads});
+  for (const auto& kv : o.sets) apply_set(doc, kv);
+  if (o.dump_spec) {
+    std::printf("%s\n", spec::dump(doc).c_str());
+    return kExitOk;
+  }
+
+  const torture::TortureConfig cfg = torture::load_torture(doc);
+  const std::string hash = spec::hash_string(torture::torture_hash(cfg));
+  stats::print_banner("pofi_run torture: " + cfg.name + " | " + hash);
+
+  std::unique_ptr<runner::ProgressSink> sink;
+  if (o.progress == "console") {
+    sink = std::make_unique<runner::ConsoleProgress>(stderr);
+  } else if (o.progress == "jsonl") {
+    sink = std::make_unique<runner::JsonlProgress>(std::cout);
+  }
+
+  torture::ExploreOptions topt;
+  topt.sink = sink.get();
+  topt.checkpoint_path = o.checkpoint_path;
+  topt.resume = o.resume;
+  topt.cancel = &g_cancel;
+  topt.repro_path = o.repro_out;
+  spec::ResumeStats resume_stats;
+  topt.resume_stats = &resume_stats;
+  obs::MetricRegistry registry;
+  if (!o.metrics_dir.empty()) topt.runner_metrics = &registry;
+
+  const torture::ExploreReport report = torture::explore(cfg, topt);
+  if (o.resume) print_resume_warnings(resume_stats, o.checkpoint_path);
+
+  std::printf("schedule: %llu event boundaries | lattice: %llu point(s) planned, "
+              "%llu explored, %llu fault(s) injected\n",
+              static_cast<unsigned long long>(report.schedule_events),
+              static_cast<unsigned long long>(report.points_planned),
+              static_cast<unsigned long long>(report.points_explored),
+              static_cast<unsigned long long>(report.points_injected));
+
+  bool cancelled = g_cancel.load();
+  bool any_degraded = false;
+  for (const auto& out : report.outcomes) {
+    switch (out.status) {
+      case runner::CampaignStatus::kCancelled:
+        cancelled = true;
+        break;
+      case runner::CampaignStatus::kFailed:
+      case runner::CampaignStatus::kQuarantined:
+      case runner::CampaignStatus::kTimedOut:
+        any_degraded = true;
+        std::printf("degraded shard: %-12s %s%s%s\n", to_string(out.status),
+                    out.label.c_str(), out.error.empty() ? "" : ": ", out.error.c_str());
+        break;
+      default:
+        break;
+    }
+  }
+
+  if (report.total_violations == 0) {
+    std::printf("invariants: clean — no recovery-invariant violation at any "
+                "explored boundary\n");
+  } else {
+    std::printf("invariants: %llu violation(s) at %zu boundary(ies)\n",
+                static_cast<unsigned long long>(report.total_violations),
+                report.findings.size());
+    const std::size_t shown = std::min<std::size_t>(report.findings.size(), 8);
+    for (std::size_t i = 0; i < shown; ++i) {
+      const auto& f = report.findings[i];
+      const auto& v = f.report.violations.front();
+      std::printf("  boundary %-8llu %-26s %s\n",
+                  static_cast<unsigned long long>(f.boundary), to_string(v.kind),
+                  v.detail.c_str());
+    }
+    if (report.findings.size() > shown) {
+      std::printf("  ... %zu more boundary(ies)\n", report.findings.size() - shown);
+    }
+    if (report.shrunk) {
+      std::printf("repro: shrunk to %llu request(s) + boundary %llu%s%s\n",
+                  static_cast<unsigned long long>(report.repro_requests),
+                  static_cast<unsigned long long>(report.repro_boundary),
+                  o.repro_out.empty() ? "" : " -> ", o.repro_out.c_str());
+    }
+  }
+  std::printf("provenance: %s | %s\n", hash.c_str(), spec::pofi_version());
+
+  if (cancelled) return kExitCancelled;
+  if (report.total_violations > 0) return kExitAuditFailed;
+  if (any_degraded) return kExitDegraded;
+  return kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -380,6 +511,8 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, handle_signal);
 
   try {
+    if (!o.torture_path.empty()) return run_torture(o);
+
     spec::Value doc =
         o.spec_path.empty() ? build_doc(o) : spec::parse_file(o.spec_path);
     if (o.threads_set) doc.set_path("runner.threads", std::uint64_t{o.threads});
@@ -416,6 +549,8 @@ int main(int argc, char** argv) {
     run_options.checkpoint_path = o.checkpoint_path;
     run_options.resume = o.resume;
     run_options.cancel = &g_cancel;
+    spec::ResumeStats resume_stats;
+    run_options.resume_stats = &resume_stats;
     obs::MetricRegistry runner_registry;
     if (!o.metrics_dir.empty()) {
       if (!POFI_OBS_ENABLED) {
@@ -427,6 +562,7 @@ int main(int argc, char** argv) {
       run_options.runner_metrics = &runner_registry;
     }
     const auto outcomes = spec::run_campaign(campaign, run_options);
+    if (o.resume) print_resume_warnings(resume_stats, o.checkpoint_path);
     if (!o.metrics_dir.empty()) {
       export_metrics_dir(o.metrics_dir, campaign, hash, outcomes, runner_registry);
     }
@@ -439,9 +575,14 @@ int main(int argc, char** argv) {
     bool any_failed = false;
     bool any_quarantined = false;
     bool any_timed_out = false;
+    bool any_audit_failed = false;
     bool cancelled = g_cancel.load();
     for (const auto& out : outcomes) {
       switch (out.status) {
+        case runner::CampaignStatus::kAuditFailed:
+          any_audit_failed = true;
+          degraded.push_back(&out);
+          break;
         case runner::CampaignStatus::kTimedOut:
           any_timed_out = true;
           degraded.push_back(&out);
@@ -507,6 +648,7 @@ int main(int argc, char** argv) {
 
     if (cancelled) return kExitCancelled;
     if (any_failed) return kExitRuntime;
+    if (any_audit_failed) return kExitAuditFailed;
     if (any_quarantined || any_timed_out) return kExitDegraded;
     return kExitOk;
   } catch (const spec::Error& e) {

@@ -39,7 +39,7 @@ fi
 # documents the single-thread-per-queue contract.
 echo "==> TSan: configure + build runner + event-kernel + obs + session tests (build-tsan/, -DPOFI_SANITIZE=thread)"
 cmake -B build-tsan -S . -DPOFI_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "${JOBS}" --target runner_test runner_resilience_test platform_suite_test sim_property_test obs_concurrency_test session_fuzz_test
+cmake --build build-tsan -j "${JOBS}" --target runner_test runner_resilience_test platform_suite_test sim_property_test obs_concurrency_test session_fuzz_test torture_explorer_test
 
 echo "==> TSan: ctest (runner + resilience + suite + event-kernel fuzz + obs registry + session fuzz)"
 # SessionFuzz rides the TSan stage because pooled sessions live one per
@@ -47,7 +47,7 @@ echo "==> TSan: ctest (runner + resilience + suite + event-kernel fuzz + obs reg
 # slot handoff and the acquire() counters are race-free.
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-        -R 'CampaignRunner|RunnerDeterminism|RunnerResilience|JsonlProgressSink|CampaignSuite|EventQueueFuzz|EventQueueClear|ObsConcurrency|SessionFuzz'
+        -R 'CampaignRunner|RunnerDeterminism|RunnerResilience|JsonlProgressSink|CampaignSuite|EventQueueFuzz|EventQueueClear|ObsConcurrency|SessionFuzz|TortureExplorer'
 
 # The resilience layer leans on exactly the constructs UBSan polices: integer
 # backoff arithmetic, enum round-trips from untrusted JSONL, and strtoull
@@ -58,7 +58,7 @@ TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
 # -fsanitize=undefined and run them with the golden resume gate.
 echo "==> UBSan: configure + build resilience + NAND arena + session tests (build-ubsan/, -DPOFI_SANITIZE=undefined)"
 cmake -B build-ubsan -S . -DPOFI_SANITIZE=undefined >/dev/null
-cmake --build build-ubsan -j "${JOBS}" --target runner_resilience_test spec_checkpoint_test determinism_golden_test obs_metrics_test obs_attribution_test nand_block_arena_test nand_chip_fuzz_test nand_alloc_test session_fuzz_test session_alloc_test
+cmake --build build-ubsan -j "${JOBS}" --target runner_resilience_test spec_checkpoint_test determinism_golden_test obs_metrics_test obs_attribution_test nand_block_arena_test nand_chip_fuzz_test nand_alloc_test session_fuzz_test session_alloc_test torture_auditor_test torture_explorer_test
 
 echo "==> UBSan: ctest (retry + checkpoint + resume determinism + obs codec + NAND arena + session reset)"
 # The session reset path is downcast + reseed + snapshot-restore arithmetic
@@ -67,6 +67,6 @@ echo "==> UBSan: ctest (retry + checkpoint + resume determinism + obs codec + NA
 # proof run instrumented too.
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
   ctest --test-dir build-ubsan --output-on-failure -j "${JOBS}" \
-        -R 'RunnerResilience|CampaignStatusTaxonomy|JsonlProgressSink|Checkpoint|DeterminismGolden|ObsMetrics|ObsTrace|ObsAttribution|BlockArena|NandChipFuzz|NandChipTouchedBlocks|NandAllocFree|SessionFuzz|SessionAlloc'
+        -R 'RunnerResilience|CampaignStatusTaxonomy|JsonlProgressSink|Checkpoint|DeterminismGolden|ObsMetrics|ObsTrace|ObsAttribution|BlockArena|NandChipFuzz|NandChipTouchedBlocks|NandAllocFree|SessionFuzz|SessionAlloc|TortureAuditor|TortureExplorer'
 
 echo "==> all checks passed"

@@ -12,6 +12,7 @@
 // blocks to the sealed set and opens fresh ones.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <optional>
@@ -53,6 +54,32 @@ class BlockAllocator {
   [[nodiscard]] std::uint64_t pages_allocated() const { return pages_allocated_; }
   /// Currently open block of `stream` on `plane` (mostly for tests).
   [[nodiscard]] std::optional<BlockId> active_block(Stream stream, std::uint32_t plane) const;
+
+  // --- Audit interface (read-only; src/torture/) ----------------------------
+  /// Every block currently in a free heap, sorted (deterministic order).
+  [[nodiscard]] std::vector<BlockId> free_block_ids() const {
+    std::vector<BlockId> out;
+    for (const auto& heap : free_heaps_) {
+      for (const FreeEntry& e : heap.container()) out.push_back(e.block);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  /// Every block with an open allocation cursor, sorted.
+  [[nodiscard]] std::vector<BlockId> active_blocks() const {
+    std::vector<BlockId> out;
+    for (const Active& a : active_) {
+      if (a.open) out.push_back(a.block);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// Test-only corruption hook: push a block onto its plane's free heap
+  /// without erasing it (auditor self-tests need a free/used disagreement).
+  void debug_force_free(BlockId block, std::uint32_t plane) {
+    free_heaps_[plane].push(FreeEntry{0, block});
+  }
 
  private:
   struct Active {

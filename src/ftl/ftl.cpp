@@ -1,5 +1,6 @@
 #include "ftl/ftl.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "ftl/dense.hpp"
@@ -52,6 +53,10 @@ void Ftl::reset() {
   journal_event_ = {};
   write_seq_ = 1;
   checkpoint_seq_ = 0;
+  journal_horizon_ = 0;
+  last_reverted_lpns_.clear();
+  last_committed_lpn_.reset();
+  torture_fault_ = TortureFault::kNone;
   por_candidates_.clear();
 }
 
@@ -198,7 +203,13 @@ void Ftl::persist_batch(std::uint64_t batch) {
     journal_in_flight_ = false;
     if (auto* m = sim_.metrics()) m->trace().end(obs_span_journal_, sim_.now());
     if (!r.ok()) return;  // batch stays volatile; next tick recuts it
+    // Batches commit in cut order (journal_in_flight_ serialises them), so
+    // cut_seq is monotone and the horizon only advances. Record the newest
+    // journaled LPN before the batch bookkeeping is consumed (fault hook).
+    const auto& lpns = map_.batch_lpns(batch);
+    if (!lpns.empty()) last_committed_lpn_ = lpns.back();
     map_.commit_batch(batch);
+    journal_horizon_ = cut_seq;
     ++stats_.journal_flushes;
     stats_.journal_entries_persisted += entries;
     if (auto* m = sim_.metrics()) {
@@ -343,9 +354,21 @@ void Ftl::on_power_lost() {
   const auto reverted = map_.on_power_lost();
   stats_.map_updates_reverted += reverted.size();
   if (auto* m = sim_.metrics()) m->add(obs_map_reverted_, reverted.size());
+  last_reverted_lpns_.clear();
   for (const auto& r : reverted) {
     if (r.dropped_ppn.has_value()) invalidate(*r.dropped_ppn);
     if (r.restored_ppn.has_value()) make_valid(r.lpn, *r.restored_ppn);
+    last_reverted_lpns_.push_back(r.lpn);
+  }
+  std::sort(last_reverted_lpns_.begin(), last_reverted_lpns_.end());
+
+  // Deliberately broken recovery (torture self-tests): forget the newest
+  // durably-journaled mapping without repairing valid counts or the reverse
+  // map — the footprint of a replay that skipped its last record.
+  if (torture_fault_ == TortureFault::kSkipLastJournalRecord &&
+      last_committed_lpn_.has_value() &&
+      map_.lookup(*last_committed_lpn_).has_value()) {
+    map_.debug_clear_slot(*last_committed_lpn_);
   }
 }
 

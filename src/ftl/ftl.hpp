@@ -111,6 +111,48 @@ class Ftl {
   [[nodiscard]] std::size_t free_blocks() const { return alloc_.free_blocks(); }
   [[nodiscard]] bool gc_running() const { return gc_running_; }
 
+  // --- Audit interface (read-only; src/torture/) ----------------------------
+  [[nodiscard]] const BlockAllocator& allocator() const { return alloc_; }
+  /// LPN this physical page holds, or kUnmappedLpn for dead/never-written.
+  [[nodiscard]] Lpn reverse_lpn(Ppn ppn) const {
+    return ppn < reverse_map_.size() ? reverse_map_[ppn] : kUnmappedLpn;
+  }
+  /// Live-page count the FTL believes `block` has.
+  [[nodiscard]] std::uint32_t valid_count(BlockId block) const {
+    return block < valid_count_.size() ? valid_count_[block] : 0;
+  }
+  [[nodiscard]] std::uint64_t write_seq() const { return write_seq_; }
+  [[nodiscard]] std::uint64_t checkpoint_seq() const { return checkpoint_seq_; }
+  /// Highest OOB write-sequence stamp covered by a durably committed journal
+  /// batch. Any *persisted* (non-volatile) mapping must carry seq <= horizon;
+  /// a newer one means journal replay lost or skipped a record.
+  [[nodiscard]] std::uint64_t journal_horizon() const { return journal_horizon_; }
+  /// LPNs whose mapping was reverted by the most recent power loss — the
+  /// FTL's own declaration of which ACKed writes it knowingly rolled back
+  /// (FWA candidates). Sorted; cleared on reset, replaced on each loss.
+  [[nodiscard]] const std::vector<Lpn>& last_reverted_lpns() const {
+    return last_reverted_lpns_;
+  }
+
+  // --- Torture fault hooks (tests + torture exploration only) ---------------
+  /// Deliberately broken recovery paths, used to prove the invariant auditor
+  /// can catch real bugs. kSkipLastJournalRecord mimics a replay that drops
+  /// the newest committed journal entry: on the next power loss the FTL
+  /// silently forgets the last durably-journaled mapping (without repairing
+  /// valid counts or the reverse map, exactly as a skipped record would).
+  enum class TortureFault : std::uint8_t { kNone, kSkipLastJournalRecord };
+  void set_torture_fault(TortureFault fault) { torture_fault_ = fault; }
+
+  /// Test-only corruption hooks for auditor self-tests: desynchronise the
+  /// map from physical accounting in targeted ways.
+  void debug_corrupt_map(Lpn lpn, Ppn ppn) { map_.debug_set_slot(lpn, ppn); }
+  void debug_corrupt_drop_mapping(Lpn lpn) { map_.debug_clear_slot(lpn); }
+  void debug_set_valid_count(BlockId block, std::uint32_t count) {
+    if (block < valid_count_.size()) valid_count_[block] = count;
+  }
+  /// Mutable allocator access for BlockAllocator::debug_force_free.
+  [[nodiscard]] BlockAllocator& debug_allocator() { return alloc_; }
+
   /// Force a journal flush now (used by PLP emergency shutdown and tests).
   void flush_journal_now();
 
@@ -160,6 +202,10 @@ class Ftl {
   // Power-on recovery state.
   std::uint64_t write_seq_ = 1;            ///< global OOB sequence stamp
   std::uint64_t checkpoint_seq_ = 0;  ///< highest seq covered by the journal
+  std::uint64_t journal_horizon_ = 0;  ///< highest committed batch cut_seq
+  std::vector<Lpn> last_reverted_lpns_;  ///< declared FWA set, latest loss
+  std::optional<Lpn> last_committed_lpn_;  ///< newest journaled LPN (fault hook)
+  TortureFault torture_fault_ = TortureFault::kNone;
   std::unordered_set<BlockId> por_candidates_;  ///< blocks with post-checkpoint data
   struct PorHit {
     Ppn ppn;

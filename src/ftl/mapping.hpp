@@ -112,6 +112,43 @@ class MappingTable {
 
   [[nodiscard]] std::size_t entry_count() const { return mapped_count_; }
 
+  // --- Audit interface (read-only; src/torture/) ----------------------------
+  /// Visit every installed mapping as fn(lpn, ppn). Iterates the dense array
+  /// in LPN order, so visitation order is deterministic.
+  template <class Fn>
+  void for_each_mapping(Fn&& fn) const {
+    for (std::size_t lpn = 0; lpn < map_.size(); ++lpn) {
+      if (map_[lpn] != kUnmappedPpn) fn(static_cast<Lpn>(lpn), map_[lpn]);
+    }
+  }
+  /// True while a power loss right now would revert this LPN's mapping.
+  [[nodiscard]] bool entry_volatile(Lpn lpn) const { return volatile_.count(lpn) != 0; }
+  /// LPNs captured into an in-flight persist batch, in cut order. Empty for
+  /// unknown/committed batch ids.
+  [[nodiscard]] const std::vector<Lpn>& batch_lpns(std::uint64_t batch) const {
+    static const std::vector<Lpn> kEmpty;
+    const auto it = batches_.find(batch);
+    return it == batches_.end() ? kEmpty : it->second;
+  }
+
+  // --- Corruption hooks (tests + torture fault injection only) --------------
+  /// Overwrite the dense slot directly, bypassing dirty tracking and the
+  /// extent detector — deliberately desynchronising the map from the FTL's
+  /// physical accounting so the auditor has something to find.
+  void debug_set_slot(Lpn lpn, Ppn ppn) {
+    grow_to(lpn);
+    if (map_[lpn] == kUnmappedPpn && ppn != kUnmappedPpn) ++mapped_count_;
+    if (map_[lpn] != kUnmappedPpn && ppn == kUnmappedPpn) --mapped_count_;
+    map_[lpn] = ppn;
+  }
+  /// Silently drop a mapping, again bypassing all bookkeeping.
+  void debug_clear_slot(Lpn lpn) {
+    if (lpn < map_.size() && map_[lpn] != kUnmappedPpn) {
+      map_[lpn] = kUnmappedPpn;
+      --mapped_count_;
+    }
+  }
+
   /// Session reset: back to the just-constructed (empty) state. The dense
   /// array is re-assigned to its eager-init size — shrinking any lazy growth
   /// back, without giving up capacity — and the bookkeeping maps are cleared

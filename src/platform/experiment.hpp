@@ -72,6 +72,9 @@ struct ExperimentResult {
   std::uint64_t paired_page_upsets = 0;
   std::uint64_t map_updates_reverted = 0;
   std::uint64_t uncorrectable_reads = 0;
+  /// Recovery-invariant violations found by the torture auditor (0 outside
+  /// torture runs). Non-zero resolves the campaign entry to kAuditFailed.
+  std::uint64_t audit_violations = 0;
 
   /// Telemetry snapshot taken at campaign end when the platform was built
   /// with metrics collection on (PlatformConfig::metrics); empty otherwise.

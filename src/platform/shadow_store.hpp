@@ -45,6 +45,14 @@ class ShadowStore {
   [[nodiscard]] std::size_t tracked_pages() const { return truth_.size(); }
   [[nodiscard]] std::uint64_t tags_allocated() const { return next_tag_ - 1; }
 
+  /// Visit every tracked page as fn(lpn, expected_tag, indeterminate).
+  /// Iteration order is unspecified (hash map) — callers needing determinism
+  /// must sort what they collect.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [lpn, truth] : truth_) fn(lpn, truth.expected, truth.indeterminate);
+  }
+
   /// Session reset: forget all truth and restart tag allocation from 1,
   /// keeping the map's buckets.
   void reset() {

@@ -170,6 +170,15 @@ std::vector<CampaignRunner::Outcome> CampaignRunner::run() {
           session.reset();
         }
         if (ok) {
+          if (out.result.audit_violations > 0) {
+            // The session ran to completion but the torture auditor found
+            // inconsistent recovery state. Deterministic, so retrying would
+            // only reproduce it — resolve terminally instead.
+            out.status = CampaignStatus::kAuditFailed;
+            out.error = std::to_string(out.result.audit_violations) +
+                        " recovery-invariant violation(s)";
+            break;
+          }
           out.status = attempt > 1 ? CampaignStatus::kRetriedOk : CampaignStatus::kOk;
           out.error.clear();
           break;

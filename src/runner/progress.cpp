@@ -9,7 +9,7 @@ bool status_from_string(std::string_view name, CampaignStatus& out) {
        {CampaignStatus::kPending, CampaignStatus::kOk, CampaignStatus::kRetriedOk,
         CampaignStatus::kFailed, CampaignStatus::kTimedOut, CampaignStatus::kQuarantined,
         CampaignStatus::kCancelled, CampaignStatus::kSkipped,
-        CampaignStatus::kSkippedCached}) {
+        CampaignStatus::kSkippedCached, CampaignStatus::kAuditFailed}) {
     if (name == to_string(s)) {
       out = s;
       return true;
@@ -42,7 +42,8 @@ void ConsoleProgress::on_event(const ProgressEvent& e) {
                      e.finished, e.total, e.label.c_str());
       } else if (e.status == CampaignStatus::kFailed ||
                  e.status == CampaignStatus::kQuarantined ||
-                 e.status == CampaignStatus::kCancelled) {
+                 e.status == CampaignStatus::kCancelled ||
+                 e.status == CampaignStatus::kAuditFailed) {
         std::fprintf(out_, "[runner] %-8s %s: %s (attempt %" PRIu32 ")\n",
                      to_string(e.status), e.label.c_str(), e.error.c_str(), e.attempt);
       } else {

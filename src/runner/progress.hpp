@@ -33,6 +33,7 @@ enum class CampaignStatus : std::uint8_t {
   kCancelled,     ///< stopped mid-run by cooperative cancellation
   kSkipped,       ///< never ran (fail-fast or cancellation emptied the queue)
   kSkippedCached, ///< resume: result restored from a checkpoint, not re-run
+  kAuditFailed,   ///< ran to completion but a recovery invariant was violated
 };
 
 [[nodiscard]] constexpr const char* to_string(CampaignPhase p) {
@@ -56,6 +57,7 @@ enum class CampaignStatus : std::uint8_t {
     case CampaignStatus::kCancelled: return "cancelled";
     case CampaignStatus::kSkipped: return "skipped";
     case CampaignStatus::kSkippedCached: return "skipped-cached";
+    case CampaignStatus::kAuditFailed: return "audit-failed";
   }
   return "?";
 }
@@ -66,6 +68,9 @@ enum class CampaignStatus : std::uint8_t {
 
 /// States whose ExperimentResult is complete and trustworthy. kTimedOut
 /// counts: the campaign finished, it just blew its wall-clock budget.
+/// kAuditFailed does not: the result is a bug report, not a measurement —
+/// keeping it out of is_success() also keeps it out of resume checkpoint
+/// reuse, so a fixed build re-runs previously-failing entries.
 [[nodiscard]] constexpr bool is_success(CampaignStatus s) {
   return s == CampaignStatus::kOk || s == CampaignStatus::kRetriedOk ||
          s == CampaignStatus::kTimedOut || s == CampaignStatus::kSkippedCached;

@@ -21,6 +21,7 @@ std::uint64_t Simulator::run_until(TimePoint deadline) {
     const TimePoint t = queue_.next_time();
     if (t > deadline) break;
     check_abort();
+    if (probe_ != nullptr && probe_->on_boundary(events_fired_)) break;
     auto ev = queue_.pop();
     now_ = ev.time;
     ev.cb();
@@ -36,6 +37,7 @@ std::uint64_t Simulator::run_all(std::uint64_t max_events) {
   while (!queue_.empty()) {
     if (max_events != 0 && fired >= max_events) break;
     check_abort();
+    if (probe_ != nullptr && probe_->on_boundary(events_fired_)) break;
     auto ev = queue_.pop();
     now_ = ev.time;
     ev.cb();

@@ -68,6 +68,21 @@ class AbortError : public std::runtime_error {
   AbortReason reason_;
 };
 
+/// Crash-point hook for systematic exploration (src/torture/). When a probe
+/// is attached, the run loops consult it once per event — *before* popping —
+/// and stop cleanly (no throw, event still queued) when it returns true. The
+/// torture explorer uses this to halt the simulation at an exact event-queue
+/// boundary and inject a power fault there. Like the obs attachment, a
+/// detached probe (nullptr, the default) costs one pointer compare per event
+/// and cannot alter the schedule.
+class BoundaryProbe {
+ public:
+  virtual ~BoundaryProbe() = default;
+  /// `events_fired` is the lifetime count *before* the pending event runs;
+  /// return true to stop the run loop at this boundary.
+  virtual bool on_boundary(std::uint64_t events_fired) = 0;
+};
+
 class Simulator {
  public:
   explicit Simulator(std::uint64_t seed = 1) : master_rng_(seed) {}
@@ -143,6 +158,12 @@ class Simulator {
   /// dead code. Instrumentation must only read sim state — never schedule
   /// events or draw randomness — so behaviour is identical either way.
   void set_metrics(obs::MetricRegistry* registry) { metrics_ = registry; }
+
+  /// Crash-point attachment (see BoundaryProbe). reset() leaves it alone,
+  /// like the metrics registry: the owner manages the probe's lifetime.
+  void set_boundary_probe(BoundaryProbe* probe) { probe_ = probe; }
+  [[nodiscard]] BoundaryProbe* boundary_probe() const { return probe_; }
+
   [[nodiscard]] obs::MetricRegistry* metrics() const {
 #if POFI_OBS_ENABLED
     return metrics_;
@@ -163,6 +184,7 @@ class Simulator {
   std::uint64_t step_limit_ = 0;
   const std::atomic<bool>* cancel_ = nullptr;
   obs::MetricRegistry* metrics_ = nullptr;
+  BoundaryProbe* probe_ = nullptr;
 };
 
 }  // namespace pofi::sim

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "runner/experiment_session.hpp"
 #include "sim/rng.hpp"
 #include "spec/checkpoint.hpp"
@@ -255,11 +256,32 @@ std::vector<runner::CampaignRunner::Outcome> run_campaign(const CampaignSpec& sp
   std::unordered_map<std::size_t, CheckpointRecord> cached;
   if (options.resume && !options.checkpoint_path.empty()) {
     CheckpointFile file = load_checkpoint(options.checkpoint_path);
+    std::size_t stale = 0;
     for (CheckpointRecord& rec : file.records) {
-      if (rec.spec_hash != spec.hash || !runner::is_success(rec.status)) continue;
-      if (rec.entry_index >= spec.entries.size()) continue;
-      if (spec.entries[rec.entry_index].experiment.seed != rec.seed) continue;
+      const bool matches = rec.spec_hash == spec.hash && runner::is_success(rec.status) &&
+                           rec.entry_index < spec.entries.size() &&
+                           spec.entries[rec.entry_index].experiment.seed == rec.seed;
+      if (!matches) {
+        ++stale;
+        continue;
+      }
       cached.insert_or_assign(static_cast<std::size_t>(rec.entry_index), std::move(rec));
+    }
+    if (options.resume_stats != nullptr) {
+      options.resume_stats->records_loaded = file.records.size();
+      options.resume_stats->records_reused = cached.size();
+      options.resume_stats->malformed_lines = file.malformed_lines;
+      options.resume_stats->truncated_tail = file.truncated_tail;
+      options.resume_stats->stale_records = stale;
+    }
+    if (options.runner_metrics != nullptr) {
+      // Surface silent tolerance: dropped lines/records are countable, not
+      // just stderr noise, so dashboards can alarm on checkpoint rot.
+      options.runner_metrics->add(
+          options.runner_metrics->counter("checkpoint.malformed_lines_dropped"),
+          file.malformed_lines);
+      options.runner_metrics->add(
+          options.runner_metrics->counter("checkpoint.stale_records_dropped"), stale);
     }
   }
 

@@ -71,6 +71,20 @@ struct CampaignSpec {
 [[nodiscard]] CampaignSpec load_campaign(const Value& doc);
 [[nodiscard]] CampaignSpec load_campaign_file(const std::string& path);
 
+/// What the resume splice actually did with the checkpoint file. A corrupted
+/// or stale checkpoint must not masquerade as a clean resume: callers surface
+/// the dropped-line/dropped-record counts (pofi_run prints a warning line,
+/// and the counts land on the runner metrics registry when one is attached).
+struct ResumeStats {
+  std::size_t records_loaded = 0;    ///< parseable records in the file
+  std::size_t records_reused = 0;    ///< spliced back in as skipped-cached
+  std::size_t malformed_lines = 0;   ///< unparseable lines dropped on load
+  bool truncated_tail = false;       ///< the malformed line was the last one
+  /// Parseable records ignored because they no longer match this spec
+  /// (hash/index/seed mismatch) or carry a non-success status.
+  std::size_t stale_records = 0;
+};
+
 /// Execution options for the resilient run_campaign overload.
 struct RunCampaignOptions {
   runner::ProgressSink* sink = nullptr;
@@ -92,6 +106,9 @@ struct RunCampaignOptions {
   /// Optional host-side registry for runner telemetry (per-worker busy/wait
   /// time, jobs completed). Wall-clock; kept out of campaign results.
   obs::MetricRegistry* runner_metrics = nullptr;
+  /// When non-null and resume is set, filled with what the splice found in
+  /// the checkpoint file (reused / malformed / stale counts).
+  ResumeStats* resume_stats = nullptr;
 };
 
 /// Execute every entry on runner::CampaignRunner per spec.runner. Outcomes

@@ -84,6 +84,9 @@ Value to_json(const platform::ExperimentResult& r) {
   v.set("paired_page_upsets", r.paired_page_upsets);
   v.set("map_updates_reverted", r.map_updates_reverted);
   v.set("uncorrectable_reads", r.uncorrectable_reads);
+  // Only torture runs produce violations; omitting the zero keeps ordinary
+  // checkpoints byte-identical to pre-torture ones.
+  if (r.audit_violations != 0) v.set("audit_violations", r.audit_violations);
   Value failures = Value::array();
   for (const auto& f : r.failures) failures.push_back(to_json(f));
   v.set("failures", std::move(failures));
@@ -138,6 +141,8 @@ platform::ExperimentResult result_from_json(const Value& v) {
       r.map_updates_reverted = read_u64(m, key);
     } else if (key == "uncorrectable_reads") {
       r.uncorrectable_reads = read_u64(m, key);
+    } else if (key == "audit_violations") {
+      r.audit_violations = read_u64(m, key);
     } else if (key == "failures") {
       if (!m.is_array()) throw Error("expected an array", m.line, m.col, key);
       r.failures.reserve(m.items().size());

@@ -135,6 +135,10 @@ class Ssd final : public psu::PowerSink {
   [[nodiscard]] nand::ChipArray& chip() { return *chip_; }
   [[nodiscard]] ftl::Ftl& ftl() { return *ftl_; }
   [[nodiscard]] WriteCache& cache() { return *cache_; }
+  // Const views for read-only inspection (invariant auditing).
+  [[nodiscard]] const nand::ChipArray& chip() const { return *chip_; }
+  [[nodiscard]] const ftl::Ftl& ftl() const { return *ftl_; }
+  [[nodiscard]] const WriteCache& cache() const { return *cache_; }
   [[nodiscard]] const SsdStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t queued_commands() const { return pending_.size(); }
   [[nodiscard]] std::size_t inflight_commands() const { return inflight_cmds_.size(); }

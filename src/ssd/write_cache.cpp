@@ -215,6 +215,11 @@ std::size_t WriteCache::on_power_lost() {
     m->set(obs_dirty_gauge_, 0);
     m->trace().end(obs_span_flush_all_, sim_.now());  // fault mid-drain
   }
+  last_dropped_lpns_.clear();
+  for (const auto& [lpn, e] : entries_) {
+    if (e.dirty) last_dropped_lpns_.push_back(lpn);
+  }
+  std::sort(last_dropped_lpns_.begin(), last_dropped_lpns_.end());
   entries_.clear();
   dirty_fifo_.clear();
   clean_fifo_.clear();
@@ -244,6 +249,7 @@ void WriteCache::reset() {
   next_seq_ = 1;
   wake_event_ = {};
   space_waiters_.clear();
+  last_dropped_lpns_.clear();
   stats_ = CacheStats{};
   rng_ = sim_.fork_rng("write-cache");
 }

@@ -86,6 +86,13 @@ class WriteCache {
   std::size_t on_power_lost();
   void on_power_good();
 
+  /// LPNs whose dirty (ACKed but unflushed) data died in the most recent
+  /// power loss — the cache's declaration of knowingly lost writes. Sorted;
+  /// cleared on reset, replaced on each loss.
+  [[nodiscard]] const std::vector<ftl::Lpn>& last_dropped_lpns() const {
+    return last_dropped_lpns_;
+  }
+
   /// Session reset: back to the just-constructed (unpowered, empty) state
   /// with container capacities retained; the cache RNG stream is re-forked
   /// from the (reseeded) master. Precondition: simulator events drained.
@@ -129,6 +136,7 @@ class WriteCache {
   std::uint64_t next_seq_ = 1;
   sim::EventId wake_event_{};
   std::vector<std::function<void()>> space_waiters_;
+  std::vector<ftl::Lpn> last_dropped_lpns_;
   CacheStats stats_;
 
   // Observability handles (no-ops unless a registry is attached to sim_).

@@ -1,0 +1,85 @@
+// Recovery-invariant auditing over a remounted device's *internal* state.
+//
+// The paper's methodology classifies externally visible damage (data failure
+// / FWA / IO error); it cannot say whether the FTL's own bookkeeping is
+// consistent after an outage. The auditor closes that gap: after each
+// injected crash and remount, it cross-checks the L2P map, the reverse map,
+// per-block valid counts, the allocator's free/active/sealed sets, the NAND
+// arena's page-status lanes, the journal horizon and the host's shadow
+// ground truth against each other. Every check is read-only (peek-based) and
+// deterministic, so it can run inside the torture explorer's parallel shards
+// without perturbing the simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ftl/types.hpp"
+#include "platform/shadow_store.hpp"
+#include "ssd/ssd.hpp"
+
+namespace pofi::torture {
+
+/// Which invariant a violation breaks. Kept coarse on purpose: each kind is
+/// one provable statement about recovered state.
+enum class InvariantKind : std::uint8_t {
+  kDoubleMappedPpn,         ///< two LPNs resolve to the same physical page
+  kMapValidCountMismatch,   ///< per-block live-page count != mapped pages
+  kReverseMapMismatch,      ///< reverse_map[ppn] disagrees with the L2P map
+  kAllocatorArenaMismatch,  ///< free/active/sealed sets overlap, or a free
+                            ///< block holds non-erased pages / live data
+  kJournalReplayIncomplete, ///< a persisted mapping points at an erased page,
+                            ///< a foreign LPN, or data newer than the journal
+                            ///< horizon — replay lost or invented a record
+  kLostAckedWrite,          ///< an ACKed write is gone without being declared
+                            ///< (not reverted, not dropped cache, not damaged)
+};
+
+[[nodiscard]] constexpr const char* to_string(InvariantKind k) {
+  switch (k) {
+    case InvariantKind::kDoubleMappedPpn: return "double-mapped-ppn";
+    case InvariantKind::kMapValidCountMismatch: return "map-valid-count-mismatch";
+    case InvariantKind::kReverseMapMismatch: return "reverse-map-mismatch";
+    case InvariantKind::kAllocatorArenaMismatch: return "allocator-arena-mismatch";
+    case InvariantKind::kJournalReplayIncomplete: return "journal-replay-incomplete";
+    case InvariantKind::kLostAckedWrite: return "lost-acked-write";
+  }
+  return "?";
+}
+
+struct Violation {
+  InvariantKind kind = InvariantKind::kDoubleMappedPpn;
+  ftl::Lpn lpn = ftl::kUnmappedLpn;     ///< involved logical page (if any)
+  ftl::Ppn ppn = ~ftl::Ppn{0};          ///< involved physical page (if any)
+  ftl::BlockId block = ~ftl::BlockId{0};  ///< involved block (if any)
+  std::string detail;                   ///< human-readable one-liner
+};
+
+struct AuditReport {
+  /// Sorted by (kind, lpn, ppn, block) so reports are byte-identical at any
+  /// shard/thread layout.
+  std::vector<Violation> violations;
+  std::uint64_t mappings_checked = 0;
+  std::uint64_t blocks_checked = 0;
+  std::uint64_t acked_pages_checked = 0;
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+class InvariantAuditor {
+ public:
+  /// Audit a mounted (ready) device. `shadow` supplies the host's view of
+  /// ACKed data for the lost-write check; pass nullptr to skip it (the four
+  /// device-internal invariant families still run). The caller must have
+  /// marked writes that were still in flight at the crash as indeterminate —
+  /// the device may legitimately hold either version of those.
+  ///
+  /// The lost-write check consumes the *declared-loss* channels of the most
+  /// recent power loss (Ftl::last_reverted_lpns, WriteCache::
+  /// last_dropped_lpns), so it is sound for the one-fault-per-session runs
+  /// the torture harness performs.
+  [[nodiscard]] static AuditReport audit(const ssd::Ssd& ssd,
+                                         const platform::ShadowStore* shadow);
+};
+
+}  // namespace pofi::torture

@@ -1,0 +1,165 @@
+#include "torture/harness.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace pofi::torture {
+
+namespace {
+
+/// Hard ceiling on events a single crash-point run may consume past its
+/// baseline. A schedule that has not quiesced (or reached its boundary) by
+/// then is wedged — report it as an error, never spin the worker forever.
+constexpr std::uint64_t kRunEventBudget = 50'000'000;
+
+}  // namespace
+
+template <class Pred>
+void CrashHarness::run_sim_until(Pred stop, const char* what) {
+  sim::Simulator& sim = tp_->simulator();
+  while (!stop()) {
+    if (sim.idle()) {
+      throw std::runtime_error(std::string("torture harness: simulator idle while ") + what);
+    }
+    sim.run_all(4096);
+    if (sim.events_fired() > base_ + kRunEventBudget) {
+      throw std::runtime_error(std::string("torture harness: event budget exhausted while ") +
+                               what);
+    }
+  }
+}
+
+void CrashHarness::begin_run(platform::TestPlatform& tp) {
+  tp_ = &tp;
+  gen_.reset();
+  submitted_ = 0;
+  next_key_ = 1;
+  halted_ = false;
+  outstanding_.clear();
+  recorded_.clear();
+
+  sim::Simulator& sim = tp.simulator();
+  // Power-up and mount, exactly like the platform's own campaign prologue.
+  // base_ is 0 during the mount so run_sim_until's budget is measured from
+  // the true start.
+  base_ = sim.events_fired();
+  tp.scheduler().command_on();
+  run_sim_until([&] { return tp.device().ready(); }, "mounting");
+
+  if (cfg_.break_recovery) {
+    tp.device().ftl().set_torture_fault(ftl::Ftl::TortureFault::kSkipLastJournalRecord);
+  }
+
+  // Everything after this boundary is the explorable schedule. The workload
+  // and pace streams fork under fixed labels from the reseeded master, so
+  // the k-th boundary names the same machine state in every run.
+  base_ = sim.events_fired();
+  gen_.emplace(cfg_.workload, sim.fork_rng("torture-workload"));
+  pace_rng_ = sim.fork_rng("torture-pace");
+  const double gap = pace_rng_.exponential(1.0 / cfg_.pace_iops);
+  sim.after(sim::Duration::sec_f(gap), [this] { pump(); });
+}
+
+void CrashHarness::pump() {
+  if (halted_ || submitted_ >= cfg_.requests) return;
+  const workload::RequestSpec spec = gen_->next();
+  recorded_.push_back(spec);
+  ++submitted_;
+  submit(spec);
+  if (submitted_ < cfg_.requests) {
+    const double gap = pace_rng_.exponential(1.0 / cfg_.pace_iops);
+    tp_->simulator().after(sim::Duration::sec_f(gap), [this] { pump(); });
+  }
+}
+
+void CrashHarness::submit(const workload::RequestSpec& spec) {
+  blk::BlockQueue& queue = tp_->block_queue();
+  if (spec.op == workload::OpType::kWrite) {
+    std::vector<std::uint64_t> tags = tp_->shadow().allocate_tags(spec.pages);
+    const std::uint64_t key = next_key_++;
+    outstanding_.emplace(key, PendingWrite{spec.lpn, tags});
+    queue.submit_write(spec.lpn, std::move(tags), [this, key](blk::RequestOutcome out) {
+      on_write_done(key, out.status);
+    });
+  } else {
+    // Reads exercise the datapath but make no durability claim; their
+    // outcomes are irrelevant to the invariants under audit.
+    queue.submit_read(spec.lpn, spec.pages, [](blk::RequestOutcome) {});
+  }
+}
+
+void CrashHarness::on_write_done(std::uint64_t key, blk::IoStatus status) {
+  const auto it = outstanding_.find(key);
+  if (it == outstanding_.end()) return;  // already settled at crash time
+  if (status == blk::IoStatus::kOk) {
+    tp_->shadow().commit_write(it->second.lpn, it->second.tags);
+  } else {
+    tp_->shadow().mark_indeterminate(it->second.lpn, it->second.tags);
+  }
+  outstanding_.erase(it);
+}
+
+bool CrashHarness::drained() const {
+  return submitted_ >= cfg_.requests && outstanding_.empty() &&
+         tp_->block_queue().outstanding() == 0 && tp_->device().cache().dirty_pages() == 0;
+}
+
+std::uint64_t CrashHarness::measure_schedule(platform::TestPlatform& tp) {
+  begin_run(tp);
+  run_sim_until([&] { return drained(); }, "running the golden schedule");
+  // Margin: let the journal cut and commit what the drain left volatile, so
+  // boundaries cover the tail where recovery depends on the final commits.
+  tp.simulator().run_for(cfg_.drive.ftl.journal_interval * 2);
+  return tp.simulator().events_fired() - base_;
+}
+
+CrashOutcome CrashHarness::run_crash_point(platform::TestPlatform& tp, std::uint64_t boundary) {
+  begin_run(tp);
+  sim::Simulator& sim = tp.simulator();
+
+  CountdownProbe probe(base_ + boundary);
+  sim.set_boundary_probe(&probe);
+  // The probe stops run_all at the exact boundary; a schedule that quiesces
+  // or wedges before reaching it is caught by the guards.
+  try {
+    run_sim_until([&] { return probe.tripped() || drained(); }, "approaching the boundary");
+  } catch (...) {
+    sim.set_boundary_probe(nullptr);
+    throw;
+  }
+  sim.set_boundary_probe(nullptr);
+
+  CrashOutcome out;
+  out.boundary = boundary;
+  out.injected = probe.tripped();
+  halted_ = true;  // prefix semantics: nothing new is submitted past here
+
+  if (out.injected) {
+    switch (cfg_.injection) {
+      case Injection::kImmediateCut:
+        tp.power_supply().power_off();
+        break;
+      case Injection::kCommandOff:
+        tp.scheduler().command_off();
+        break;
+    }
+    run_sim_until([&] { return tp.scheduler().rail_fully_down(); }, "riding the rail down");
+    sim.run_for(cfg_.platform.post_fault_dwell);
+    tp.scheduler().command_on();
+    run_sim_until([&] { return tp.device().ready(); }, "remounting");
+  }
+
+  // Writes still unsettled at the crash: the device may hold either version.
+  // The block layer's own 30 s timeout has not fired this soon after the
+  // remount, so declare them indeterminate before the audit.
+  for (const auto& [key, w] : outstanding_) {
+    tp.shadow().mark_indeterminate(w.lpn, w.tags);
+  }
+  outstanding_.clear();
+
+  out.report = InvariantAuditor::audit(tp.device(), &tp.shadow());
+  return out;
+}
+
+}  // namespace pofi::torture

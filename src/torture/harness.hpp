@@ -1,0 +1,122 @@
+// CrashHarness: one deterministic crash-point experiment on a TestPlatform.
+//
+// The harness replaces the platform's own campaign loop with a schedule whose
+// injection point is an exact *event-queue boundary* rather than a sampled
+// time offset. Each run replays the identical prefix — power-up, mount, a
+// fixed open-loop stream of `requests` workload requests, all RNG streams
+// forked under fixed labels from the platform seed — so the k-th event
+// boundary after the mount baseline names the same machine state in every
+// run, at any thread count. A CountdownProbe stops the simulator exactly
+// there; the harness then injects the configured power fault, rides the rail
+// down, dwells, remounts through the normal POR path and hands the recovered
+// device to the InvariantAuditor.
+//
+// The harness owns the host's side channels during the run: it allocates
+// shadow-store tags per write, commits them on ACK, and marks anything still
+// in flight at the crash as indeterminate (the device may legitimately hold
+// either version), which is exactly the precondition the auditor's
+// lost-ACKed-write check needs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "platform/test_platform.hpp"
+#include "sim/simulator.hpp"
+#include "torture/auditor.hpp"
+#include "torture/torture_spec.hpp"
+#include "workload/workload.hpp"
+
+namespace pofi::torture {
+
+/// Stops the run loops at the first boundary where the lifetime event count
+/// reaches `target` (see sim::BoundaryProbe). Reusable for passive counting
+/// by setting an unreachable target.
+class CountdownProbe final : public sim::BoundaryProbe {
+ public:
+  explicit CountdownProbe(std::uint64_t target) : target_(target) {}
+  bool on_boundary(std::uint64_t events_fired) override {
+    ++consulted_;
+    if (events_fired >= target_) {
+      tripped_ = true;
+      return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool tripped() const { return tripped_; }
+  [[nodiscard]] std::uint64_t consulted() const { return consulted_; }
+
+ private:
+  std::uint64_t target_;
+  std::uint64_t consulted_ = 0;
+  bool tripped_ = false;
+};
+
+struct CrashOutcome {
+  std::uint64_t boundary = 0;  ///< injection point, events past the baseline
+  bool injected = false;       ///< probe tripped (false: schedule quiesced first)
+  AuditReport report;
+};
+
+class CrashHarness {
+ public:
+  /// `cfg` must outlive the harness (the explorer owns both).
+  explicit CrashHarness(const TortureConfig& cfg) : cfg_(cfg) {}
+
+  CrashHarness(const CrashHarness&) = delete;
+  CrashHarness& operator=(const CrashHarness&) = delete;
+
+  /// Golden run, no injection: execute the full schedule to quiescence
+  /// (all requests submitted and completed, cache drained) plus a journal
+  /// margin, and return the boundary count B. Every k in [0, B) is a
+  /// meaningful injection point. `tp` must be freshly acquired/reset for
+  /// this config and seed.
+  std::uint64_t measure_schedule(platform::TestPlatform& tp);
+
+  /// Crash run: replay the schedule, stop at boundary `k`, inject the fault,
+  /// remount, audit. Same platform precondition as measure_schedule; the
+  /// platform must be reset before it is stepped again (self-perpetuating
+  /// harness events may still be queued).
+  CrashOutcome run_crash_point(platform::TestPlatform& tp, std::uint64_t boundary);
+
+  /// Requests actually submitted during the most recent run, in submission
+  /// order — the workload prefix a shrunk repro replays verbatim.
+  [[nodiscard]] const std::vector<workload::RequestSpec>& recorded_requests() const {
+    return recorded_;
+  }
+
+ private:
+  struct PendingWrite {
+    ftl::Lpn lpn = 0;
+    std::vector<std::uint64_t> tags;
+  };
+
+  /// Power up (if needed), run to mount, install the torture fault, set the
+  /// event baseline and schedule the first submission.
+  void begin_run(platform::TestPlatform& tp);
+  void pump();
+  void submit(const workload::RequestSpec& spec);
+  void on_write_done(std::uint64_t key, blk::IoStatus status);
+  [[nodiscard]] bool drained() const;
+  /// Step until `stop` holds; throws if the sim goes idle or the event
+  /// budget blows first (a wedged schedule, not a finding).
+  template <class Pred>
+  void run_sim_until(Pred stop, const char* what);
+
+  const TortureConfig& cfg_;
+
+  // Per-run state (reset by begin_run).
+  platform::TestPlatform* tp_ = nullptr;
+  std::optional<workload::WorkloadGenerator> gen_;
+  sim::Rng pace_rng_;
+  std::uint64_t base_ = 0;       ///< events_fired at the post-mount baseline
+  std::uint64_t submitted_ = 0;
+  std::uint64_t next_key_ = 1;
+  bool halted_ = false;          ///< crash reached: no further submissions
+  std::unordered_map<std::uint64_t, PendingWrite> outstanding_;
+  std::vector<workload::RequestSpec> recorded_;
+};
+
+}  // namespace pofi::torture

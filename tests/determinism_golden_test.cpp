@@ -23,6 +23,7 @@
 #include "spec/campaign.hpp"
 #include "spec/checkpoint.hpp"
 #include "ssd/presets.hpp"
+#include "torture/harness.hpp"
 #include "workload/checksum.hpp"
 
 namespace pofi::platform {
@@ -114,7 +115,8 @@ std::uint64_t trace_hash(std::uint64_t seed) {
 }
 
 CampaignHashes run_hashed(ssd::VendorModel model, ftl::MappingPolicy policy,
-                          std::uint64_t seed, bool metrics = false) {
+                          std::uint64_t seed, bool metrics = false,
+                          sim::BoundaryProbe* probe = nullptr) {
   ssd::PresetOptions opts;
   opts.capacity_override_gb = 1;
   opts.mapping_policy = policy;
@@ -137,6 +139,7 @@ CampaignHashes run_hashed(ssd::VendorModel model, ftl::MappingPolicy policy,
   spec.seed = seed;
 
   TestPlatform tp(drive, pc, seed);
+  tp.simulator().set_boundary_probe(probe);
   const auto result = tp.run(spec);
   return CampaignHashes{hash_str(canonical(result)), trace_hash(seed)};
 }
@@ -236,6 +239,27 @@ TEST(DeterminismGolden, MetricsCollectionDoesNotPerturbSimulation) {
         << static_cast<int>(g.model) << " seed=" << g.seed << ")";
     EXPECT_EQ(got.trace, g.expect.trace)
         << "metrics collection perturbed the blktrace stream (model="
+        << static_cast<int>(g.model) << " seed=" << g.seed << ")";
+  }
+}
+
+// The torture determinism gate: a boundary probe that never trips must be
+// pure observation. The golden hashes were captured with no probe attached;
+// a run with a passive CountdownProbe consulted at every event boundary has
+// to land on the exact same result AND trace hashes — this is what makes a
+// torture run's k-th boundary name the same machine state as the golden
+// schedule's k-th boundary.
+TEST(DeterminismGolden, PassiveBoundaryProbeIsIdentity) {
+  for (const auto& g : kGolden) {
+    torture::CountdownProbe probe(~std::uint64_t{0});  // unreachable target
+    const auto got = run_hashed(g.model, g.policy, g.seed, /*metrics=*/false, &probe);
+    EXPECT_GT(probe.consulted(), 0u) << "probe was never consulted";
+    EXPECT_FALSE(probe.tripped());
+    EXPECT_EQ(got.result, g.expect.result)
+        << "a passive boundary probe perturbed the campaign result (model="
+        << static_cast<int>(g.model) << " seed=" << g.seed << ")";
+    EXPECT_EQ(got.trace, g.expect.trace)
+        << "a passive boundary probe perturbed the blktrace stream (model="
         << static_cast<int>(g.model) << " seed=" << g.seed << ")";
   }
 }

@@ -461,7 +461,7 @@ TEST(CampaignStatusTaxonomy, StringsRoundTrip) {
        {CampaignStatus::kPending, CampaignStatus::kOk, CampaignStatus::kRetriedOk,
         CampaignStatus::kFailed, CampaignStatus::kTimedOut, CampaignStatus::kQuarantined,
         CampaignStatus::kCancelled, CampaignStatus::kSkipped,
-        CampaignStatus::kSkippedCached}) {
+        CampaignStatus::kSkippedCached, CampaignStatus::kAuditFailed}) {
     CampaignStatus parsed{};
     ASSERT_TRUE(status_from_string(to_string(s), parsed)) << to_string(s);
     EXPECT_EQ(parsed, s);
@@ -480,6 +480,10 @@ TEST(CampaignStatusTaxonomy, SuccessPredicateMatchesResultValidity) {
   EXPECT_FALSE(is_success(CampaignStatus::kQuarantined));
   EXPECT_FALSE(is_success(CampaignStatus::kCancelled));
   EXPECT_FALSE(is_success(CampaignStatus::kSkipped));
+  // Audit failure means the run *completed* but the result is a bug report,
+  // not a measurement — keeping it out of is_success keeps it out of the
+  // resume checkpoint so the shard re-runs.
+  EXPECT_FALSE(is_success(CampaignStatus::kAuditFailed));
 }
 
 }  // namespace

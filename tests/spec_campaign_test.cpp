@@ -19,6 +19,7 @@
 #include "spec/campaign.hpp"
 #include "spec/codec.hpp"
 #include "spec/value.hpp"
+#include "torture/torture_spec.hpp"
 
 namespace pofi::spec {
 namespace {
@@ -193,11 +194,17 @@ const char* const kParamsSpecs[] = {
     "datacenter_outage.json",
     "acid_torture.json",
 };
+// Torture docs: crash-point exploration lattices for pofi_run --torture,
+// loaded through torture::load_torture_file rather than load_campaign.
+const char* const kTortureSpecs[] = {
+    "torture_smoke.json",
+};
 
 TEST(SpecCampaign, EveryCommittedSpecIsCategorised) {
   std::set<std::string> known;
   for (const char* f : kCampaignSpecs) known.insert(f);
   for (const char* f : kParamsSpecs) known.insert(f);
+  for (const char* f : kTortureSpecs) known.insert(f);
 
   std::size_t seen = 0;
   for (const auto& e : std::filesystem::directory_iterator(spec_dir())) {
@@ -207,6 +214,18 @@ TEST(SpecCampaign, EveryCommittedSpecIsCategorised) {
         << e.path() << " is committed but not categorised in this test";
   }
   EXPECT_EQ(seen, known.size()) << "a categorised spec file is missing on disk";
+}
+
+TEST(SpecCampaign, CommittedTortureSpecsLoadAndRoundTrip) {
+  for (const char* file : kTortureSpecs) {
+    SCOPED_TRACE(file);
+    const auto cfg = torture::load_torture_file(spec_dir() + "/" + file);
+    EXPECT_GE(cfg.requests, 1u);
+    EXPECT_GE(cfg.stride, 1u);
+    // to_json round-trips through load_torture and preserves the hash.
+    const auto back = torture::load_torture(torture::to_json(cfg));
+    EXPECT_EQ(torture::torture_hash(back), torture::torture_hash(cfg));
+  }
 }
 
 TEST(SpecCampaign, CommittedSpecsRoundTripCanonically) {

@@ -42,6 +42,7 @@ platform::ExperimentResult tricky_result() {
   r.active_seconds = 98765.4321;
   r.sim_seconds = 0.30000000000000004;       // classic non-exact sum
   r.cache_dirty_lost = 5;
+  r.audit_violations = 11;
   r.interrupted_programs = 6;
   r.paired_page_upsets = 7;
   r.map_updates_reverted = 8;
@@ -72,6 +73,7 @@ TEST(CheckpointCodec, ExperimentResultRoundTripIsBitExact) {
   EXPECT_EQ(back.mean_latency_us, r.mean_latency_us);
   EXPECT_EQ(back.max_latency_us, r.max_latency_us);
   EXPECT_EQ(back.requests_submitted, ~0ULL);
+  EXPECT_EQ(back.audit_violations, 11u);
   ASSERT_EQ(back.failures.size(), 2u);
   EXPECT_EQ(back.failures[0].type, platform::FailureType::kFwa);
   EXPECT_EQ(back.failures[0].ack_to_fault_ms, -1.0);
@@ -99,6 +101,20 @@ TEST(CheckpointCodec, RecordRoundTripKeepsKeyAndTaxonomy) {
   EXPECT_EQ(back.attempts, 3u);
   EXPECT_EQ(back.wall_seconds, 1.25);
   EXPECT_EQ(fingerprint(back.result), fingerprint(rec.result));
+}
+
+// The torture explorer's verdict status is part of the on-disk taxonomy —
+// it must survive the JSONL round-trip even though the resume splice will
+// then reject it (not a success).
+TEST(CheckpointCodec, AuditFailedStatusRoundTrips) {
+  CheckpointRecord rec;
+  rec.spec_hash = 1;
+  rec.label = "torture-shard0";
+  rec.status = runner::CampaignStatus::kAuditFailed;
+  rec.result.audit_violations = 2;
+  const auto back = checkpoint_record_from_json(parse(canonical(to_json(rec))));
+  EXPECT_EQ(back.status, runner::CampaignStatus::kAuditFailed);
+  EXPECT_EQ(back.result.audit_violations, 2u);
 }
 
 TEST(CheckpointFileIo, WriterAppendsOneLinePerRecordAndLoaderReadsThemBack) {
@@ -296,6 +312,37 @@ TEST(CheckpointResume, StaleRecordsFromAnEditedSpecAreIgnored) {
   for (const auto& o : rerun) {
     EXPECT_EQ(o.status, runner::CampaignStatus::kOk);  // nothing was cached
   }
+}
+
+// What the loader silently tolerates (malformed lines, a torn tail, stale
+// records) must surface to the caller through ResumeStats — pofi_run prints
+// the warning line from exactly these counts.
+TEST(CheckpointResume, ResumeStatsSurfaceWhatTheLoaderDropped) {
+  const std::string checkpoint = "/tmp/pofi_ckpt_resume_stats.jsonl";
+  std::remove(checkpoint.c_str());
+
+  const auto campaign = load_campaign(parse(kCampaignJson));
+  RunCampaignOptions options;
+  options.checkpoint_path = checkpoint;
+  const auto baseline = run_campaign(campaign, options);
+  ASSERT_EQ(baseline.size(), 3u);
+
+  // Tear the tail: a half-written line the loader drops without complaint.
+  {
+    std::ofstream out(checkpoint, std::ios::binary | std::ios::app);
+    out << "{\"spec_hash\": 12, \"truncated";
+  }
+
+  options.resume = true;
+  ResumeStats stats;
+  options.resume_stats = &stats;
+  const auto resumed = run_campaign(campaign, options);
+  ASSERT_EQ(resumed.size(), 3u);
+  EXPECT_EQ(stats.records_loaded, 3u);
+  EXPECT_EQ(stats.records_reused, 3u);
+  EXPECT_EQ(stats.malformed_lines, 1u);
+  EXPECT_TRUE(stats.truncated_tail);
+  EXPECT_EQ(stats.stale_records, 0u);
 }
 
 TEST(CheckpointResume, ResilienceKnobsRoundTripThroughTheSpecCodec) {

@@ -1,0 +1,187 @@
+// End-to-end tests for the torture explorer: the acceptance loop of the
+// crash-point subsystem. A deliberately broken recovery path (the FTL's
+// kSkipLastJournalRecord torture fault) must be caught by the auditor,
+// shrunk to a minimal repro, and the emitted repro spec must reproduce the
+// identical violation at any runner thread count.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "runner/progress.hpp"
+#include "spec/checkpoint.hpp"
+#include "torture/explorer.hpp"
+#include "torture/torture_spec.hpp"
+
+namespace pofi::torture {
+namespace {
+
+/// Temp-file path helper (same convention as the checkpoint tests).
+[[nodiscard]] std::string temp_path(const char* stem) {
+  return std::string(::testing::TempDir()) + stem;
+}
+
+/// The smallest configuration that exercises the full loop: a handful of
+/// requests on the 1 GiB preset-A drive, a short boundary window right after
+/// the first writes land.
+[[nodiscard]] TortureConfig small_config() {
+  TortureConfig cfg;
+  cfg.name = "explorer-test";
+  cfg.seed = 7;
+  ssd::PresetOptions opts;
+  opts.capacity_override_gb = 1;
+  cfg.drive = ssd::make_preset(ssd::VendorModel::kA, opts);
+  cfg.drive.mount_delay = sim::Duration::ms(50);
+  cfg.workload.wss_pages = 4096;
+  cfg.workload.min_pages = 1;
+  cfg.workload.max_pages = 16;
+  cfg.workload.write_fraction = 0.8;
+  cfg.requests = 24;
+  cfg.pace_iops = 2000.0;
+  cfg.window_first = 8;
+  cfg.window_count = 16;
+  cfg.stride = 64;
+  cfg.shard_points = 4;
+  cfg.shrink = false;
+  cfg.runner.threads = 2;
+  return cfg;
+}
+
+// Intact recovery: every explored boundary audits clean.
+TEST(TortureExplorer, IntactRecoveryAuditsClean) {
+  const TortureConfig cfg = small_config();
+  const ExploreReport report = explore(cfg);
+  EXPECT_GT(report.schedule_events, 0u);
+  EXPECT_EQ(report.points_planned, 16u);
+  EXPECT_EQ(report.points_explored, 16u);
+  EXPECT_EQ(report.points_injected, 16u);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_FALSE(report.shrunk);
+}
+
+// The seeded self-test: break recovery, catch it, shrink it. The repro must
+// be small (≤ 10 requests, exactly one injection point) and carry a verbatim
+// replay of the recorded prefix.
+TEST(TortureExplorer, BrokenRecoveryIsCaughtAndShrunk) {
+  TortureConfig cfg = small_config();
+  cfg.break_recovery = true;
+  cfg.shrink = true;
+
+  const ExploreReport report = explore(cfg);
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_GT(report.total_violations, 0u);
+  // Findings arrive sorted by boundary regardless of shard completion order.
+  for (std::size_t i = 1; i < report.findings.size(); ++i) {
+    EXPECT_LT(report.findings[i - 1].boundary, report.findings[i].boundary);
+  }
+
+  ASSERT_TRUE(report.shrunk);
+  EXPECT_LE(report.repro_requests, 10u);
+
+  const TortureConfig repro = load_torture(report.repro);
+  EXPECT_EQ(repro.name, cfg.name + "-repro");
+  EXPECT_EQ(repro.requests, report.repro_requests);
+  EXPECT_EQ(repro.window_first, report.repro_boundary);
+  EXPECT_EQ(repro.window_count, 1u);
+  EXPECT_EQ(repro.stride, 1u);
+  EXPECT_FALSE(repro.shrink);
+  EXPECT_TRUE(repro.break_recovery);
+  EXPECT_EQ(repro.workload.replay.size(), repro.requests);
+}
+
+// The emitted repro is self-contained and thread-count independent: explored
+// at 1, 2 and 8 runner threads it reproduces the same violation kind at the
+// same boundary.
+TEST(TortureExplorer, ReproReproducesAtAnyThreadCount) {
+  TortureConfig cfg = small_config();
+  cfg.break_recovery = true;
+  cfg.shrink = true;
+  const ExploreReport first = explore(cfg);
+  ASSERT_TRUE(first.shrunk);
+
+  TortureConfig repro = load_torture(first.repro);
+  const InvariantKind expected_kind =
+      first.findings.front().report.violations.front().kind;
+
+  for (const std::uint32_t threads : {1u, 2u, 8u}) {
+    repro.runner.threads = threads;
+    const ExploreReport rerun = explore(repro);
+    ASSERT_EQ(rerun.findings.size(), 1u) << "threads=" << threads;
+    EXPECT_EQ(rerun.findings.front().boundary, first.repro_boundary)
+        << "threads=" << threads;
+    ASSERT_FALSE(rerun.findings.front().report.violations.empty());
+    EXPECT_EQ(rerun.findings.front().report.violations.front().kind, expected_kind)
+        << "threads=" << threads;
+  }
+}
+
+// The runner section is execution shape, not content: changing it must not
+// move the torture hash, while changing the schedule must.
+TEST(TortureExplorer, HashExcludesRunnerSection) {
+  TortureConfig a = small_config();
+  TortureConfig b = small_config();
+  b.runner.threads = 8;
+  EXPECT_EQ(torture_hash(a), torture_hash(b));
+  b.requests = 25;
+  EXPECT_NE(torture_hash(a), torture_hash(b));
+}
+
+// Checkpoint/resume: a completed exploration restores every clean shard from
+// the JSONL file; violating shards are never checkpointed and re-run, so the
+// findings list repopulates identically.
+TEST(TortureExplorer, ResumeRestoresCleanShardsAndRerunsViolating) {
+  TortureConfig cfg = small_config();
+  cfg.break_recovery = true;
+  const std::string path = temp_path("torture_resume.jsonl");
+  std::remove(path.c_str());
+
+  ExploreOptions options;
+  options.checkpoint_path = path;
+  const ExploreReport first = explore(cfg, options);
+  ASSERT_FALSE(first.findings.empty());
+  const std::size_t clean_shards =
+      spec::load_checkpoint(path).records.size();
+  ASSERT_LT(clean_shards, 4u);  // at least one shard violated -> not recorded
+
+  options.resume = true;
+  spec::ResumeStats stats;
+  options.resume_stats = &stats;
+  const ExploreReport second = explore(cfg, options);
+  EXPECT_EQ(stats.records_reused, clean_shards);
+  EXPECT_EQ(second.points_explored, first.points_explored);
+  EXPECT_EQ(second.total_violations, first.total_violations);
+  ASSERT_EQ(second.findings.size(), first.findings.size());
+  for (std::size_t i = 0; i < first.findings.size(); ++i) {
+    EXPECT_EQ(second.findings[i].boundary, first.findings[i].boundary);
+  }
+  std::remove(path.c_str());
+}
+
+// Violating shards surface as audit-failed through the JSONL progress
+// stream, distinguishable from crashes and timeouts in automation.
+TEST(TortureExplorer, AuditFailedFlowsThroughJsonlProgress) {
+  TortureConfig cfg = small_config();
+  cfg.break_recovery = true;
+  std::ostringstream out;
+  runner::JsonlProgress sink(out);
+  ExploreOptions options;
+  options.sink = &sink;
+  const ExploreReport report = explore(cfg, options);
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_NE(out.str().find("\"status\":\"audit-failed\""), std::string::npos);
+}
+
+// audit-failed is part of the status taxonomy: round-trips through the
+// string codec and stays out of is_success (so it is never checkpointed).
+TEST(TortureExplorer, AuditFailedStatusTaxonomy) {
+  EXPECT_STREQ(runner::to_string(runner::CampaignStatus::kAuditFailed), "audit-failed");
+  runner::CampaignStatus parsed{};
+  ASSERT_TRUE(runner::status_from_string("audit-failed", parsed));
+  EXPECT_EQ(parsed, runner::CampaignStatus::kAuditFailed);
+  EXPECT_FALSE(runner::is_success(runner::CampaignStatus::kAuditFailed));
+}
+
+}  // namespace
+}  // namespace pofi::torture
