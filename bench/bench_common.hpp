@@ -223,6 +223,14 @@ inline void write_runner_bench_json(const char* bench, unsigned threads,
     std::fprintf(stderr, "BENCH_runner.json write FAILED: %s\n", path.c_str());
     return;
   }
+  // A parallel-vs-sequential speedup measured with more worker threads than
+  // the box has hardware threads says nothing about the runner: the workers
+  // timeshare one core and the ratio hovers around 1.0 regardless of code
+  // quality. Flag that case so readers (and bench_gate) don't treat the
+  // number as a regression signal. hardware_concurrency() == 0 means the
+  // count is unknown — also not meaningful.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool speedup_meaningful = hw >= threads && threads > 1;
   std::fprintf(f,
                "{\n"
                "  \"bench\": \"%s\",\n"
@@ -234,14 +242,16 @@ inline void write_runner_bench_json(const char* bench, unsigned threads,
                "  \"sequential_wall_seconds\": %.3f,\n"
                "  \"sequential_campaigns_per_sec\": %.3f,\n"
                "  \"speedup\": %.2f,\n"
+               "  \"speedup_meaningful\": %s,\n"
                "  \"peak_rss_mib\": %.1f%s\n",
-               bench, campaigns, threads, std::thread::hardware_concurrency(),
+               bench, campaigns, threads, hw,
                parallel_seconds,
                parallel_seconds > 0 ? static_cast<double>(campaigns) / parallel_seconds : 0.0,
                sequential_seconds,
                sequential_seconds > 0 ? static_cast<double>(campaigns) / sequential_seconds
                                       : 0.0,
                parallel_seconds > 0 ? sequential_seconds / parallel_seconds : 0.0,
+               speedup_meaningful ? "true" : "false",
                peak_rss_mib(), session != nullptr ? "," : "");
   if (session != nullptr) {
     std::fprintf(

@@ -22,6 +22,7 @@
 #include <cstdlib>
 #include <memory>
 #include <new>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "runner/experiment_session.hpp"
@@ -112,9 +113,12 @@ int main() {
   table.print();
 
   std::printf("\nrunner: %zu campaigns | sequential %.1fs | %u threads %.1fs | "
-              "speedup %.2fx | parallel rows %s sequential rows\n",
+              "speedup %.2fx%s | parallel rows %s sequential rows\n",
               fleet.size(), seq_seconds, threads, par_seconds,
               par_seconds > 0 ? seq_seconds / par_seconds : 0.0,
+              std::thread::hardware_concurrency() >= threads
+                  ? ""
+                  : " (NOT meaningful: fewer hardware threads than workers)",
               deterministic ? "bit-identical to" : "DIVERGE from");
 
   // ---- session-reuse A/B ---------------------------------------------------

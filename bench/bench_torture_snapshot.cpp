@@ -1,0 +1,200 @@
+// Crash-point sweep A/B: pilot-snapshot restore vs full prefix replay.
+//
+// The sweep cost model motivating the snapshot protocol: a full-replay sweep
+// re-executes the schedule prefix for every lattice point, so a window of P
+// points deep in a B-event schedule costs O(P x B). The snapshot path runs
+// one pilot pass that checkpoints the device state every ~snapshot_interval
+// quiescent boundaries, then serves each point by restoring the nearest
+// checkpoint and replaying only the residual window: O(B + P x interval).
+//
+// Both sides here run the identical torture::explore() entry point on the
+// identical config -- only ExploreOptions.use_snapshots differs -- and the
+// verdict counters are cross-checked before the record is written, so the
+// speedup is measured on provably equivalent work. The window sits at the
+// deep end of the schedule (stride 1, just below B) because that is where
+// full replay is most expensive and where real sweeps spend their time;
+// shallow boundaries amortise nothing and the restore copy can even lose.
+//
+// main() measures best-of-3 interleaved reps and merges a "torture_snapshot"
+// record into $POFI_BENCH_DIR/BENCH_micro.json (read-modify-write via the
+// spec JSON layer). scripts/bench_gate.py holds the floor.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+#include "platform/test_platform.hpp"
+#include "spec/value.hpp"
+#include "ssd/presets.hpp"
+#include "torture/explorer.hpp"
+#include "torture/harness.hpp"
+#include "torture/torture_spec.hpp"
+
+namespace {
+
+using namespace pofi;
+
+constexpr std::uint64_t kWindowPoints = 32;
+
+/// The smoke-lattice shape scaled to a schedule long enough that full replay
+/// per point dominates the shared audit/recovery cost. The window is filled
+/// in by place_window() once the schedule length is known.
+torture::TortureConfig sweep_config() {
+  torture::TortureConfig cfg;
+  cfg.name = "bench-torture-snapshot";
+  cfg.seed = 7;
+  ssd::PresetOptions opts;
+  opts.capacity_override_gb = 1;
+  cfg.drive = ssd::make_preset(ssd::VendorModel::kA, opts);
+  cfg.drive.mount_delay = sim::Duration::ms(50);
+  cfg.workload.wss_pages = 4096;
+  cfg.workload.min_pages = 1;
+  cfg.workload.max_pages = 16;
+  cfg.workload.write_fraction = 0.8;
+  cfg.requests = 512;
+  cfg.pace_iops = 2000.0;
+  cfg.stride = 1;
+  cfg.window_count = kWindowPoints;
+  cfg.shard_points = 8;
+  cfg.shrink = false;
+  cfg.snapshot_interval = 256;
+  cfg.runner.threads = 1;  // serial: the record measures the algorithm, not the pool
+  return cfg;
+}
+
+/// Dry-run the schedule once to learn B, then park the stride-1 window just
+/// below it -- every point then costs a near-full replay on the A side.
+void place_window(torture::TortureConfig& cfg) {
+  platform::TestPlatform tp(cfg.drive, cfg.platform, cfg.seed);
+  torture::CrashHarness harness(cfg);
+  const std::uint64_t events = harness.measure_schedule(tp);
+  cfg.window_first = events > kWindowPoints + 1 ? events - kWindowPoints - 1 : 1;
+}
+
+double timed_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+void write_torture_snapshot_record() {
+  constexpr int kReps = 3;
+
+  torture::TortureConfig cfg = sweep_config();
+  place_window(cfg);
+
+  torture::ExploreOptions snapshot_side;
+  torture::ExploreOptions full_side;
+  full_side.use_snapshots = false;
+
+  // Equivalence gate first (doubles as warmup): the two sides must agree on
+  // every verdict counter or the speedup is measuring different work.
+  const torture::ExploreReport a = torture::explore(cfg, snapshot_side);
+  const torture::ExploreReport b = torture::explore(cfg, full_side);
+  const bool equivalent = a.schedule_events == b.schedule_events &&
+                          a.points_explored == b.points_explored &&
+                          a.points_injected == b.points_injected &&
+                          a.total_violations == b.total_violations;
+  if (!equivalent) {
+    std::fprintf(stderr,
+                 "torture_snapshot A/B DIVERGED: snapshot %llu/%llu/%llu vs "
+                 "full %llu/%llu/%llu -- record not written\n",
+                 static_cast<unsigned long long>(a.points_explored),
+                 static_cast<unsigned long long>(a.points_injected),
+                 static_cast<unsigned long long>(a.total_violations),
+                 static_cast<unsigned long long>(b.points_explored),
+                 static_cast<unsigned long long>(b.points_injected),
+                 static_cast<unsigned long long>(b.total_violations));
+    return;
+  }
+
+  // Interleave reps so shared-box slow phases hit both sides evenly.
+  double best_snapshot = 1e30;
+  double best_full = 1e30;
+  for (int r = 0; r < kReps; ++r) {
+    best_full = std::min(best_full, timed_seconds([&] {
+      benchmark::DoNotOptimize(torture::explore(cfg, full_side));
+    }));
+    best_snapshot = std::min(best_snapshot, timed_seconds([&] {
+      benchmark::DoNotOptimize(torture::explore(cfg, snapshot_side));
+    }));
+  }
+
+  const double speedup = best_full / best_snapshot;
+  std::printf("\n-- torture sweep A/B (%llu stride-1 points at depth %llu of %llu events, "
+              "best of %d) --\n",
+              static_cast<unsigned long long>(a.points_explored),
+              static_cast<unsigned long long>(cfg.window_first),
+              static_cast<unsigned long long>(a.schedule_events), kReps);
+  std::printf("full replay: %.3f s   snapshot restore: %.3f s   speedup: %.2fx"
+              "   (floor >= 3x, target >= 5x)\n",
+              best_full, best_snapshot, speedup);
+
+  const char* dir = std::getenv("POFI_BENCH_DIR");
+  const std::string path = std::string(dir == nullptr ? "." : dir) + "/BENCH_micro.json";
+  spec::Value root;
+  try {
+    root = spec::parse_file(path);
+  } catch (const spec::Error&) {
+    root = spec::Value::object();  // no prior record: start fresh
+  }
+  spec::Value rec = spec::Value::object();
+  rec.set("workload",
+          "stride-1 crash-point sweep at the deep end of the schedule, "
+          "snapshot-restore vs full-replay through torture::explore(), "
+          "verdict-equivalence checked before timing");
+  rec.set("schedule_events", static_cast<std::int64_t>(a.schedule_events));
+  rec.set("window_first", static_cast<std::int64_t>(cfg.window_first));
+  rec.set("points", static_cast<std::int64_t>(a.points_explored));
+  rec.set("snapshot_interval", static_cast<std::int64_t>(cfg.snapshot_interval));
+  rec.set("full_seconds", best_full);
+  rec.set("snapshot_seconds", best_snapshot);
+  rec.set("speedup", speedup);
+  root.set("torture_snapshot", std::move(rec));
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BENCH_micro.json write FAILED: %s\n", path.c_str());
+    return;
+  }
+  const std::string out = spec::dump(root);
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("perf record merged: %s\n", path.c_str());
+}
+
+// Registered benchmarks for interactive profiling of either side; the
+// committed record comes from write_torture_snapshot_record() below.
+void BM_SweepSnapshot(benchmark::State& state) {
+  torture::TortureConfig cfg = sweep_config();
+  place_window(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(torture::explore(cfg));
+  }
+}
+BENCHMARK(BM_SweepSnapshot)->Unit(benchmark::kMillisecond);
+
+void BM_SweepFullReplay(benchmark::State& state) {
+  torture::TortureConfig cfg = sweep_config();
+  place_window(cfg);
+  torture::ExploreOptions full;
+  full.use_snapshots = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(torture::explore(cfg, full));
+  }
+}
+BENCHMARK(BM_SweepFullReplay)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_torture_snapshot_record();
+  return 0;
+}

@@ -98,6 +98,27 @@ class BlockQueue {
     trace_.clear();
   }
 
+  /// Snapshot precondition: no request in flight (LiveRequest holds a
+  /// non-copyable Completion; at quiescence there are none to copy).
+  [[nodiscard]] bool quiescent() const { return live_.empty(); }
+
+  struct StateImage {
+    BlkTrace trace;
+    BlockQueueStats stats;
+    std::uint64_t next_id = 1;
+  };
+  void snapshot(StateImage& out) const {
+    out.trace = trace_;
+    out.stats = stats_;
+    out.next_id = next_id_;
+  }
+  void restore(const StateImage& image) {
+    live_.clear();
+    trace_ = image.trace;
+    stats_ = image.stats;
+    next_id_ = image.next_id;
+  }
+
  private:
   struct LiveRequest {
     std::uint64_t id = 0;

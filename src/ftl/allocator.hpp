@@ -81,6 +81,10 @@ class BlockAllocator {
     free_heaps_[plane].push(FreeEntry{0, block});
   }
 
+  struct StateImage;
+  void snapshot(StateImage& out) const;
+  void restore(const StateImage& image);
+
  private:
   struct Active {
     BlockId block = 0;
@@ -119,5 +123,40 @@ class BlockAllocator {
   std::vector<BlockId> sealed_;
   std::uint64_t pages_allocated_ = 0;
 };
+
+/// Copyable allocator state. Free heaps are captured as their underlying
+/// containers (already heap-ordered) and restored via FreeHeap::assign, the
+/// same byte-identical-layout trick reset() uses.
+struct BlockAllocator::StateImage {
+  std::vector<Active> active;
+  std::array<std::uint32_t, kStreamCount> rr{};
+  std::vector<std::vector<FreeEntry>> free_heaps;
+  std::vector<std::uint32_t> erase_counts;
+  std::vector<BlockId> sealed;
+  std::uint64_t pages_allocated = 0;
+};
+
+inline void BlockAllocator::snapshot(StateImage& out) const {
+  out.active = active_;
+  out.rr = rr_;
+  out.free_heaps.resize(free_heaps_.size());
+  for (std::size_t i = 0; i < free_heaps_.size(); ++i) {
+    out.free_heaps[i] = free_heaps_[i].container();
+  }
+  out.erase_counts = erase_counts_;
+  out.sealed = sealed_;
+  out.pages_allocated = pages_allocated_;
+}
+
+inline void BlockAllocator::restore(const StateImage& image) {
+  active_ = image.active;
+  rr_ = image.rr;
+  for (std::size_t i = 0; i < free_heaps_.size(); ++i) {
+    free_heaps_[i].assign(image.free_heaps[i]);
+  }
+  erase_counts_ = image.erase_counts;
+  sealed_ = image.sealed;
+  pages_allocated_ = image.pages_allocated;
+}
 
 }  // namespace pofi::ftl

@@ -60,6 +60,56 @@ void Ftl::reset() {
   por_candidates_.clear();
 }
 
+void Ftl::snapshot(StateImage& out) const {
+  assert(quiescent());
+  map_.snapshot(out.map);
+  alloc_.snapshot(out.alloc);
+  out.stats = stats_;
+  out.reverse_map = reverse_map_;
+  out.valid_count = valid_count_;
+  out.powered = powered_;
+  out.emergency = emergency_;
+  out.write_seq = write_seq_;
+  out.checkpoint_seq = checkpoint_seq_;
+  out.journal_horizon = journal_horizon_;
+  out.last_reverted_lpns = last_reverted_lpns_;
+  out.last_committed_lpn = last_committed_lpn_;
+  out.torture_fault = torture_fault_;
+  out.por_candidates = por_candidates_;
+  out.journal_timer.armed = sim_.event_pending(journal_event_);
+  out.journal_timer.deadline = sim_.event_time(journal_event_);
+  out.journal_timer.seq = journal_event_.raw();
+}
+
+void Ftl::restore(const StateImage& image, sim::TimerRearmer& rearm) {
+  map_.restore(image.map);
+  alloc_.restore(image.alloc);
+  stats_ = image.stats;
+  reverse_map_ = image.reverse_map;
+  valid_count_ = image.valid_count;
+  powered_ = image.powered;
+  gc_running_ = false;
+  journal_in_flight_ = false;
+  emergency_ = image.emergency;
+  draining_ = false;
+  drain_waiters_.clear();
+  journal_event_ = {};
+  write_seq_ = image.write_seq;
+  checkpoint_seq_ = image.checkpoint_seq;
+  journal_horizon_ = image.journal_horizon;
+  last_reverted_lpns_ = image.last_reverted_lpns;
+  last_committed_lpn_ = image.last_committed_lpn;
+  torture_fault_ = image.torture_fault;
+  por_candidates_ = image.por_candidates;
+  rearm.enqueue(image.journal_timer, [this, deadline = image.journal_timer.deadline] {
+    journal_event_ = sim_.at(deadline, [this] {
+      if (!powered_) return;
+      journal_tick();
+      schedule_journal_tick();
+    });
+  });
+}
+
 void Ftl::obs_gc_span_end() {
   if (auto* m = sim_.metrics()) m->trace().end(obs_span_gc_, sim_.now());
 }
@@ -388,8 +438,13 @@ void Ftl::recover_por(std::function<void()> done) {
   // Gather every page of every candidate block; the scan reads their spare
   // areas through the normal chip path, so mount time grows realistically
   // with the amount of unjournaled data.
+  // Scan in block order, not hash-set order: the candidate set's iteration
+  // order reflects its insertion/rehash history, which a snapshot restore
+  // cannot reproduce — and the scan order shapes the mount's event stream.
+  std::vector<BlockId> candidates(por_candidates_.begin(), por_candidates_.end());
+  std::sort(candidates.begin(), candidates.end());
   auto pages = std::make_shared<std::vector<Ppn>>();
-  for (const BlockId b : por_candidates_) {
+  for (const BlockId b : candidates) {
     for (std::uint32_t p = 0; p < chip_.geometry().pages_per_block; ++p) {
       pages->push_back(chip_.geometry().first_page(b) + p);
     }
@@ -428,6 +483,10 @@ void Ftl::por_apply(const std::unordered_map<Lpn, PorHit>& hits, std::function<v
   // itself never reaches refcount zero.
   auto remaining = std::make_shared<std::vector<std::pair<Lpn, PorHit>>>(hits.begin(),
                                                                          hits.end());
+  // Apply in LPN order: hit-map iteration order is hash-table history, and
+  // the apply order shapes the mount's event stream (one read per apply).
+  std::sort(remaining->begin(), remaining->end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   por_apply_next(std::move(remaining), std::move(done));
 }
 

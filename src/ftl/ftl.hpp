@@ -100,6 +100,49 @@ class Ftl {
   /// not fire into a reset FTL).
   void reset();
 
+  /// True when no background machinery could fire an event: GC idle, no
+  /// journal batch in flight, no host FLUSH draining (snapshot precondition;
+  /// the periodic journal tick may be armed — it is captured as a timer).
+  [[nodiscard]] bool quiescent() const {
+    return !gc_running_ && !journal_in_flight_ && !draining_ && drain_waiters_.empty();
+  }
+
+  /// Deliberately broken recovery paths, used to prove the invariant auditor
+  /// can catch real bugs. kSkipLastJournalRecord mimics a replay that drops
+  /// the newest committed journal entry: on the next power loss the FTL
+  /// silently forgets the last durably-journaled mapping (without repairing
+  /// valid counts or the reverse map, exactly as a skipped record would).
+  enum class TortureFault : std::uint8_t { kNone, kSkipLastJournalRecord };
+
+  /// Copyable FTL state at a quiescent boundary. The armed journal tick is
+  /// captured as a TimerImage; restore() re-creates its callback and hands
+  /// the re-arm to the TimerRearmer so tie-breaks replay in original order.
+  struct StateImage {
+    MappingTable::StateImage map;
+    BlockAllocator::StateImage alloc;
+    FtlStats stats;
+    std::vector<Lpn> reverse_map;
+    std::vector<std::uint32_t> valid_count;
+    bool powered = false;
+    bool emergency = false;
+    std::uint64_t write_seq = 1;
+    std::uint64_t checkpoint_seq = 0;
+    std::uint64_t journal_horizon = 0;
+    std::vector<Lpn> last_reverted_lpns;
+    std::optional<Lpn> last_committed_lpn;
+    TortureFault torture_fault = TortureFault::kNone;
+    std::unordered_set<BlockId> por_candidates;
+    sim::TimerImage journal_timer;
+  };
+
+  void snapshot(StateImage& out) const;
+  void restore(const StateImage& image, sim::TimerRearmer& rearm);
+
+  /// Whether the periodic journal tick is currently scheduled (quiescence
+  /// census: armed re-armable timers are the only events a quiescent stack
+  /// may hold).
+  [[nodiscard]] bool journal_timer_armed() const { return sim_.event_pending(journal_event_); }
+
   /// Power-on recovery scan (no-op unless config.por_scan): read the spare
   /// areas of candidate blocks, re-install mapping entries newer than the
   /// journal checkpoint, then checkpoint. `done` fires when the scan (and
@@ -135,12 +178,6 @@ class Ftl {
   }
 
   // --- Torture fault hooks (tests + torture exploration only) ---------------
-  /// Deliberately broken recovery paths, used to prove the invariant auditor
-  /// can catch real bugs. kSkipLastJournalRecord mimics a replay that drops
-  /// the newest committed journal entry: on the next power loss the FTL
-  /// silently forgets the last durably-journaled mapping (without repairing
-  /// valid counts or the reverse map, exactly as a skipped record would).
-  enum class TortureFault : std::uint8_t { kNone, kSkipLastJournalRecord };
   void set_torture_fault(TortureFault fault) { torture_fault_ = fault; }
 
   /// Test-only corruption hooks for auditor self-tests: desynchronise the

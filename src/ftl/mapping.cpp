@@ -119,6 +119,11 @@ std::uint64_t MappingTable::begin_persist_batch(bool include_withheld) {
     members.push_back(lpn);
   }
   if (members.empty()) return 0;
+  // Canonical cut order: volatile_ is a hash table, whose iteration order
+  // depends on its insertion/rehash history — state a snapshot restore
+  // cannot (and should not) reproduce. Journal record order, and with it
+  // "the last journaled LPN", must not depend on container history.
+  std::sort(members.begin(), members.end());
   const std::uint64_t id = next_batch_++;
   for (const Lpn lpn : members) volatile_[lpn].batch = id;
   batches_.emplace(id, std::move(members));

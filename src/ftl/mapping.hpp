@@ -169,6 +169,10 @@ class MappingTable {
   /// Extents that filled completely and were journaled as one unit.
   [[nodiscard]] std::uint64_t extents_closed_full() const { return extents_closed_full_; }
 
+  struct StateImage;
+  void snapshot(StateImage& out) const;
+  void restore(const StateImage& image);
+
  private:
   struct DirtyState {
     std::optional<Ppn> persisted;  ///< value to restore on revert
@@ -208,5 +212,38 @@ class MappingTable {
   std::unordered_map<std::uint64_t, Frame> frames_;
   std::uint64_t extents_closed_full_ = 0;
 };
+
+/// Copyable mapping state: the dense L2P array plus all journal/extent
+/// bookkeeping. Container assignment reuses capacity/buckets across capture
+/// cycles.
+struct MappingTable::StateImage {
+  std::vector<Ppn> map;
+  std::size_t mapped_count = 0;
+  std::unordered_map<Lpn, DirtyState> volatile_entries;
+  std::unordered_map<std::uint64_t, std::vector<Lpn>> batches;
+  std::uint64_t next_batch = 1;
+  std::unordered_map<std::uint64_t, Frame> frames;
+  std::uint64_t extents_closed_full = 0;
+};
+
+inline void MappingTable::snapshot(StateImage& out) const {
+  out.map = map_;
+  out.mapped_count = mapped_count_;
+  out.volatile_entries = volatile_;
+  out.batches = batches_;
+  out.next_batch = next_batch_;
+  out.frames = frames_;
+  out.extents_closed_full = extents_closed_full_;
+}
+
+inline void MappingTable::restore(const StateImage& image) {
+  map_ = image.map;
+  mapped_count_ = image.mapped_count;
+  volatile_ = image.volatile_entries;
+  batches_ = image.batches;
+  next_batch_ = image.next_batch;
+  frames_ = image.frames;
+  extents_closed_full_ = image.extents_closed_full;
+}
 
 }  // namespace pofi::ftl

@@ -146,6 +146,85 @@ class BlockArena {
   /// recycled lanes.
   void reset();
 
+  /// Full copyable state of the arena. Captured with bulk lane copies; the
+  /// image's containers are reused across capture cycles (vector/map
+  /// assignment keeps capacity/buckets), so warmed snapshots allocate
+  /// nothing.
+  struct StateImage {
+    std::vector<Slot> block_index;
+    std::size_t slots = 0;
+    std::vector<std::uint32_t> erase_count;
+    std::vector<std::uint32_t> reads_since_erase;
+    std::vector<std::uint32_t> programs_since_erase;
+    std::vector<std::uint32_t> next_program_page;
+    std::vector<std::uint8_t> flags;
+    std::vector<std::uint32_t> lane;
+    std::vector<std::uint32_t> upset_count;
+    std::vector<std::uint32_t> progress_count;
+    std::vector<std::uint32_t> overflow_count;
+    std::vector<std::uint64_t> status;
+    std::vector<std::uint32_t> content;
+    std::vector<std::uint32_t> oob_lpn;
+    std::vector<std::uint32_t> oob_seq;
+    std::vector<std::uint32_t> free_lanes;
+    std::uint32_t lanes = 0;
+    std::unordered_map<std::uint64_t, float> progress;
+    std::unordered_map<std::uint64_t, std::uint32_t> upsets;
+    std::unordered_map<std::uint64_t, std::uint64_t> content_overflow;
+    std::unordered_map<std::uint64_t, std::uint64_t> lpn_overflow;
+    std::unordered_map<std::uint64_t, std::uint64_t> seq_overflow;
+  };
+
+  void snapshot(StateImage& out) const {
+    out.block_index = block_index_;
+    out.slots = slots_;
+    out.erase_count = erase_count_;
+    out.reads_since_erase = reads_since_erase_;
+    out.programs_since_erase = programs_since_erase_;
+    out.next_program_page = next_program_page_;
+    out.flags = flags_;
+    out.lane = lane_;
+    out.upset_count = upset_count_;
+    out.progress_count = progress_count_;
+    out.overflow_count = overflow_count_;
+    out.status = status_;
+    out.content = content_;
+    out.oob_lpn = oob_lpn_;
+    out.oob_seq = oob_seq_;
+    out.free_lanes = free_lanes_;
+    out.lanes = lanes_;
+    out.progress = progress_;
+    out.upsets = upsets_;
+    out.content_overflow = content_overflow_;
+    out.lpn_overflow = lpn_overflow_;
+    out.seq_overflow = seq_overflow_;
+  }
+
+  void restore(const StateImage& image) {
+    block_index_ = image.block_index;
+    slots_ = image.slots;
+    erase_count_ = image.erase_count;
+    reads_since_erase_ = image.reads_since_erase;
+    programs_since_erase_ = image.programs_since_erase;
+    next_program_page_ = image.next_program_page;
+    flags_ = image.flags;
+    lane_ = image.lane;
+    upset_count_ = image.upset_count;
+    progress_count_ = image.progress_count;
+    overflow_count_ = image.overflow_count;
+    status_ = image.status;
+    content_ = image.content;
+    oob_lpn_ = image.oob_lpn;
+    oob_seq_ = image.oob_seq;
+    free_lanes_ = image.free_lanes;
+    lanes_ = image.lanes;
+    progress_ = image.progress;
+    upsets_ = image.upsets;
+    content_overflow_ = image.content_overflow;
+    lpn_overflow_ = image.lpn_overflow;
+    seq_overflow_ = image.seq_overflow;
+  }
+
  private:
   static constexpr std::uint32_t kNoLane = ~std::uint32_t{0};
   static constexpr std::uint8_t kFlagBad = 1;

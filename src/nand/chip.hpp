@@ -118,6 +118,43 @@ class NandChip {
   /// master under the original label.
   void reset();
 
+  /// True when no plane has in-flight or queued work (snapshot precondition).
+  [[nodiscard]] bool quiescent() const {
+    for (const Plane& p : planes_) {
+      if (p.busy.has_value() || !p.queue.empty()) return false;
+    }
+    return true;
+  }
+
+  /// Copyable die state at a quiescent boundary: persistent arena contents,
+  /// RNG position, power flag and statistics. Plane queues are empty by the
+  /// quiescence precondition and are not captured; restore() clears them so
+  /// a dirty (post-crash) die can be rewound.
+  struct StateImage {
+    std::array<std::uint64_t, 4> rng_state{};
+    bool powered = false;
+    BlockArena::StateImage arena;
+    ChipStats stats;
+  };
+
+  void snapshot(StateImage& out) const {
+    out.rng_state = rng_.state();
+    out.powered = powered_;
+    arena_.snapshot(out.arena);
+    out.stats = stats_;
+  }
+
+  void restore(const StateImage& image) {
+    rng_.set_state(image.rng_state);
+    powered_ = image.powered;
+    for (Plane& p : planes_) {
+      p.busy.reset();
+      p.queue.clear();
+    }
+    arena_.restore(image.arena);
+    stats_ = image.stats;
+  }
+
   // --- Inspection (tests, analyzer ground-truthing) ------------------------
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] const Geometry& geometry() const { return config_.geometry; }

@@ -56,6 +56,28 @@ class ChipArray {
     for (auto& chip : chips_) chip->reset();
   }
 
+  [[nodiscard]] bool quiescent() const {
+    for (const auto& chip : chips_) {
+      if (!chip->quiescent()) return false;
+    }
+    return true;
+  }
+
+  /// Per-die images, in channel order. The vector is sized on first capture
+  /// and reused afterwards.
+  struct StateImage {
+    std::vector<NandChip::StateImage> dies;
+  };
+
+  void snapshot(StateImage& out) const {
+    out.dies.resize(chips_.size());
+    for (std::size_t i = 0; i < chips_.size(); ++i) chips_[i]->snapshot(out.dies[i]);
+  }
+
+  void restore(const StateImage& image) {
+    for (std::size_t i = 0; i < chips_.size(); ++i) chips_[i]->restore(image.dies[i]);
+  }
+
   // --- Inspection (global addressing) ----------------------------------------
   [[nodiscard]] const Page* peek(Ppn ppn) const;
   [[nodiscard]] ReadResult read_now(Ppn ppn);

@@ -171,10 +171,11 @@ Snapshot MetricRegistry::snapshot() const {
         h.name = s.name;
         h.bounds.assign(s.bounds.begin(), s.bounds.begin() + s.bucket_count);
         h.counts.resize(s.bucket_count + 1);
+        h.total = 0;
         for (std::uint32_t b = 0; b <= s.bucket_count; ++b) {
           h.counts[b] = s.buckets[b].load(std::memory_order_relaxed);
+          h.total += h.counts[b];  // record() keeps no separate total
         }
-        h.total = s.value.load(std::memory_order_relaxed);
         snap.histograms.push_back(std::move(h));
         break;
       }
@@ -214,9 +215,78 @@ void MetricRegistry::reset_values() {
 std::uint64_t MetricRegistry::value_of(std::string_view name) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   for (std::uint32_t i = 0; i < count_; ++i) {
-    if (slots_[i].name == name) return slots_[i].value.load(std::memory_order_relaxed);
+    const Slot& s = slots_[i];
+    if (s.name != name) continue;
+    if (s.kind != Kind::kHistogram) return s.value.load(std::memory_order_relaxed);
+    std::uint64_t total = 0;
+    for (std::uint32_t b = 0; b <= s.bucket_count; ++b) {
+      total += s.buckets[b].load(std::memory_order_relaxed);
+    }
+    return total;
   }
   return 0;
+}
+
+void TraceLog::snapshot(StateImage& out) const {
+  out.open = open_;
+  out.ring = ring_;
+  out.head = head_;
+  out.completed = completed_;
+  out.dropped = dropped_;
+}
+
+void TraceLog::restore(const StateImage& image) {
+  open_ = image.open;
+  ring_ = image.ring;
+  head_ = image.head;
+  completed_ = image.completed;
+  dropped_ = image.dropped;
+}
+
+void MetricRegistry::snapshot_values(ValueImage& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out.slots.resize(count_);
+  for (std::uint32_t i = 0; i < count_; ++i) {
+    const Slot& s = slots_[i];
+    ValueImage::SlotValues& v = out.slots[i];
+    v.value = s.value.load(std::memory_order_relaxed);
+    v.high_water = s.high_water.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < v.buckets.size(); ++b) {
+      v.buckets[b] = s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  out.series.resize(series_.size());
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    out.series[i].samples = series_[i]->samples;
+    out.series[i].dropped = series_[i]->dropped;
+  }
+  trace_.snapshot(out.trace);
+}
+
+void MetricRegistry::restore_values(const ValueImage& image) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::uint32_t i = 0; i < count_; ++i) {
+    Slot& s = slots_[i];
+    // Slots registered after the capture rewind to zero (same as a fresh
+    // registration at the captured instant would have held).
+    static const ValueImage::SlotValues kZero{};
+    const ValueImage::SlotValues& v = i < image.slots.size() ? image.slots[i] : kZero;
+    s.value.store(v.value, std::memory_order_relaxed);
+    s.high_water.store(v.high_water, std::memory_order_relaxed);
+    for (std::size_t b = 0; b < v.buckets.size(); ++b) {
+      s.buckets[b].store(v.buckets[b], std::memory_order_relaxed);
+    }
+  }
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    if (i < image.series.size()) {
+      series_[i]->samples = image.series[i].samples;
+      series_[i]->dropped = image.series[i].dropped;
+    } else {
+      series_[i]->samples.clear();
+      series_[i]->dropped = 0;
+    }
+  }
+  trace_.restore(image.trace);
 }
 
 }  // namespace pofi::obs

@@ -78,6 +78,12 @@ class TraceLog {
   /// across a pooled-session reset. Buffer capacity is retained.
   void reset();
 
+  /// Copyable span state (open stack + completed ring); the interned name
+  /// table is registration, not state, exactly as in reset().
+  struct StateImage;
+  void snapshot(StateImage& out) const;
+  void restore(const StateImage& image);
+
  private:
   struct Open {
     std::uint32_t name_id = 0;
@@ -128,6 +134,7 @@ class MetricRegistry {
 
   // --- Hot path (lock-free, allocation-free) --------------------------------
   void add(MetricId id, std::uint64_t delta = 1) {
+    if (delta == 0) return;
     if (id >= count_hint_.load(std::memory_order_relaxed)) return;
     slots_[id].value.fetch_add(delta, std::memory_order_relaxed);
   }
@@ -140,13 +147,15 @@ class MetricRegistry {
            !s.high_water.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
     }
   }
+  /// One atomic RMW per sample: the bucket alone is incremented and the
+  /// histogram total is derived as the bucket sum at snapshot time, keeping
+  /// the per-IO cost at a single contended cacheline touch.
   void record(MetricId id, std::int64_t value) {
     if (id >= count_hint_.load(std::memory_order_relaxed)) return;
     Slot& s = slots_[id];
     std::uint32_t b = 0;
     while (b < s.bucket_count && value > s.bounds[b]) ++b;
     s.buckets[b].fetch_add(1, std::memory_order_relaxed);
-    s.value.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Series sampling is mutex-guarded (samples carry doubles and sim time;
@@ -167,6 +176,14 @@ class MetricRegistry {
   /// Test/assertion convenience: current value of a counter/gauge/histogram
   /// total by name; 0 when the name is unknown.
   [[nodiscard]] std::uint64_t value_of(std::string_view name) const;
+
+  /// Value-level capture: every counter/gauge/histogram/series value plus
+  /// the trace log, excluding registrations (names, kinds, bounds) exactly
+  /// as reset_values() leaves them alone. Restoring rewinds the registry to
+  /// the captured instant; slots registered after the capture are zeroed.
+  struct ValueImage;
+  void snapshot_values(ValueImage& out) const;
+  void restore_values(const ValueImage& image);
 
  private:
   enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
@@ -200,6 +217,29 @@ class MetricRegistry {
   std::vector<std::unique_ptr<SeriesSlot>> series_;
   mutable std::mutex mutex_;
   TraceLog trace_;
+};
+
+struct TraceLog::StateImage {
+  std::vector<Open> open;
+  std::vector<Done> ring;
+  std::size_t head = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t dropped = 0;
+};
+
+struct MetricRegistry::ValueImage {
+  struct SlotValues {
+    std::uint64_t value = 0;
+    std::uint64_t high_water = 0;
+    std::array<std::uint64_t, kMaxBuckets + 1> buckets{};
+  };
+  struct SeriesValues {
+    std::vector<Snapshot::Sample> samples;
+    std::uint64_t dropped = 0;
+  };
+  std::vector<SlotValues> slots;
+  std::vector<SeriesValues> series;
+  TraceLog::StateImage trace;
 };
 
 }  // namespace pofi::obs

@@ -92,6 +92,33 @@ class Analyzer {
     failures_.clear();
   }
 
+  /// Snapshot precondition: no verification pass in flight.
+  [[nodiscard]] bool quiescent() const { return !verifying_; }
+
+  struct StateImage {
+    std::deque<workload::DataPacket> pending;
+    sim::TimePoint fault_time;
+    std::uint32_t fault_index = 0;
+    AnalyzerCounters counters;
+    std::vector<FailureRecord> failures;
+  };
+  void snapshot(StateImage& out) const {
+    out.pending = pending_;
+    out.fault_time = fault_time_;
+    out.fault_index = fault_index_;
+    out.counters = counters_;
+    out.failures = failures_;
+  }
+  void restore(const StateImage& image) {
+    pending_ = image.pending;
+    verifying_ = false;
+    fault_time_ = image.fault_time;
+    fault_index_ = image.fault_index;
+    done_ = nullptr;
+    counters_ = image.counters;
+    failures_ = image.failures;
+  }
+
  private:
   void verify_next();
   void classify(const workload::DataPacket& packet, std::span<const std::uint64_t> observed);

@@ -63,6 +63,19 @@ class FaultScheduler {
     faults_commanded_ = 0;
   }
 
+  struct StateImage {
+    std::array<std::uint64_t, 4> rng_state{};
+    std::uint32_t faults_commanded = 0;
+  };
+  void snapshot(StateImage& out) const {
+    out.rng_state = rng_.state();
+    out.faults_commanded = faults_commanded_;
+  }
+  void restore(const StateImage& image) {
+    rng_.set_state(image.rng_state);
+    faults_commanded_ = image.faults_commanded;
+  }
+
  private:
   sim::Simulator& sim_;
   psu::ArduinoBridge& bridge_;

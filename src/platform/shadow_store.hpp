@@ -60,6 +60,10 @@ class ShadowStore {
     next_tag_ = 1;
   }
 
+  struct StateImage;
+  void snapshot(StateImage& out) const;
+  void restore(const StateImage& image);
+
  private:
   struct PageTruth {
     std::uint64_t expected = nand::kErasedContent;
@@ -70,5 +74,21 @@ class ShadowStore {
   std::unordered_map<ftl::Lpn, PageTruth> truth_;
   std::uint64_t next_tag_ = 1;
 };
+
+/// Copyable ground-truth state at a quiescent boundary.
+struct ShadowStore::StateImage {
+  std::unordered_map<ftl::Lpn, PageTruth> truth;
+  std::uint64_t next_tag = 1;
+};
+
+inline void ShadowStore::snapshot(StateImage& out) const {
+  out.truth = truth_;
+  out.next_tag = next_tag_;
+}
+
+inline void ShadowStore::restore(const StateImage& image) {
+  truth_ = image.truth;
+  next_tag_ = image.next_tag;
+}
 
 }  // namespace pofi::platform

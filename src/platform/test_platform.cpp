@@ -82,6 +82,62 @@ void TestPlatform::reset(const PlatformConfig& platform_config, std::uint64_t se
   fault_index_ = 0;
 }
 
+void TestPlatform::snapshot(StateImage& out) const {
+  assert(quiescent() && "snapshot requires a quiescent platform");
+  sim_.snapshot(out.sim);
+  psu_->snapshot(out.psu);
+  atx_->snapshot(out.atx);
+  bridge_->snapshot(out.bridge);
+  ssd_->snapshot(out.ssd);
+  queue_->snapshot(out.blk);
+  shadow_.snapshot(out.shadow);
+  analyzer_->snapshot(out.analyzer);
+  scheduler_->snapshot(out.scheduler);
+  out.platform_rng = rng_.state();
+  out.has_metrics = metrics_ != nullptr;
+  if (metrics_) metrics_->snapshot_values(out.metrics);
+  out.io_active = io_active_;
+  out.ran = ran_;
+  out.open_loop_mode = open_loop_mode_;
+  out.pace_iops = pace_iops_;
+  out.next_packet_id = next_packet_id_;
+  out.requests_submitted = requests_submitted_;
+  out.cycle_requests = cycle_requests_;
+  out.cycle_budget = cycle_budget_;
+  out.write_acks = write_acks_;
+  out.reads_completed = reads_completed_;
+  out.fault_index = fault_index_;
+}
+
+void TestPlatform::restore(const StateImage& image, sim::TimerRearmer& rearm) {
+  // Simulator first: clearing its queue guarantees no event from the old
+  // lifetime fires into the restored stack (mirrors reset() ordering).
+  sim_.restore(image.sim);
+  sim_.set_step_limit(config_.max_sim_events);
+  sim_.set_cancel_token(config_.cancel);
+  if (metrics_) metrics_->restore_values(image.metrics);
+  rng_.set_state(image.platform_rng);
+  psu_->restore(image.psu);
+  atx_->restore(image.atx);
+  bridge_->restore(image.bridge);
+  ssd_->restore(image.ssd, rearm);
+  queue_->restore(image.blk);
+  shadow_.restore(image.shadow);
+  analyzer_->restore(image.analyzer);
+  scheduler_->restore(image.scheduler);
+  io_active_ = image.io_active;
+  ran_ = image.ran;
+  open_loop_mode_ = image.open_loop_mode;
+  pace_iops_ = image.pace_iops;
+  next_packet_id_ = image.next_packet_id;
+  requests_submitted_ = image.requests_submitted;
+  cycle_requests_ = image.cycle_requests;
+  cycle_budget_ = image.cycle_budget;
+  write_acks_ = image.write_acks;
+  reads_completed_ = image.reads_completed;
+  fault_index_ = image.fault_index;
+}
+
 void TestPlatform::run_while(const std::function<bool()>& pred, std::uint64_t max_events) {
   std::uint64_t fired = 0;
   while (pred()) {

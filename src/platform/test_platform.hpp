@@ -15,6 +15,7 @@
 
 #include "blk/queue.hpp"
 #include "obs/fwd.hpp"
+#include "obs/metrics.hpp"
 #include "platform/analyzer.hpp"
 #include "platform/experiment.hpp"
 #include "platform/fault_scheduler.hpp"
@@ -87,6 +88,50 @@ class TestPlatform {
   /// bit-identical to one on a freshly built platform. Precondition:
   /// compatible_with(...) holds for the configs the next run will use.
   void reset(const PlatformConfig& platform_config, std::uint64_t seed);
+
+  /// Snapshot precondition: whole stack quiescent — device ready and idle,
+  /// no live block requests, rail steady, no verification pass running.
+  /// (The caller additionally accounts for armed re-armable timers against
+  /// the simulator's pending count; see torture::CrashHarness.)
+  [[nodiscard]] bool quiescent() const {
+    return ssd_->quiescent() && queue_->quiescent() && psu_->quiescent() &&
+           analyzer_->quiescent();
+  }
+
+  /// Copyable whole-stack state at a quiescent boundary. The lazily-built
+  /// workload generator is the campaign driver's, not the torture path's —
+  /// the crash harness owns its own generator and images it itself.
+  struct StateImage {
+    sim::SimulatorImage sim;
+    psu::PowerSupply::StateImage psu;
+    psu::AtxController::StateImage atx;
+    psu::ArduinoBridge::StateImage bridge;
+    ssd::Ssd::StateImage ssd;
+    blk::BlockQueue::StateImage blk;
+    ShadowStore::StateImage shadow;
+    Analyzer::StateImage analyzer;
+    FaultScheduler::StateImage scheduler;
+    std::array<std::uint64_t, 4> platform_rng{};
+    bool has_metrics = false;
+    obs::MetricRegistry::ValueImage metrics;
+    bool io_active = false;
+    bool ran = false;
+    bool open_loop_mode = true;
+    double pace_iops = 5.0;
+    std::uint64_t next_packet_id = 1;
+    std::uint64_t requests_submitted = 0;
+    std::uint64_t cycle_requests = 0;
+    std::uint64_t cycle_budget = 0;
+    std::uint64_t write_acks = 0;
+    std::uint64_t reads_completed = 0;
+    std::uint32_t fault_index = 0;
+  };
+
+  void snapshot(StateImage& out) const;
+  /// Restore onto a (possibly dirty, post-crash) compatible platform. The
+  /// simulator queue is cleared first so no stale event survives; re-armable
+  /// timers are enqueued on `rearm` and fire once the caller executes it.
+  void restore(const StateImage& image, sim::TimerRearmer& rearm);
 
   // --- Component access (examples, tests) -----------------------------------
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }

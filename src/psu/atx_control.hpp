@@ -36,6 +36,12 @@ class AtxController {
   /// Session reset: pin back to its power-up (rail off) level.
   void reset() { pin16_high_ = true; }
 
+  struct StateImage {
+    bool pin16_high = true;
+  };
+  void snapshot(StateImage& out) const { out.pin16_high = pin16_high_; }
+  void restore(const StateImage& image) { pin16_high_ = image.pin16_high; }
+
  private:
   PowerSupply& supply_;
   bool pin16_high_ = true;  // boards power up with the rail off
@@ -84,6 +90,21 @@ class ArduinoBridge {
   void reset() {
     commands_sent_ = 0;
     rng_ = sim_.fork_rng("arduino");
+  }
+
+  /// In-flight link commands are events, absent at quiescence; only the
+  /// jitter RNG position and the counter are state.
+  struct StateImage {
+    std::array<std::uint64_t, 4> rng_state{};
+    std::uint64_t commands_sent = 0;
+  };
+  void snapshot(StateImage& out) const {
+    out.rng_state = rng_.state();
+    out.commands_sent = commands_sent_;
+  }
+  void restore(const StateImage& image) {
+    rng_.set_state(image.rng_state);
+    commands_sent_ = image.commands_sent;
   }
 
  private:

@@ -93,6 +93,44 @@ class PowerSupply {
   /// Instant the most recent discharge began (PS_ON deasserted).
   [[nodiscard]] sim::TimePoint last_off_at() const { return last_off_at_; }
 
+  /// Snapshot precondition: rail steady at nominal, no threshold-crossing
+  /// events scheduled (pending_ is cleared by the power-good callback).
+  [[nodiscard]] bool quiescent() const { return state_ == State::kOn && pending_.empty(); }
+
+  /// Copyable rail state at a quiescent boundary. Attached sinks are wiring,
+  /// not state, exactly as in reset(); pending events are empty by the
+  /// precondition and cleared by restore() on a dirty supply.
+  struct StateImage {
+    State state = State::kOff;
+    sim::TimePoint phase_start = sim::TimePoint::zero();
+    double charge_start_volts = 0.0;
+    std::uint64_t cycles = 0;
+    sim::TimePoint last_off_at = sim::TimePoint::zero();
+    bool obs_below_active = false;
+    sim::TimePoint obs_below_since = sim::TimePoint::zero();
+  };
+
+  void snapshot(StateImage& out) const {
+    out.state = state_;
+    out.phase_start = phase_start_;
+    out.charge_start_volts = charge_start_volts_;
+    out.cycles = cycles_;
+    out.last_off_at = last_off_at_;
+    out.obs_below_active = obs_below_active_;
+    out.obs_below_since = obs_below_since_;
+  }
+
+  void restore(const StateImage& image) {
+    state_ = image.state;
+    phase_start_ = image.phase_start;
+    charge_start_volts_ = image.charge_start_volts;
+    pending_.clear();
+    cycles_ = image.cycles;
+    last_off_at_ = image.last_off_at;
+    obs_below_active_ = image.obs_below_active;
+    obs_below_since_ = image.obs_below_since;
+  }
+
   /// Session reset: back to the just-constructed kOff state. Attached sinks
   /// are deliberately KEPT — the pooled stack's wiring survives the reset;
   /// only rail state and counters rewind. Precondition: simulator events

@@ -60,6 +60,28 @@ class ExperimentSession final : public SessionBase {
     return ref;
   }
 
+  /// Like acquire(), but for a caller about to restore() a device-state
+  /// snapshot: a compatible pooled platform is returned AS IS — dirty from
+  /// its previous crash run — because the restore stomps every live member
+  /// anyway, and skipping the reset is precisely the point of the snapshot
+  /// path. Counted as a reset for pooling telemetry.
+  static platform::TestPlatform& acquire_for_restore(
+      SessionSlot& slot, const ssd::SsdConfig& drive,
+      const platform::PlatformConfig& platform_config) {
+    if (auto* pooled = dynamic_cast<ExperimentSession*>(slot.get());
+        pooled != nullptr && pooled->platform_.compatible_with(drive, platform_config)) {
+      resets_.fetch_add(1, std::memory_order_relaxed);
+      return pooled->platform_;
+    }
+    slot.reset();
+    // Seed is immaterial: the imminent restore overwrites every RNG stream.
+    auto fresh = std::make_unique<ExperimentSession>(drive, platform_config, 1);
+    platform::TestPlatform& ref = fresh->platform_;
+    slot = std::move(fresh);
+    rebuilds_.fetch_add(1, std::memory_order_relaxed);
+    return ref;
+  }
+
   // Process-wide pooling telemetry (benches, tests). Wall-clock-side only —
   // never feeds back into campaign results.
   [[nodiscard]] static std::uint64_t reset_count() {

@@ -67,6 +67,18 @@ class EventQueue {
   /// Time of the earliest pending event; TimePoint::max() when empty.
   [[nodiscard]] TimePoint next_time() const;
 
+  /// True while `id` names a scheduled, not-yet-fired, not-cancelled event.
+  /// Stale ids (recycled slot, different seq) read false, like cancel().
+  [[nodiscard]] bool pending(EventId id) const {
+    return id.valid() && id.slot_ < slots_.size() && slots_[id.slot_].live &&
+           slots_[id.slot_].seq == id.raw();
+  }
+
+  /// Scheduled firing time of a pending event; TimePoint::max() otherwise.
+  [[nodiscard]] TimePoint time_of(EventId id) const {
+    return pending(id) ? slots_[id.slot_].time : TimePoint::max();
+  }
+
   /// Pop and return the earliest event. Precondition: !empty().
   struct Fired {
     TimePoint time;

@@ -28,6 +28,7 @@
 
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
+#include "sim/state_image.hpp"
 #include "sim/time.hpp"
 
 // Observability compile gate (normally injected by CMake's POFI_OBS option).
@@ -119,6 +120,31 @@ class Simulator {
   [[nodiscard]] bool idle() const { return queue_.empty(); }
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t events_fired() const { return events_fired_; }
+
+  /// Whether a scheduled event is still pending (not fired, not cancelled).
+  [[nodiscard]] bool event_pending(EventId id) const { return queue_.pending(id); }
+  /// Scheduled time of a pending event; TimePoint::max() otherwise.
+  [[nodiscard]] TimePoint event_time(EventId id) const { return queue_.time_of(id); }
+
+  /// Capture the simulator's copyable state at a quiescent boundary. The
+  /// queue itself is NOT captured (its callbacks are non-copyable); callers
+  /// record each still-armed timer as a TimerImage and re-arm on restore.
+  void snapshot(SimulatorImage& out) const {
+    out.now = now_;
+    out.events_fired = events_fired_;
+    out.rng_state = master_rng_.state();
+  }
+
+  /// Restore to a captured quiescent boundary: clock, lifetime event count
+  /// and master RNG rewind; every pending event is dropped (the caller
+  /// re-arms the captured timers). Step limit, cancel token, metrics and
+  /// probe attachments are left alone, like reset().
+  void restore(const SimulatorImage& image) {
+    queue_.clear();
+    now_ = image.now;
+    events_fired_ = image.events_fired;
+    master_rng_.set_state(image.rng_state);
+  }
 
   /// Lifetime event budget: once events_fired() exceeds `max_events`, the run
   /// loops throw AbortError(kStepLimit) at the next event boundary. 0 (the

@@ -130,6 +130,54 @@ class Ssd final : public psu::PowerSink {
   /// and epoch-guarded completions must not fire into a reset device).
   void reset();
 
+  /// Snapshot precondition: ready, not dying, no queued/in-flight commands,
+  /// no mount/death timers, and chip/FTL/cache all quiescent themselves.
+  [[nodiscard]] bool quiescent() const {
+    return ready_ && !dying_ && pending_.empty() && inflight_cmds_.empty() &&
+           ready_waiters_.empty() && !sim_.event_pending(plp_death_event_) &&
+           !sim_.event_pending(mount_event_) && chip_->quiescent() && ftl_->quiescent() &&
+           cache_->quiescent();
+  }
+
+  /// Copyable device state at a quiescent boundary. The NCQ is empty by
+  /// precondition; restore() clears whatever a dirty (post-crash) device
+  /// still holds. `epoch` is captured so stale completions of the pre-restore
+  /// lifetime can never act on the restored one.
+  struct StateImage {
+    nand::ChipArray::StateImage chip;
+    ftl::Ftl::StateImage ftl;
+    WriteCache::StateImage cache;
+    bool ready = false;
+    std::uint64_t epoch = 0;
+    SsdStats stats;
+  };
+
+  void snapshot(StateImage& out) const {
+    chip_->snapshot(out.chip);
+    ftl_->snapshot(out.ftl);
+    cache_->snapshot(out.cache);
+    out.ready = ready_;
+    out.epoch = epoch_;
+    out.stats = stats_;
+  }
+
+  void restore(const StateImage& image, sim::TimerRearmer& rearm) {
+    chip_->restore(image.chip);
+    ftl_->restore(image.ftl, rearm);
+    cache_->restore(image.cache, rearm);
+    ready_ = image.ready;
+    dying_ = false;
+    // Strictly greater than both the captured and the current epoch: stale
+    // callbacks from either lifetime must miss.
+    epoch_ = std::max(epoch_, image.epoch) + 1;
+    pending_.clear();
+    inflight_cmds_.clear();
+    plp_death_event_ = {};
+    mount_event_ = {};
+    ready_waiters_.clear();
+    stats_ = image.stats;
+  }
+
   // --- Introspection --------------------------------------------------------
   [[nodiscard]] const SsdConfig& config() const { return config_; }
   [[nodiscard]] nand::ChipArray& chip() { return *chip_; }

@@ -98,6 +98,20 @@ class WriteCache {
   /// from the (reseeded) master. Precondition: simulator events drained.
   void reset();
 
+  /// True when no flush is in flight and nothing is stalled on space
+  /// (snapshot precondition; the hold-time wake may be armed — it is
+  /// captured as a timer).
+  [[nodiscard]] bool quiescent() const {
+    return in_flight_ == 0 && !emergency_ && space_waiters_.empty();
+  }
+
+  /// Whether the hold-time wake is currently scheduled (quiescence census).
+  [[nodiscard]] bool wake_timer_armed() const { return sim_.event_pending(wake_event_); }
+
+  struct StateImage;
+  void snapshot(StateImage& out) const;
+  void restore(const StateImage& image, sim::TimerRearmer& rearm);
+
  private:
   struct Entry {
     std::uint64_t content = 0;
@@ -145,5 +159,54 @@ class WriteCache {
   obs::MetricId obs_flush_latency_ = obs::kNoMetric;
   std::uint32_t obs_span_flush_all_ = 0;
 };
+
+/// Copyable cache state at a quiescent boundary.
+struct WriteCache::StateImage {
+  std::array<std::uint64_t, 4> rng_state{};
+  bool powered = false;
+  std::unordered_map<ftl::Lpn, Entry> entries;
+  std::deque<Ticket> dirty_fifo;
+  std::deque<Ticket> clean_fifo;
+  std::size_t dirty_count = 0;
+  std::uint64_t next_seq = 1;
+  std::vector<ftl::Lpn> last_dropped_lpns;
+  CacheStats stats;
+  sim::TimerImage wake_timer;
+};
+
+inline void WriteCache::snapshot(StateImage& out) const {
+  out.rng_state = rng_.state();
+  out.powered = powered_;
+  out.entries = entries_;
+  out.dirty_fifo = dirty_fifo_;
+  out.clean_fifo = clean_fifo_;
+  out.dirty_count = dirty_count_;
+  out.next_seq = next_seq_;
+  out.last_dropped_lpns = last_dropped_lpns_;
+  out.stats = stats_;
+  out.wake_timer.armed = sim_.event_pending(wake_event_);
+  out.wake_timer.deadline = sim_.event_time(wake_event_);
+  out.wake_timer.seq = wake_event_.raw();
+}
+
+inline void WriteCache::restore(const StateImage& image, sim::TimerRearmer& rearm) {
+  rng_.set_state(image.rng_state);
+  powered_ = image.powered;
+  emergency_ = false;
+  emergency_done_ = nullptr;
+  entries_ = image.entries;
+  dirty_fifo_ = image.dirty_fifo;
+  clean_fifo_ = image.clean_fifo;
+  dirty_count_ = image.dirty_count;
+  in_flight_ = 0;
+  next_seq_ = image.next_seq;
+  wake_event_ = {};
+  space_waiters_.clear();
+  last_dropped_lpns_ = image.last_dropped_lpns;
+  stats_ = image.stats;
+  rearm.enqueue(image.wake_timer, [this, deadline = image.wake_timer.deadline] {
+    wake_event_ = sim_.at(deadline, [this] { pump(); });
+  });
+}
 
 }  // namespace pofi::ssd

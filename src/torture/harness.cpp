@@ -36,6 +36,7 @@ void CrashHarness::begin_run(platform::TestPlatform& tp) {
   submitted_ = 0;
   next_key_ = 1;
   halted_ = false;
+  pump_event_ = {};
   outstanding_.clear();
   recorded_.clear();
 
@@ -58,7 +59,7 @@ void CrashHarness::begin_run(platform::TestPlatform& tp) {
   gen_.emplace(cfg_.workload, sim.fork_rng("torture-workload"));
   pace_rng_ = sim.fork_rng("torture-pace");
   const double gap = pace_rng_.exponential(1.0 / cfg_.pace_iops);
-  sim.after(sim::Duration::sec_f(gap), [this] { pump(); });
+  pump_event_ = sim.after(sim::Duration::sec_f(gap), [this] { pump(); });
 }
 
 void CrashHarness::pump() {
@@ -69,7 +70,7 @@ void CrashHarness::pump() {
   submit(spec);
   if (submitted_ < cfg_.requests) {
     const double gap = pace_rng_.exponential(1.0 / cfg_.pace_iops);
-    tp_->simulator().after(sim::Duration::sec_f(gap), [this] { pump(); });
+    pump_event_ = tp_->simulator().after(sim::Duration::sec_f(gap), [this] { pump(); });
   }
 }
 
@@ -114,16 +115,131 @@ std::uint64_t CrashHarness::measure_schedule(platform::TestPlatform& tp) {
   return tp.simulator().events_fired() - base_;
 }
 
+bool CrashHarness::quiescent_for_snapshot() const {
+  if (!tp_->quiescent() || !outstanding_.empty()) return false;
+  const sim::Simulator& sim = tp_->simulator();
+  std::size_t armed = 0;
+  if (sim.event_pending(pump_event_)) ++armed;
+  if (tp_->device().ftl().journal_timer_armed()) ++armed;
+  if (tp_->device().cache().wake_timer_armed()) ++armed;
+  return sim.pending() == armed;
+}
+
+void CrashHarness::capture(HarnessSnapshot& snap) const {
+  sim::Simulator& sim = tp_->simulator();
+  snap.boundary = sim.events_fired() - base_;
+  snap.base = base_;
+  snap.submitted = submitted_;
+  snap.next_key = next_key_;
+  snap.pace_rng = pace_rng_.state();
+  gen_->snapshot(snap.gen);
+  snap.pump.armed = sim.event_pending(pump_event_);
+  snap.pump.deadline = sim.event_time(pump_event_);
+  snap.pump.seq = pump_event_.raw();
+  tp_->snapshot(snap.platform);
+}
+
+std::uint64_t CrashHarness::run_pilot(platform::TestPlatform& tp, SchedulePilot& out,
+                                      std::uint64_t snapshot_interval) {
+  begin_run(tp);
+  sim::Simulator& sim = tp.simulator();
+  if (snapshot_interval == 0) snapshot_interval = 1;
+  out.snapshots.clear();
+
+  // Mirror measure_schedule()'s run loop *exactly* — drained() evaluated only
+  // at 4096-event chunk boundaries, so B includes the same chunk overshoot —
+  // while stepping singly inside each chunk to see every quiescent boundary.
+  // Captures are pure reads, so the event stream is byte-identical.
+  std::uint64_t next_capture = 0;  // the baseline itself is eligible
+  while (!drained()) {
+    if (sim.idle()) {
+      throw std::runtime_error("torture harness: simulator idle while running the pilot");
+    }
+    for (std::uint32_t step = 0; step < 4096 && !sim.idle(); ++step) {
+      if (sim.events_fired() - base_ >= next_capture && quiescent_for_snapshot()) {
+        out.snapshots.emplace_back();
+        capture(out.snapshots.back());
+        next_capture = (sim.events_fired() - base_) + snapshot_interval;
+      }
+      sim.run_all(1);
+    }
+    if (sim.events_fired() > base_ + kRunEventBudget) {
+      throw std::runtime_error("torture harness: event budget exhausted while running the pilot");
+    }
+  }
+  // One tail checkpoint at the drained chunk boundary, interval
+  // notwithstanding: points late in the window restore from here.
+  if (quiescent_for_snapshot() &&
+      (out.snapshots.empty() || out.snapshots.back().boundary < sim.events_fired() - base_)) {
+    out.snapshots.emplace_back();
+    capture(out.snapshots.back());
+  }
+  sim.run_for(cfg_.drive.ftl.journal_interval * 2);
+  out.schedule_events = sim.events_fired() - base_;
+  out.recording = recorded_;
+  return out.schedule_events;
+}
+
+void CrashHarness::restore_from(platform::TestPlatform& tp, const SchedulePilot& pilot,
+                                const HarnessSnapshot& snap) {
+  tp_ = &tp;
+  base_ = snap.base;
+  submitted_ = snap.submitted;
+  next_key_ = snap.next_key;
+  halted_ = false;
+  outstanding_.clear();
+  recorded_.assign(pilot.recording.begin(),
+                   pilot.recording.begin() + static_cast<std::ptrdiff_t>(snap.submitted));
+  pace_rng_.set_state(snap.pace_rng);
+  // The generator's config is fixed per harness; only its position restores.
+  if (!gen_) gen_.emplace(cfg_.workload, sim::Rng{});
+  gen_->restore(snap.gen);
+  pump_event_ = {};
+  tp.restore(snap.platform, rearm_);
+  rearm_.enqueue(snap.pump, [this, deadline = snap.pump.deadline] {
+    pump_event_ = tp_->simulator().at(deadline, [this] { pump(); });
+  });
+  rearm_.execute();
+}
+
 CrashOutcome CrashHarness::run_crash_point(platform::TestPlatform& tp, std::uint64_t boundary) {
   begin_run(tp);
+  return finish_crash_point(boundary);
+}
+
+CrashOutcome CrashHarness::run_crash_point_from(platform::TestPlatform& tp,
+                                                const SchedulePilot& pilot,
+                                                const HarnessSnapshot& snap,
+                                                std::uint64_t boundary) {
+  restore_from(tp, pilot, snap);
+  return finish_crash_point(boundary);
+}
+
+CrashOutcome CrashHarness::finish_crash_point(std::uint64_t boundary) {
+  platform::TestPlatform& tp = *tp_;
   sim::Simulator& sim = tp.simulator();
 
   CountdownProbe probe(base_ + boundary);
   sim.set_boundary_probe(&probe);
   // The probe stops run_all at the exact boundary; a schedule that quiesces
-  // or wedges before reaching it is caught by the guards.
+  // or wedges before reaching it is caught by the guards. drained() is
+  // evaluated only at 4096-event boundaries measured from base_ — a restored
+  // run starts mid-chunk, and checking early would stop where a full replay
+  // (whose chunks all start at base_) blows straight past to the probe.
   try {
-    run_sim_until([&] { return probe.tripped() || drained(); }, "approaching the boundary");
+    while (true) {
+      const std::uint64_t fired = sim.events_fired() - base_;
+      if (probe.tripped() || (fired % 4096 == 0 && drained())) break;
+      if (sim.idle()) {
+        throw std::runtime_error(
+            "torture harness: simulator idle while approaching the boundary");
+      }
+      sim.run_all(4096 - fired % 4096);
+      if (sim.events_fired() > base_ + kRunEventBudget) {
+        throw std::runtime_error(
+            "torture harness: event budget exhausted while approaching the boundary");
+      }
+    }
   } catch (...) {
     sim.set_boundary_probe(nullptr);
     throw;

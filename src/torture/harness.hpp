@@ -60,6 +60,42 @@ struct CrashOutcome {
   AuditReport report;
 };
 
+/// One quiescent-boundary checkpoint of the pilot run: the harness's own
+/// cursor plus the whole device-stack image. Sized to be pooled — restoring
+/// into warm containers copies without allocating.
+struct HarnessSnapshot {
+  std::uint64_t boundary = 0;  ///< events past the baseline at capture
+  std::uint64_t base = 0;      ///< absolute events_fired at the baseline
+  std::uint64_t submitted = 0;
+  std::uint64_t next_key = 1;
+  std::array<std::uint64_t, 4> pace_rng{};
+  workload::WorkloadGenerator::StateImage gen;
+  sim::TimerImage pump;
+  platform::TestPlatform::StateImage platform;
+};
+
+/// Pilot artifacts shared by every crash point of a sweep: the schedule
+/// length B, the full golden request stream (prefix source for restored
+/// runs), and checkpoints every ~snapshot_interval events. The pilot fires
+/// exactly the events measure_schedule() would — captures are pure reads —
+/// so B and the recording are byte-identical to the full-replay path.
+struct SchedulePilot {
+  std::uint64_t schedule_events = 0;
+  std::vector<workload::RequestSpec> recording;
+  std::vector<HarnessSnapshot> snapshots;  ///< ascending by boundary
+
+  /// Latest checkpoint at or before `boundary`; nullptr when none exists
+  /// (caller falls back to a full replay).
+  [[nodiscard]] const HarnessSnapshot* nearest_at_or_before(std::uint64_t boundary) const {
+    const HarnessSnapshot* best = nullptr;
+    for (const HarnessSnapshot& s : snapshots) {
+      if (s.boundary > boundary) break;
+      best = &s;
+    }
+    return best;
+  }
+};
+
 class CrashHarness {
  public:
   /// `cfg` must outlive the harness (the explorer owns both).
@@ -81,6 +117,21 @@ class CrashHarness {
   /// harness events may still be queued).
   CrashOutcome run_crash_point(platform::TestPlatform& tp, std::uint64_t boundary);
 
+  /// Golden run that additionally records a device-state checkpoint at every
+  /// quiescent boundary at least `snapshot_interval` events past the previous
+  /// one (plus one at the drained tail). Returns the schedule length B —
+  /// identical to measure_schedule(), as captures never perturb the run.
+  std::uint64_t run_pilot(platform::TestPlatform& tp, SchedulePilot& out,
+                          std::uint64_t snapshot_interval);
+
+  /// Crash run seeded from a pilot checkpoint: restore `snap` onto `tp`
+  /// (which may be dirty from a previous crash run — no reset needed),
+  /// replay only the residual window up to `boundary`, then inject, remount
+  /// and audit exactly like run_crash_point. Precondition:
+  /// snap.boundary <= boundary and `tp` compatible with this config.
+  CrashOutcome run_crash_point_from(platform::TestPlatform& tp, const SchedulePilot& pilot,
+                                    const HarnessSnapshot& snap, std::uint64_t boundary);
+
   /// Requests actually submitted during the most recent run, in submission
   /// order — the workload prefix a shrunk repro replays verbatim.
   [[nodiscard]] const std::vector<workload::RequestSpec>& recorded_requests() const {
@@ -100,6 +151,16 @@ class CrashHarness {
   void submit(const workload::RequestSpec& spec);
   void on_write_done(std::uint64_t key, blk::IoStatus status);
   [[nodiscard]] bool drained() const;
+  /// Whole-stack quiescence census: platform quiescent, no unsettled writes,
+  /// and the simulator holds exactly the armed re-armable timers (pump,
+  /// journal tick, cache wake) — i.e. nothing uncapturable is in flight.
+  [[nodiscard]] bool quiescent_for_snapshot() const;
+  void capture(HarnessSnapshot& snap) const;
+  void restore_from(platform::TestPlatform& tp, const SchedulePilot& pilot,
+                    const HarnessSnapshot& snap);
+  /// Shared tail of both crash paths: probe to `boundary`, inject, ride the
+  /// rail down, dwell, remount, mark unsettled writes indeterminate, audit.
+  CrashOutcome finish_crash_point(std::uint64_t boundary);
   /// Step until `stop` holds; throws if the sim goes idle or the event
   /// budget blows first (a wedged schedule, not a finding).
   template <class Pred>
@@ -115,6 +176,8 @@ class CrashHarness {
   std::uint64_t submitted_ = 0;
   std::uint64_t next_key_ = 1;
   bool halted_ = false;          ///< crash reached: no further submissions
+  sim::EventId pump_event_{};    ///< armed inter-arrival timer (census/capture)
+  sim::TimerRearmer rearm_;      ///< pooled across restores
   std::unordered_map<std::uint64_t, PendingWrite> outstanding_;
   std::vector<workload::RequestSpec> recorded_;
 };

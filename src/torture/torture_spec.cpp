@@ -32,6 +32,8 @@ void apply_torture_section(TortureConfig& cfg, const Value& v) {
       cfg.break_recovery = spec::read_bool(m, key);
     } else if (key == "shrink") {
       cfg.shrink = spec::read_bool(m, key);
+    } else if (key == "snapshot_interval") {
+      cfg.snapshot_interval = spec::read_u64(m, key, 1);
     } else {
       return false;
     }
@@ -91,6 +93,7 @@ Value to_json(const TortureConfig& cfg) {
   t.set("injection", to_string(cfg.injection));
   t.set("break_recovery", cfg.break_recovery);
   t.set("shrink", cfg.shrink);
+  t.set("snapshot_interval", cfg.snapshot_interval);
   v.set("torture", std::move(t));
   v.set("runner", spec::to_json(cfg.runner));
   return v;
@@ -99,11 +102,23 @@ Value to_json(const TortureConfig& cfg) {
 std::uint64_t torture_hash(const TortureConfig& cfg) {
   // Same convention as campaign specs: the hash covers torture *content*
   // only — the "runner" section is execution shape, bit-identical results at
-  // any thread count, so it must not invalidate checkpoints.
+  // any thread count, so it must not invalidate checkpoints. Likewise
+  // snapshot_interval: checkpoint cadence changes wall-clock, never verdicts,
+  // so it is stripped from the nested torture section before hashing.
   Value doc = to_json(cfg);
   Value hashed = Value::object();
   spec::for_each_member(doc, "torture spec", [&](const std::string& key, const Value& m) {
-    if (key != "runner") hashed.set(key, m);
+    if (key == "runner") return true;
+    if (key == "torture") {
+      Value t = Value::object();
+      spec::for_each_member(m, "torture section", [&](const std::string& tk, const Value& tm) {
+        if (tk != "snapshot_interval") t.set(tk, tm);
+        return true;
+      });
+      hashed.set(key, std::move(t));
+      return true;
+    }
+    hashed.set(key, m);
     return true;
   });
   return spec::content_hash(hashed);

@@ -58,6 +58,11 @@ struct TortureConfig {
   /// Shrink the first failing schedule (binary search over workload prefix,
   /// then re-locate the earliest failing boundary) and emit a repro spec.
   bool shrink = true;
+  /// Pilot checkpoint cadence: capture a device-state snapshot at the first
+  /// quiescent boundary at least this many events past the previous capture.
+  /// Pure wall-clock knob — excluded from torture_hash, verdicts identical
+  /// at any value (and with snapshots disabled via pofi_run --no-snapshot).
+  std::uint64_t snapshot_interval = 256;
 
   runner::RunnerConfig runner;
 };

@@ -96,6 +96,31 @@ class WorkloadGenerator {
     pair_second_ = RequestSpec{};
   }
 
+  /// Generator position within its stream. The config is construction/reset
+  /// input, not state: restore() requires the generator to already carry the
+  /// same workload the image was captured under.
+  struct StateImage {
+    std::array<std::uint64_t, 4> rng_state{};
+    std::uint64_t generated = 0;
+    ftl::Lpn seq_cursor = 0;
+    bool pair_pending = false;
+    RequestSpec pair_second{};
+  };
+  void snapshot(StateImage& out) const {
+    out.rng_state = rng_.state();
+    out.generated = generated_;
+    out.seq_cursor = seq_cursor_;
+    out.pair_pending = pair_pending_;
+    out.pair_second = pair_second_;
+  }
+  void restore(const StateImage& image) {
+    rng_.set_state(image.rng_state);
+    generated_ = image.generated;
+    seq_cursor_ = image.seq_cursor;
+    pair_pending_ = image.pair_pending;
+    pair_second_ = image.pair_second;
+  }
+
  private:
   [[nodiscard]] std::uint32_t pick_pages();
   [[nodiscard]] ftl::Lpn pick_lpn(std::uint32_t pages);

@@ -18,12 +18,14 @@
 
 #include "blk/queue.hpp"
 #include "blk/trace_text.hpp"
+#include "obs/metrics.hpp"
 #include "platform/test_platform.hpp"
 #include "psu/power_supply.hpp"
 #include "spec/campaign.hpp"
 #include "spec/checkpoint.hpp"
 #include "ssd/presets.hpp"
 #include "torture/harness.hpp"
+#include "torture/torture_spec.hpp"
 #include "workload/checksum.hpp"
 
 namespace pofi::platform {
@@ -262,6 +264,107 @@ TEST(DeterminismGolden, PassiveBoundaryProbeIsIdentity) {
         << "a passive boundary probe perturbed the blktrace stream (model="
         << static_cast<int>(g.model) << " seed=" << g.seed << ")";
   }
+}
+
+/// Canonical serialisation of an obs snapshot, hexfloat doubles like
+/// canonical() above. Empty (and so fingerprint-neutral) when obs is
+/// compiled out or metrics are off.
+std::string canonical_metrics(const obs::Snapshot& s) {
+  std::string out;
+  for (const auto& c : s.counters) appendf(out, "c %s=%" PRIu64 "\n", c.name.c_str(), c.value);
+  for (const auto& g : s.gauges) {
+    appendf(out, "g %s=%" PRIu64 "/%" PRIu64 "\n", g.name.c_str(), g.last, g.high_water);
+  }
+  for (const auto& h : s.histograms) {
+    appendf(out, "h %s total=%" PRIu64, h.name.c_str(), h.total);
+    for (const std::uint64_t n : h.counts) appendf(out, " %" PRIu64, n);
+    out += '\n';
+  }
+  for (const auto& sr : s.series) {
+    appendf(out, "s %s dropped=%" PRIu64, sr.name.c_str(), sr.dropped);
+    for (const auto& sample : sr.samples) {
+      appendf(out, " %" PRId64 ":%a", sample.t_ns, sample.value);
+    }
+    out += '\n';
+  }
+  for (const auto& sp : s.spans) {
+    appendf(out, "span %s<%s %" PRId64 "-%" PRId64 "\n", sp.name.c_str(),
+            sp.parent.c_str(), sp.begin_ns, sp.end_ns);
+  }
+  appendf(out, "spans_dropped=%" PRIu64 "\n", s.spans_dropped);
+  return out;
+}
+
+/// Whole observable machine state after a torture run: the blktrace stream
+/// plus the metric registry (when one is attached).
+std::uint64_t device_fingerprint(TestPlatform& tp) {
+  std::string out = blk::to_text(tp.block_queue().trace());
+  if (const auto* m = tp.simulator().metrics()) out += canonical_metrics(m->snapshot());
+  return hash_str(out);
+}
+
+// The snapshot determinism gate: restoring a pilot checkpoint at a quiescent
+// boundary and replaying only the residual window must land on the exact
+// same machine state as replaying the whole schedule — audit verdict,
+// blktrace stream and metric snapshot alike, even onto a dirty platform
+// built with a different seed. Runs in the obs-on and obs-off (POFI_OBS=OFF,
+// UBSan stage and obs-determinism CI job) builds; with metrics compiled out
+// the fingerprint degrades to the trace stream alone.
+TEST(DeterminismGolden, SnapshotRestoreIsIdentity) {
+  torture::TortureConfig cfg;
+  cfg.name = "snapshot-identity";
+  cfg.seed = 42;
+  ssd::PresetOptions opts;
+  opts.capacity_override_gb = 1;
+  cfg.drive = ssd::make_preset(ssd::VendorModel::kA, opts);
+  cfg.drive.mount_delay = sim::Duration::ms(50);
+  cfg.workload.wss_pages = 4096;
+  cfg.workload.min_pages = 1;
+  cfg.workload.max_pages = 16;
+  cfg.workload.write_fraction = 0.8;
+  cfg.requests = 24;
+  cfg.pace_iops = 2000.0;
+  cfg.platform.trace_enabled = true;
+  cfg.platform.metrics = true;
+
+  // Pilot and plain golden run must agree on B and on the drained machine
+  // state: captures are pure reads, never a perturbation.
+  torture::CrashHarness harness(cfg);
+  torture::SchedulePilot pilot;
+  TestPlatform piloted(cfg.drive, cfg.platform, cfg.seed);
+  const std::uint64_t schedule = harness.run_pilot(piloted, pilot, 128);
+  ASSERT_GE(pilot.snapshots.size(), 2u);
+
+  torture::CrashHarness plain_harness(cfg);
+  TestPlatform plain(cfg.drive, cfg.platform, cfg.seed);
+  EXPECT_EQ(plain_harness.measure_schedule(plain), schedule);
+  EXPECT_EQ(device_fingerprint(plain), device_fingerprint(piloted))
+      << "pilot captures perturbed the golden schedule";
+
+  // Crash at a mid-schedule boundary twice: full replay from a fresh mount
+  // vs restore of the nearest checkpoint onto a deliberately mismatched
+  // platform. Everything observable must be bit-identical.
+  const std::uint64_t boundary = schedule / 2;
+  const torture::HarnessSnapshot* snap = pilot.nearest_at_or_before(boundary);
+  ASSERT_NE(snap, nullptr);
+  ASSERT_GT(snap->boundary, 0u) << "interval 128 should checkpoint past the baseline";
+
+  torture::CrashHarness full_harness(cfg);
+  TestPlatform full(cfg.drive, cfg.platform, cfg.seed);
+  const torture::CrashOutcome ref = full_harness.run_crash_point(full, boundary);
+
+  TestPlatform dirty(cfg.drive, cfg.platform, /*seed=*/999);
+  const torture::CrashOutcome got = harness.run_crash_point_from(dirty, pilot, *snap, boundary);
+
+  EXPECT_EQ(got.injected, ref.injected);
+  EXPECT_EQ(got.boundary, ref.boundary);
+  ASSERT_EQ(got.report.violations.size(), ref.report.violations.size());
+  for (std::size_t i = 0; i < ref.report.violations.size(); ++i) {
+    EXPECT_EQ(got.report.violations[i].kind, ref.report.violations[i].kind);
+    EXPECT_EQ(got.report.violations[i].detail, ref.report.violations[i].detail);
+  }
+  EXPECT_EQ(device_fingerprint(dirty), device_fingerprint(full))
+      << "restored crash run drifted from the full replay";
 }
 
 // Same seed, two fresh platforms: rows and traces must be bit-identical.

@@ -173,6 +173,73 @@ TEST(TortureExplorer, AuditFailedFlowsThroughJsonlProgress) {
   EXPECT_NE(out.str().find("\"status\":\"audit-failed\""), std::string::npos);
 }
 
+/// Byte-level fingerprint of everything a sweep reports: verdict counters,
+/// every violation, and the shrunk repro spec (when present).
+[[nodiscard]] std::string fingerprint(const ExploreReport& r) {
+  std::ostringstream s;
+  s << r.schedule_events << '|' << r.points_planned << '|' << r.points_explored << '|'
+    << r.points_injected << '|' << r.total_violations << '\n';
+  for (const TortureFinding& f : r.findings) {
+    s << f.boundary;
+    for (const Violation& v : f.report.violations) {
+      s << ' ' << to_string(v.kind) << ' ' << v.detail;
+    }
+    s << '\n';
+  }
+  s << r.shrunk << '|' << r.repro_requests << '|' << r.repro_boundary << '\n';
+  if (r.shrunk) {
+    // The repro inherits the parent's runner section and snapshot cadence —
+    // execution shape, not content (torture_hash strips both). Normalise
+    // them so the byte-level comparison covers every content field.
+    TortureConfig repro = load_torture(r.repro);
+    repro.runner = runner::RunnerConfig{};
+    repro.snapshot_interval = 256;
+    s << spec::dump(to_json(repro)) << '\n';
+  }
+  return s.str();
+}
+
+// Tentpole acceptance: restored-snapshot sweeps and full-replay sweeps are
+// indistinguishable — same verdicts, same violation set, same shrunk repro
+// spec — at 1, 2 and 8 runner threads, with recovery intact and broken.
+TEST(TortureExplorer, SnapshotSweepMatchesFullReplayByteForByte) {
+  for (const bool broken : {false, true}) {
+    TortureConfig cfg = small_config();
+    cfg.break_recovery = broken;
+    cfg.shrink = broken;
+    ExploreOptions full;
+    full.use_snapshots = false;
+    cfg.runner.threads = 1;
+    const std::string reference = fingerprint(explore(cfg, full));
+    for (const std::uint32_t threads : {1u, 2u, 8u}) {
+      cfg.runner.threads = threads;
+      EXPECT_EQ(fingerprint(explore(cfg)), reference)
+          << "snapshots, broken=" << broken << " threads=" << threads;
+      EXPECT_EQ(fingerprint(explore(cfg, full)), reference)
+          << "full replay, broken=" << broken << " threads=" << threads;
+    }
+  }
+}
+
+// Snapshot cadence is wall-clock shape, not content: any interval (including
+// one sparse enough that only the baseline checkpoint exists) produces the
+// reference verdicts, and the knob stays out of the content hash.
+TEST(TortureExplorer, SnapshotIntervalNeverChangesVerdicts) {
+  TortureConfig cfg = small_config();
+  cfg.break_recovery = true;
+  cfg.shrink = true;
+  cfg.runner.threads = 1;
+  ExploreOptions full;
+  full.use_snapshots = false;
+  const std::string reference = fingerprint(explore(cfg, full));
+  const std::uint64_t base_hash = torture_hash(cfg);
+  for (const std::uint64_t interval : {1ULL, 64ULL, 1'000'000'000ULL}) {
+    cfg.snapshot_interval = interval;
+    EXPECT_EQ(torture_hash(cfg), base_hash) << "interval=" << interval;
+    EXPECT_EQ(fingerprint(explore(cfg)), reference) << "interval=" << interval;
+  }
+}
+
 // audit-failed is part of the status taxonomy: round-trips through the
 // string codec and stays out of is_success (so it is never checkpointed).
 TEST(TortureExplorer, AuditFailedStatusTaxonomy) {
